@@ -1,0 +1,216 @@
+// Ablation: ReadRows efficiency — all three Sec 3.4 "future work" items,
+// implemented and measured:
+//   1. Dictionary/RLE encodings preserved on the Arrow-lite wire batches vs
+//      decoding to plain before serialization — "can significantly reduce
+//      the amount of bytes that need to be sent over the wire" (and thus
+//      TLS/VPN cost, modeled via the VPN encryption cost per KiB).
+//   2. Aggregate pushdown — partial aggregates computed by Superluminal
+//      server-side, "returning a much smaller payload to Spark".
+//   3. Read-session reuse — RefineSession narrows an existing session for
+//      dynamic partition pruning instead of re-creating it ("creating a
+//      Read API session is expensive on the server side").
+
+#include "bench/bench_util.h"
+#include "columnar/aggregate.h"
+#include "columnar/ipc.h"
+#include "core/biglake.h"
+#include "core/read_api.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+int Run() {
+  // ---- 1. Encoded vs plain wire batches ------------------------------------
+  PrintHeader(
+      "Wire-encoding ablation: Arrow-lite batches with encodings preserved "
+      "vs decoded to plain");
+  PrintRow({"column shape", "plain bytes", "encoded bytes", "savings"},
+           {34, 13, 15, 10});
+
+  struct Case {
+    std::string name;
+    Column column;
+  };
+  Random rng(11);
+  std::vector<Case> cases;
+  {
+    // Low-cardinality strings (dictionary win).
+    std::vector<uint32_t> idx;
+    for (int i = 0; i < 20000; ++i) {
+      idx.push_back(static_cast<uint32_t>(rng.Uniform(4)));
+    }
+    cases.push_back({"20k strings, 4 distinct (dict)",
+                     Column::MakeDictionaryString(
+                         idx, {"east", "west", "north", "south"})});
+  }
+  {
+    // Sorted partition ids (RLE win).
+    std::vector<int64_t> values;
+    std::vector<uint32_t> lengths;
+    for (int p = 0; p < 10; ++p) {
+      values.push_back(p);
+      lengths.push_back(2000);
+    }
+    cases.push_back({"20k ints, 10 runs (RLE)",
+                     Column::MakeRunLengthInt64(values, lengths)});
+  }
+  {
+    // High-cardinality strings (no encoding win — the control).
+    std::vector<std::string> vals;
+    for (int i = 0; i < 20000; ++i) vals.push_back(rng.NextString(12));
+    cases.push_back({"20k unique strings (control)",
+                     Column::MakeString(std::move(vals))});
+  }
+  for (const auto& c : cases) {
+    auto schema = MakeSchema({{"c", c.column.type(), true}});
+    RecordBatch encoded(schema, {c.column});
+    RecordBatch plain(schema, {c.column.Decode()});
+    std::string encoded_wire = SerializeBatch(encoded);
+    std::string plain_wire = SerializeBatch(plain);
+    PrintRow({c.name, Mb(plain_wire.size()), Mb(encoded_wire.size()),
+              Factor(static_cast<double>(plain_wire.size()) /
+                     static_cast<double>(encoded_wire.size()))},
+             {34, 13, 15, 10});
+  }
+  std::printf(
+      "paper (future work, implemented): dictionary and run-length "
+      "encodings on the wire batches significantly reduce bytes sent (and "
+      "with them client TLS-decryption cycles).\n");
+
+  // ---- 2. Aggregate pushdown payloads ---------------------------------------
+  PrintHeader(
+      "Aggregate pushdown ablation: raw rows vs server-side partial "
+      "aggregates");
+  PrintRow({"rows scanned", "raw payload", "pushdown payload", "reduction"},
+           {14, 13, 18, 10});
+  for (size_t rows_per_file : {200, 1000, 5000}) {
+    BenchLakehouse env;
+    BigLakeTableService biglake(&env.lake);
+    StorageReadApi api(&env.lake);
+    auto schema = MakeSchema({{"region", DataType::kString, false},
+                              {"amount", DataType::kDouble, false}});
+    static const char* kRegions[] = {"east", "west", "north", "south"};
+    Random data_rng(3);
+    for (int f = 0; f < 4; ++f) {
+      BatchBuilder b(schema);
+      for (size_t r = 0; r < rows_per_file; ++r) {
+        (void)b.AppendRow({Value::String(kRegions[data_rng.Uniform(4)]),
+                           Value::Double(data_rng.NextDouble() * 100)});
+      }
+      auto bytes = WriteParquetFile(b.Finish());
+      PutOptions po;
+      po.content_type = "application/x-parquet-lite";
+      (void)env.store->Put(env.Caller(), "lake",
+                           "t/part-" + std::to_string(f) + ".plk",
+                           std::move(bytes).value(), po);
+    }
+    TableDef def;
+    def.dataset = "ds";
+    def.name = "t";
+    def.kind = TableKind::kBigLake;
+    def.schema = schema;
+    def.connection = "us.lake-conn";
+    def.location = env.gcp;
+    def.bucket = "lake";
+    def.prefix = "t/";
+    def.iam.Grant("*", Role::kReader);
+    (void)biglake.CreateBigLakeTable(def);
+
+    auto measure = [&](const ReadSessionOptions& opts) -> uint64_t {
+      uint64_t before =
+          env.lake.sim().counters().Get("readapi.bytes_returned");
+      auto session = api.CreateReadSession("u", "ds.t", opts);
+      if (!session.ok()) return 0;
+      for (size_t s = 0; s < session->streams.size(); ++s) {
+        (void)api.ReadRows(*session, s);
+      }
+      return env.lake.sim().counters().Get("readapi.bytes_returned") -
+             before;
+    };
+    uint64_t raw = measure({});
+    ReadSessionOptions pushed;
+    pushed.aggregate_group_by = {"region"};
+    pushed.partial_aggregates = {{AggOp::kSum, "amount", "rev"},
+                                 {AggOp::kCount, "", "n"}};
+    uint64_t partial = measure(pushed);
+    PrintRow({std::to_string(rows_per_file * 4), Mb(raw), Mb(partial),
+              Factor(static_cast<double>(raw) /
+                     static_cast<double>(std::max<uint64_t>(1, partial)))},
+             {14, 13, 18, 10});
+  }
+  std::printf(
+      "paper (future work, implemented): the Read API computes partial "
+      "aggregates with the vectorized pipeline, returning a much smaller "
+      "payload to the engine; the reduction grows with scanned rows.\n");
+
+  // ---- 3. Session re-creation vs RefineSession ------------------------------
+  PrintHeader(
+      "Read-session reuse ablation: DPP via fresh session vs RefineSession");
+  {
+    BenchLakehouse env;
+    BigLakeTableService biglake(&env.lake);
+    StorageReadApi api(&env.lake);
+    auto schema = MakeSchema({{"v", DataType::kInt64, false}});
+    for (int d = 0; d < 12; ++d) {
+      std::vector<Column> cols{Column::MakeInt64(
+          std::vector<int64_t>(100, d))};
+      auto bytes = WriteParquetFile(RecordBatch(schema, std::move(cols)));
+      PutOptions po;
+      po.content_type = "application/x-parquet-lite";
+      (void)env.store->Put(env.Caller(), "lake",
+                           "t/day=" + std::to_string(d) + "/p.plk",
+                           std::move(bytes).value(), po);
+    }
+    TableDef def;
+    def.dataset = "ds";
+    def.name = "t";
+    def.kind = TableKind::kBigLake;
+    def.schema = schema;
+    def.connection = "us.lake-conn";
+    def.location = env.gcp;
+    def.bucket = "lake";
+    def.prefix = "t/";
+    def.partition_columns = {"day"};
+    def.iam.Grant("*", Role::kReader);
+    (void)biglake.CreateBigLakeTable(def);
+
+    ExprPtr dpp_predicate =
+        Expr::InList(Expr::Col("day"), {Value::Int64(4)});
+    auto base = api.CreateReadSession("u", "ds.t", {});
+    if (!base.ok()) return 1;
+
+    SimTimer t_fresh(env.lake.sim());
+    ReadSessionOptions fresh_opts;
+    fresh_opts.predicate = dpp_predicate;
+    auto fresh = api.CreateReadSession("u", "ds.t", fresh_opts);
+    SimMicros fresh_cost = t_fresh.ElapsedMicros();
+
+    SimTimer t_refine(env.lake.sim());
+    auto refined = api.RefineSession(*base, dpp_predicate);
+    SimMicros refine_cost = t_refine.ElapsedMicros();
+    if (!fresh.ok() || !refined.ok()) return 1;
+
+    PrintRow({"strategy", "control-plane cost", "files pruned"},
+             {26, 20, 14});
+    PrintRow({"re-create session (DPP)", Ms(fresh_cost),
+              std::to_string(fresh->files_pruned)},
+             {26, 20, 14});
+    PrintRow({"RefineSession (reuse)", Ms(refine_cost),
+              std::to_string(refined->files_pruned)},
+             {26, 20, 14});
+    std::printf(
+        "paper (future work, implemented): creating a session is expensive "
+        "server-side (files enumerated, stream metadata persisted); "
+        "refinement re-prunes in place at %.1fx lower cost.\n",
+        static_cast<double>(fresh_cost) /
+            static_cast<double>(refine_cost == 0 ? 1 : refine_cost));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

@@ -1,0 +1,129 @@
+// Experiment T-BLMT (Sec 3.5 prose): BLMT commit throughput vs an
+// object-store-atomic open table format, and read cost vs tail length.
+//
+// Paper claims:
+//   * Object stores can replace an object only a handful of times per
+//     second, capping pure open-table-format mutation rates; Big Metadata's
+//     in-memory log tail sustains far higher commit rates.
+//   * Periodic folding into columnar baselines keeps reads fast even as
+//     mutations accumulate.
+
+#include "bench/bench_util.h"
+#include "format/iceberg_lite.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+RecordBatch SmallBatch(SchemaPtr schema, int64_t base, size_t rows) {
+  BatchBuilder b(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    (void)b.AppendRow({Value::Int64(base + static_cast<int64_t>(r)),
+                       Value::Double(1.0)});
+  }
+  return b.Finish();
+}
+
+int Run() {
+  auto schema = MakeSchema({{"id", DataType::kInt64, false},
+                            {"v", DataType::kDouble, false}});
+
+  PrintHeader(
+      "BLMT vs Iceberg-lite: sustained small-commit throughput "
+      "(virtual time)");
+  PrintRow({"commits", "iceberg elapsed", "iceberg/s", "blmt elapsed",
+            "blmt/s", "ratio"},
+           {10, 17, 12, 15, 12, 10});
+
+  for (int commits : {10, 50, 200}) {
+    // Iceberg-lite: every commit CASes the pointer object.
+    BenchLakehouse ice_env;
+    auto iceberg = IcebergTable::Create(ice_env.store, ice_env.Caller(),
+                                        "lake", "ice/", schema);
+    SimTimer ice_timer(ice_env.lake.sim());
+    for (int i = 0; i < commits; ++i) {
+      DataFileEntry e;
+      e.path = "ice/f" + std::to_string(i);
+      e.row_count = 4;
+      if (!iceberg->CommitAppend(ice_env.Caller(), {e}).ok()) {
+        std::printf("iceberg commit failed\n");
+        return 1;
+      }
+    }
+    SimMicros ice_elapsed = ice_timer.ElapsedMicros();
+
+    // BLMT: each insert writes a real data file + one Big Metadata commit.
+    BenchLakehouse blmt_env;
+    BlmtService blmt(&blmt_env.lake);
+    TableDef def;
+    def.dataset = "ds";
+    def.name = "fast";
+    def.schema = schema;
+    def.connection = "us.lake-conn";
+    def.location = blmt_env.gcp;
+    def.bucket = "lake";
+    def.prefix = "blmt/";
+    def.iam.Grant("*", Role::kWriter);
+    (void)blmt.CreateTable(def);
+    SimTimer blmt_timer(blmt_env.lake.sim());
+    for (int i = 0; i < commits; ++i) {
+      if (!blmt.Insert("u", "ds.fast", SmallBatch(schema, i * 10, 4)).ok()) {
+        std::printf("blmt insert failed\n");
+        return 1;
+      }
+    }
+    SimMicros blmt_elapsed = blmt_timer.ElapsedMicros();
+
+    double ice_rate = commits / (ice_elapsed / 1e6);
+    double blmt_rate = commits / (blmt_elapsed / 1e6);
+    char ice_s[32], blmt_s[32];
+    std::snprintf(ice_s, sizeof(ice_s), "%.1f", ice_rate);
+    std::snprintf(blmt_s, sizeof(blmt_s), "%.1f", blmt_rate);
+    PrintRow({std::to_string(commits), Ms(ice_elapsed), ice_s,
+              Ms(blmt_elapsed), blmt_s, Factor(blmt_rate / ice_rate)},
+             {10, 17, 12, 15, 12, 10});
+  }
+  std::printf(
+      "paper: object stores allow only a handful of pointer mutations per "
+      "second (~5/s here); Big Metadata commits are not bound by that "
+      "limit.\n");
+
+  // ---- Read cost vs tail length (baseline folding) -------------------------
+  PrintHeader(
+      "Big Metadata snapshot read cost vs uncompacted tail length");
+  PrintRow({"tail records", "snapshot cost (compacted)",
+            "snapshot cost (tail)"},
+           {15, 28, 22});
+  for (uint64_t tail : {16u, 256u, 2048u}) {
+    SimEnv env;
+    BigMetadataOptions opts;
+    opts.compaction_threshold = 1u << 30;  // never auto-compact
+    BigMetadataStore meta(&env, opts);
+    meta.EnsureTable("t");
+    for (uint64_t i = 0; i < tail; ++i) {
+      CachedFileMeta f;
+      f.file.path = "f" + std::to_string(i);
+      f.file.row_count = 1;
+      (void)meta.AppendFiles("t", {f});
+    }
+    SimTimer t_tail(env);
+    (void)meta.Snapshot("t");
+    SimMicros tail_cost = t_tail.ElapsedMicros();
+    (void)meta.Compact("t");
+    SimTimer t_base(env);
+    (void)meta.Snapshot("t");
+    SimMicros base_cost = t_base.ElapsedMicros();
+    PrintRow({std::to_string(tail), Ms(base_cost), Ms(tail_cost)},
+             {15, 28, 22});
+  }
+  std::printf(
+      "paper: columnar baselines + in-memory tail reconcile give high "
+      "mutation rates without sacrificing read performance.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

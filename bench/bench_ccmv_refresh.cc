@@ -1,0 +1,166 @@
+// Experiment T-CCMV (Sec 5.6.2, Figure 10): cross-cloud materialized view
+// refresh — incremental replication vs full re-replication.
+//
+// Paper claims: CCMVs replicate incrementally, shipping only new/changed
+// partitions; upserts recreate only the affected partition. Egress is a
+// small fraction of re-replicating the whole view each interval.
+
+#include "bench/bench_util.h"
+#include "core/biglake.h"
+#include "omni/ccmv.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+SchemaPtr OrdersSchema() {
+  return MakeSchema({{"order_id", DataType::kInt64, false},
+                     {"order_total", DataType::kDouble, false}});
+}
+
+struct CcmvSetup {
+  LakehouseEnv lake;
+  CloudLocation gcp{CloudProvider::kGCP, "us-central1"};
+  CloudLocation aws{CloudProvider::kAWS, "us-east-1"};
+  ObjectStore* gcp_store = nullptr;
+  ObjectStore* aws_store = nullptr;
+  std::unique_ptr<StorageReadApi> api;
+  std::unique_ptr<BigLakeTableService> biglake;
+
+  CcmvSetup() {
+    gcp_store = lake.AddStore(gcp);
+    aws_store = lake.AddStore(aws);
+    (void)aws_store->CreateBucket("s3-lake");
+    (void)lake.catalog().CreateDataset("aws_dataset");
+    Connection conn;
+    conn.name = "aws.s3-conn";
+    conn.service_account.principal = "sa:s3-conn";
+    (void)lake.catalog().CreateConnection(conn);
+    api = std::make_unique<StorageReadApi>(&lake);
+    biglake = std::make_unique<BigLakeTableService>(&lake);
+  }
+
+  void PutDay(int day, size_t rows) {
+    CallerContext ctx{.location = aws};
+    BatchBuilder b(OrdersSchema());
+    for (size_t r = 0; r < rows; ++r) {
+      (void)b.AppendRow({Value::Int64(day * 10000 + static_cast<int64_t>(r)),
+                         Value::Double(1.0 + static_cast<double>(r))});
+    }
+    auto bytes = WriteParquetFile(b.Finish());
+    PutOptions po;
+    po.content_type = "application/x-parquet-lite";
+    (void)aws_store->Put(ctx, "s3-lake",
+                         "orders/day=" + std::to_string(day) + "/p.plk",
+                         std::move(bytes).value(), po);
+  }
+
+  void CreateSource(int days, size_t rows) {
+    for (int d = 0; d < days; ++d) PutDay(d, rows);
+    TableDef def;
+    def.dataset = "aws_dataset";
+    def.name = "customer_orders";
+    def.kind = TableKind::kBigLake;
+    def.schema = OrdersSchema();
+    def.connection = "aws.s3-conn";
+    def.location = aws;
+    def.bucket = "s3-lake";
+    def.prefix = "orders/";
+    def.partition_columns = {"day"};
+    def.iam.Grant("*", Role::kReader);
+    (void)biglake->CreateBigLakeTable(def);
+  }
+};
+
+int Run() {
+  PrintHeader(
+      "Figure 10: CCMV refresh — incremental vs full re-replication "
+      "(AWS source -> GCP replica)");
+  PrintRow({"event", "partitions refreshed", "egress.aws.gcp", "refresh "
+            "wall"},
+           {28, 22, 16, 14});
+
+  CcmvSetup setup;
+  setup.CreateSource(/*days=*/20, /*rows=*/300);
+  CcmvService ccmv(&setup.lake, setup.api.get());
+  CcmvDefinition def;
+  def.name = "orders_mv";
+  def.source_table = "aws_dataset.customer_orders";
+  def.partition_column = "day";
+  def.target_location = setup.gcp;
+
+  setup.lake.sim().counters().Reset();
+  auto initial = ccmv.CreateView(def);
+  if (!initial.ok()) {
+    std::printf("create failed: %s\n", initial.status().ToString().c_str());
+    return 1;
+  }
+  PrintRow({"initial replication (20 days)",
+            std::to_string(initial->partitions_refreshed),
+            Mb(setup.lake.sim().counters().Get("egress.aws.gcp")),
+            Ms(initial->refresh_micros)},
+           {28, 22, 16, 14});
+
+  // Steady state: one new day per interval, incremental refresh.
+  uint64_t incr_egress_total = 0;
+  for (int day = 20; day < 24; ++day) {
+    setup.PutDay(day, 300);
+    (void)setup.biglake->RefreshCache("aws_dataset.customer_orders");
+    setup.lake.sim().counters().Reset();
+    auto r = ccmv.Refresh("orders_mv");
+    if (!r.ok()) {
+      std::printf("refresh failed\n");
+      return 1;
+    }
+    uint64_t egress = setup.lake.sim().counters().Get("egress.aws.gcp");
+    incr_egress_total += egress;
+    PrintRow({"append day " + std::to_string(day) + " (incremental)",
+              std::to_string(r->partitions_refreshed), Mb(egress),
+              Ms(r->refresh_micros)},
+             {28, 22, 16, 14});
+  }
+
+  // Upsert: rewrite one existing partition.
+  setup.PutDay(5, 320);
+  (void)setup.biglake->RefreshCache("aws_dataset.customer_orders");
+  setup.lake.sim().counters().Reset();
+  auto upsert = ccmv.Refresh("orders_mv");
+  PrintRow({"upsert day 5 (incremental)",
+            std::to_string(upsert->partitions_refreshed),
+            Mb(setup.lake.sim().counters().Get("egress.aws.gcp")),
+            Ms(upsert->refresh_micros)},
+           {28, 22, 16, 14});
+
+  // Baseline: a full refresh of the same view.
+  setup.lake.sim().counters().Reset();
+  auto full = ccmv.FullRefresh("orders_mv");
+  if (!full.ok()) {
+    std::printf("full refresh failed\n");
+    return 1;
+  }
+  uint64_t full_egress = setup.lake.sim().counters().Get("egress.aws.gcp");
+  PrintRow({"FULL re-replication",
+            std::to_string(full->partitions_refreshed), Mb(full_egress),
+            Ms(full->refresh_micros)},
+           {28, 22, 16, 14});
+
+  // Replica queries are free of egress.
+  setup.lake.sim().counters().Reset();
+  auto replica = ccmv.QueryReplica("user:bench", "orders_mv");
+  std::printf(
+      "\nreplica query: %llu rows, egress.aws.gcp = %llu bytes (queries are "
+      "local to the target region)\n",
+      static_cast<unsigned long long>(replica.ok() ? replica->num_rows() : 0),
+      static_cast<unsigned long long>(
+          setup.lake.sim().counters().Get("egress.aws.gcp")));
+  std::printf(
+      "paper: incremental refresh ships only changed partitions, "
+      "significantly reducing egress vs re-replicating the view.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

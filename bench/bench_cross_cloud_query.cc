@@ -1,0 +1,142 @@
+// Experiment T-XC (Sec 5.6.1, Listing 3): cross-cloud queries — subquery
+// pushdown vs naive federation.
+//
+// Paper claims: Omni colocates the engine with the data and pushes filters
+// into regional subqueries, so only the (small) filtered results cross
+// clouds, instead of the bandwidth-intensive full-table transfer of naive
+// federated reads.
+
+#include "bench/bench_util.h"
+#include "omni/omni.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+struct TwoCloudSetup {
+  LakehouseEnv lake;
+  CloudLocation gcp{CloudProvider::kGCP, "us-central1"};
+  CloudLocation aws{CloudProvider::kAWS, "us-east-1"};
+  ObjectStore* gcp_store = nullptr;
+  ObjectStore* aws_store = nullptr;
+
+  TwoCloudSetup() {
+    gcp_store = lake.AddStore(gcp);
+    aws_store = lake.AddStore(aws);
+    (void)gcp_store->CreateBucket("gcs-lake");
+    (void)aws_store->CreateBucket("s3-lake");
+    (void)lake.catalog().CreateDataset("aws_dataset");
+    (void)lake.catalog().CreateDataset("local_dataset");
+    Connection conn;
+    conn.name = "aws.s3-conn";
+    conn.service_account.principal = "sa:s3-conn";
+    (void)lake.catalog().CreateConnection(conn);
+  }
+};
+
+int Run() {
+  PrintHeader(
+      "Cross-cloud query (Listing 3 shape): egress vs fact selectivity "
+      "(orders on AWS S3, query driven from GCP)");
+  PrintRow({"selectivity", "naive egress", "omni bytes", "reduction",
+            "naive wall", "omni wall"},
+           {13, 14, 14, 11, 13, 12});
+
+  for (int days_selected : {10, 3, 1}) {
+    TwoCloudSetup setup;
+    StorageReadApi api(&setup.lake);
+    BigLakeTableService biglake(&setup.lake);
+    // 10 day-partitions of orders on S3.
+    auto schema = MakeSchema({{"order_id", DataType::kInt64, false},
+                              {"order_total", DataType::kDouble, false}});
+    CallerContext aws_ctx{.location = setup.aws};
+    for (int d = 0; d < 10; ++d) {
+      BatchBuilder b(schema);
+      for (int r = 0; r < 400; ++r) {
+        (void)b.AppendRow({Value::Int64(d * 1000 + r),
+                           Value::Double(10.0 + r)});
+      }
+      auto bytes = WriteParquetFile(b.Finish());
+      PutOptions po;
+      po.content_type = "application/x-parquet-lite";
+      (void)setup.aws_store->Put(aws_ctx, "s3-lake",
+                                 "orders/day=" + std::to_string(d) +
+                                     "/p.plk",
+                                 std::move(bytes).value(), po);
+    }
+    TableDef def;
+    def.dataset = "aws_dataset";
+    def.name = "customer_orders";
+    def.kind = TableKind::kBigLake;
+    def.schema = schema;
+    def.connection = "aws.s3-conn";
+    def.location = setup.aws;
+    def.bucket = "s3-lake";
+    def.prefix = "orders/";
+    def.partition_columns = {"day"};
+    def.iam.Grant("*", Role::kReader);
+    (void)biglake.CreateBigLakeTable(def);
+
+    ExprPtr predicate =
+        days_selected >= 10
+            ? nullptr
+            : Expr::Lt(Expr::Col("day"),
+                       Expr::Lit(Value::Int64(days_selected)));
+    // The Listing-3 shape: an aggregation over the (filtered) remote fact.
+    // Omni pushes the whole subtree to the data; naive federation drags the
+    // raw rows across clouds and aggregates at home.
+    auto scan = Plan::Aggregate(
+        Plan::Scan("aws_dataset.customer_orders", {}, predicate),
+        {}, {{AggOp::kSum, "order_total", "revenue"},
+             {AggOp::kCount, "", "orders"}});
+
+    // Naive federation: the GCP engine reads the S3 table directly; raw
+    // data crosses the clouds.
+    setup.lake.sim().counters().Reset();
+    EngineOptions gcp_engine_opts;
+    gcp_engine_opts.engine_location = setup.gcp;
+    QueryEngine naive(&setup.lake, &api, gcp_engine_opts);
+    SimTimer t_naive(setup.lake.sim());
+    auto naive_result = naive.Execute("user:bench", scan);
+    SimMicros naive_wall = t_naive.ElapsedMicros();
+    uint64_t naive_egress =
+        setup.lake.sim().counters().Get("egress.aws.gcp");
+
+    // Omni: regional subquery + result streaming.
+    setup.lake.sim().counters().Reset();
+    OmniJobServer jobserver(&setup.lake, &api, "gcp-us");
+    jobserver.AddRegion({"gcp-us", setup.gcp, {}});
+    jobserver.AddRegion({"aws-us-east-1", setup.aws, {}});
+    SimTimer t_omni(setup.lake.sim());
+    auto omni_result = jobserver.ExecuteQuery("user:bench", scan);
+    SimMicros omni_wall = t_omni.ElapsedMicros();
+    if (!naive_result.ok() || !omni_result.ok()) {
+      std::printf("query failed: %s %s\n",
+                  naive_result.status().ToString().c_str(),
+                  omni_result.status().ToString().c_str());
+      return 1;
+    }
+    char sel[32];
+    std::snprintf(sel, sizeof(sel), "%d/10 days", days_selected);
+    PrintRow({sel, std::to_string(naive_egress) + " B",
+              std::to_string(omni_result->stats.cross_cloud_bytes) + " B",
+              Factor(static_cast<double>(naive_egress) /
+                     static_cast<double>(std::max<uint64_t>(
+                         1, omni_result->stats.cross_cloud_bytes))),
+              Ms(naive_wall), Ms(omni_wall)},
+             {13, 14, 14, 11, 13, 12});
+  }
+  std::printf(
+      "paper: the regional subquery ships only its (filtered, aggregated) "
+      "result — typically a small fraction of the table — instead of the "
+      "raw bytes naive federation moves; day-level filters also shrink the "
+      "naive read via pruning, so the pushdown factor is largest for "
+      "aggregate-heavy queries.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

@@ -1,0 +1,81 @@
+// Experiment T-OBJ (Sec 4.1 prose): wrangling large object corpora —
+// object-store listing pipelines vs Object-table metadata scans.
+//
+// Paper claims: listing billions of objects can take hours; with Object
+// tables the metadata cache is the data source, so "SELECT *" and a 1%
+// random sample run in seconds.
+
+#include "bench/bench_util.h"
+#include "core/object_table.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader(
+      "Object wrangling: LIST-based pipeline vs Object table scan "
+      "(virtual time)");
+  PrintRow({"objects", "LIST pipeline", "object table", "1% sample",
+            "speedup"},
+           {10, 15, 15, 13, 10});
+
+  for (int objects : {1'000, 10'000, 50'000}) {
+    BenchLakehouse env;
+    ObjectTableService service(&env.lake);
+    PutOptions po;
+    po.content_type = "image/jpeg";
+    for (int i = 0; i < objects; ++i) {
+      (void)env.store->Put(env.Caller(), "lake", "imgs/" + std::to_string(i),
+                           "JPEG", po);
+    }
+    TableDef def;
+    def.dataset = "ds";
+    def.name = "files";
+    def.kind = TableKind::kObjectTable;
+    def.connection = "us.lake-conn";
+    def.location = env.gcp;
+    def.bucket = "lake";
+    def.prefix = "imgs/";
+    def.iam.Grant("*", Role::kReader);
+    if (!service.CreateObjectTable(def).ok()) {
+      std::printf("create failed\n");
+      return 1;
+    }
+
+    // Baseline: a script listing the bucket (what a Python pipeline does).
+    SimTimer t_list(env.lake.sim());
+    auto listed = env.store->ListAll(env.Caller(), "lake", "imgs/");
+    SimMicros list_cost = t_list.ElapsedMicros();
+
+    // Object table scan: served from the metadata cache.
+    SimTimer t_scan(env.lake.sim());
+    auto scan = service.Scan("user:bench", "ds.files");
+    SimMicros scan_cost = t_scan.ElapsedMicros();
+
+    SimTimer t_sample(env.lake.sim());
+    auto sample = service.Sample("user:bench", "ds.files", 0.01);
+    SimMicros sample_cost = t_sample.ElapsedMicros();
+
+    if (!listed.ok() || !scan.ok() || !sample.ok()) {
+      std::printf("bench failed\n");
+      return 1;
+    }
+    PrintRow({std::to_string(objects), Ms(list_cost), Ms(scan_cost),
+              Ms(sample_cost),
+              Factor(static_cast<double>(list_cost) /
+                     static_cast<double>(std::max<SimMicros>(1, scan_cost)))},
+             {10, 15, 15, 13, 10});
+  }
+  std::printf(
+      "paper: listing billions of objects takes hours; an Object-table "
+      "sample is two lines of SQL and executes in seconds. The LIST cost "
+      "grows linearly with object count while the cached scan stays flat.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

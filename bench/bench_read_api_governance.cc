@@ -1,0 +1,147 @@
+// Experiment T-RAPI (Sec 2.2.1, 3.2): the Read API's governed pipeline —
+// what enforcement costs, and what pushdown/projection save.
+//
+// Paper claims: the Read API enforces row/column security and masking
+// *inside* the trust boundary with zero trust in the engine; filter
+// pushdown and column projection make governed reads efficient. Also
+// quantifies the Sec 3.4 row-oriented vs vectorized server path.
+
+#include "bench/bench_util.h"
+#include "core/read_api.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+SchemaPtr WideSchema() {
+  return MakeSchema({{"id", DataType::kInt64, false},
+                     {"region", DataType::kString, false},
+                     {"qty", DataType::kInt64, false},
+                     {"price", DataType::kDouble, false},
+                     {"email", DataType::kString, false},
+                     {"note", DataType::kString, false}});
+}
+
+int Run() {
+  BenchLakehouse env;
+  BigLakeTableService biglake(&env.lake);
+  StorageReadApi api(&env.lake);
+  static const char* kRegions[] = {"east", "west", "north", "south"};
+  Random rng(3);
+  for (int f = 0; f < 8; ++f) {
+    BatchBuilder b(WideSchema());
+    for (int r = 0; r < 2000; ++r) {
+      (void)b.AppendRow(
+          {Value::Int64(f * 10000 + r), Value::String(kRegions[r % 4]),
+           Value::Int64(static_cast<int64_t>(rng.Uniform(50))),
+           Value::Double(rng.NextDouble() * 100),
+           Value::String("user" + std::to_string(r) + "@example.com"),
+           Value::String(rng.NextString(40))});
+    }
+    auto bytes = WriteParquetFile(b.Finish());
+    PutOptions po;
+    po.content_type = "application/x-parquet-lite";
+    (void)env.store->Put(env.Caller(), "lake",
+                         "wide/date=" + std::to_string(f) + "/p.plk",
+                         std::move(bytes).value(), po);
+  }
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "wide";
+  def.kind = TableKind::kBigLake;
+  def.schema = WideSchema();
+  def.connection = "us.lake-conn";
+  def.location = env.gcp;
+  def.bucket = "lake";
+  def.prefix = "wide/";
+  def.partition_columns = {"date"};
+  def.iam.Grant("*", Role::kReader);
+  RowAccessPolicy east;
+  east.name = "east_only";
+  east.grantees = {"user:governed"};
+  east.filter = Expr::Eq(Expr::Col("region"), Expr::Lit(Value::String("east")));
+  def.policy.row_policies = {east};
+  ColumnRule mask_email;
+  mask_email.clear_readers = {"user:admin"};
+  mask_email.mask = MaskType::kHash;
+  def.policy.column_rules["email"] = mask_email;
+  if (!biglake.CreateBigLakeTable(def).ok()) {
+    std::printf("setup failed\n");
+    return 1;
+  }
+  // An ungoverned twin table (no policies) for the enforcement-cost row.
+  TableDef open_def = def;
+  open_def.name = "wide_open";
+  open_def.policy = TablePolicy();
+  (void)biglake.CreateBigLakeTable(open_def);
+
+  auto run = [&](const std::string& label, const Principal& principal,
+                 const std::string& table, ReadSessionOptions opts) -> int {
+    uint64_t bytes_before =
+        env.lake.sim().counters().Get("readapi.bytes_returned");
+    uint64_t cpu_before = env.lake.sim().counters().Get("readapi.cpu_micros");
+    SimTimer timer(env.lake.sim());
+    auto session = api.CreateReadSession(principal, table, opts);
+    if (!session.ok()) {
+      std::printf("%s: session failed\n", label.c_str());
+      return 1;
+    }
+    size_t rows = 0;
+    for (size_t s = 0; s < session->streams.size(); ++s) {
+      auto batch = api.ReadStreamBatch(*session, s);
+      if (!batch.ok()) return 1;
+      rows += batch->num_rows();
+    }
+    uint64_t bytes =
+        env.lake.sim().counters().Get("readapi.bytes_returned") -
+        bytes_before;
+    uint64_t cpu =
+        env.lake.sim().counters().Get("readapi.cpu_micros") - cpu_before;
+    PrintRow({label, std::to_string(rows), Mb(bytes),
+              Ms(timer.ElapsedMicros()), Ms(cpu)},
+             {42, 9, 13, 13, 13});
+    return 0;
+  };
+
+  PrintHeader(
+      "Read API: rows, wire bytes and virtual cost per configuration");
+  PrintRow({"configuration", "rows", "wire bytes", "virtual cost",
+            "server CPU"},
+           {42, 9, 13, 13, 13});
+  ReadSessionOptions all;
+  if (run("full scan, no governance (twin table)", "user:x", "ds.wide_open",
+          all))
+    return 1;
+  if (run("full scan, row policy + email mask", "user:governed", "ds.wide",
+          all))
+    return 1;
+  ReadSessionOptions projected;
+  projected.columns = {"id", "price"};
+  if (run("projection id,price (no governance)", "user:x", "ds.wide_open",
+          projected))
+    return 1;
+  ReadSessionOptions pushed;
+  pushed.predicate = Expr::Eq(Expr::Col("date"), Expr::Lit(Value::Int64(3)));
+  if (run("predicate pushdown date=3 (no governance)", "user:x",
+          "ds.wide_open", pushed))
+    return 1;
+  ReadSessionOptions row_path;
+  row_path.use_row_oriented_reader = true;
+  if (run("full scan via row-oriented reader", "user:x", "ds.wide_open",
+          row_path))
+    return 1;
+
+  std::printf(
+      "\npaper: governance is enforced server-side before bytes reach the "
+      "engine (masked/filtered data costs ~the same as open data); "
+      "projection and pushdown cut bytes; the vectorized pipeline is ~an "
+      "order of magnitude cheaper in server CPU than the row-oriented "
+      "prototype.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

@@ -1,0 +1,76 @@
+// Shared helpers for the experiment binaries.
+//
+// Most benches measure *virtual* time and byte counters from the simulated
+// environment (deterministic, reproducing the paper's shapes); only the
+// vectorized-reader bench measures real CPU via google-benchmark.
+
+#ifndef BIGLAKE_BENCH_BENCH_UTIL_H_
+#define BIGLAKE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "core/environment.h"
+#include "format/parquet_lite.h"
+
+namespace biglake {
+namespace bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", widths[i % widths.size()], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Ms(SimMicros micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", micros / 1000.0);
+  return buf;
+}
+
+inline std::string Factor(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", f);
+  return buf;
+}
+
+inline std::string Mb(uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f MiB", bytes / 1048576.0);
+  return buf;
+}
+
+/// A ready-to-use single-cloud lakehouse: GCP store with bucket "lake",
+/// dataset "ds", connection "us.lake-conn".
+struct BenchLakehouse {
+  LakehouseEnv lake;
+  CloudLocation gcp{CloudProvider::kGCP, "us-central1"};
+  ObjectStore* store = nullptr;
+
+  BenchLakehouse() {
+    store = lake.AddStore(gcp);
+    (void)store->CreateBucket("lake");
+    (void)lake.catalog().CreateDataset("ds");
+    Connection conn;
+    conn.name = "us.lake-conn";
+    conn.service_account.principal = "sa:lake-conn";
+    (void)lake.catalog().CreateConnection(conn);
+  }
+
+  CallerContext Caller() const { return {.location = gcp}; }
+};
+
+}  // namespace bench
+}  // namespace biglake
+
+#endif  // BIGLAKE_BENCH_BENCH_UTIL_H_

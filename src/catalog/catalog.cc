@@ -1,0 +1,143 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+
+namespace biglake {
+
+const char* TableKindName(TableKind kind) {
+  switch (kind) {
+    case TableKind::kManaged:
+      return "MANAGED";
+    case TableKind::kExternalLegacy:
+      return "EXTERNAL";
+    case TableKind::kBigLake:
+      return "BIGLAKE";
+    case TableKind::kBigLakeManaged:
+      return "BIGLAKE_MANAGED";
+    case TableKind::kObjectTable:
+      return "OBJECT_TABLE";
+  }
+  return "UNKNOWN";
+}
+
+SchemaPtr ObjectTableSchema() {
+  return MakeSchema({{"uri", DataType::kString, false},
+                     {"size", DataType::kInt64, false},
+                     {"content_type", DataType::kString, true},
+                     {"create_time", DataType::kTimestamp, false},
+                     {"update_time", DataType::kTimestamp, false},
+                     {"generation", DataType::kInt64, false}});
+}
+
+Status Catalog::CreateDataset(const std::string& name) {
+  if (datasets_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("dataset `", name, "` exists"));
+  }
+  datasets_[name] = {};
+  return Status::OK();
+}
+
+bool Catalog::HasDataset(const std::string& name) const {
+  return datasets_.count(name) > 0;
+}
+
+Status Catalog::CreateTable(TableDef def) {
+  auto dit = datasets_.find(def.dataset);
+  if (dit == datasets_.end()) {
+    return Status::NotFound(StrCat("dataset `", def.dataset, "` not found"));
+  }
+  if (dit->second.count(def.name) > 0) {
+    return Status::AlreadyExists(StrCat("table `", def.id(), "` exists"));
+  }
+  if (def.kind == TableKind::kObjectTable) {
+    def.schema = ObjectTableSchema();
+  }
+  if (def.schema == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("table `", def.id(), "` has no schema"));
+  }
+  // BigLake and Object tables require a connection (delegated access).
+  if ((def.kind == TableKind::kBigLake ||
+       def.kind == TableKind::kObjectTable ||
+       def.kind == TableKind::kBigLakeManaged) &&
+      def.connection.empty()) {
+    return Status::InvalidArgument(
+        StrCat(TableKindName(def.kind), " table `", def.id(),
+               "` requires a connection"));
+  }
+  if (!def.connection.empty() &&
+      connections_.count(def.connection) == 0) {
+    return Status::NotFound(
+        StrCat("connection `", def.connection, "` not found"));
+  }
+  // Legacy external tables never have fine-grained policies or caching:
+  // enforcing either requires the delegated access model.
+  if (def.kind == TableKind::kExternalLegacy) {
+    if (def.policy.HasRowPolicies() || !def.policy.column_rules.empty()) {
+      return Status::InvalidArgument(
+          "legacy external tables do not support fine-grained security; "
+          "upgrade to a BigLake table");
+    }
+    def.metadata_cache_enabled = false;
+  }
+  std::string name = def.name;
+  dit->second.emplace(std::move(name), std::move(def));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& table_id) const {
+  auto dot = table_id.find('.');
+  if (dot == std::string::npos) {
+    return Status::InvalidArgument(
+        StrCat("table id `", table_id, "` must be dataset.table"));
+  }
+  auto dit = datasets_.find(table_id.substr(0, dot));
+  if (dit == datasets_.end()) {
+    return Status::NotFound(StrCat("table `", table_id, "` not found"));
+  }
+  auto tit = dit->second.find(table_id.substr(dot + 1));
+  if (tit == dit->second.end()) {
+    return Status::NotFound(StrCat("table `", table_id, "` not found"));
+  }
+  return &tit->second;
+}
+
+Result<TableDef*> Catalog::MutableTable(const std::string& table_id) {
+  BL_ASSIGN_OR_RETURN(const TableDef* def, GetTable(table_id));
+  return const_cast<TableDef*>(def);
+}
+
+Status Catalog::DropTable(const std::string& table_id) {
+  BL_ASSIGN_OR_RETURN(const TableDef* def, GetTable(table_id));
+  datasets_[def->dataset].erase(def->name);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables(const std::string& dataset) const {
+  std::vector<std::string> names;
+  auto dit = datasets_.find(dataset);
+  if (dit == datasets_.end()) return names;
+  for (const auto& [name, def] : dit->second) names.push_back(name);
+  return names;
+}
+
+Status Catalog::CreateConnection(Connection connection) {
+  if (connections_.count(connection.name) > 0) {
+    return Status::AlreadyExists(
+        StrCat("connection `", connection.name, "` exists"));
+  }
+  std::string name = connection.name;
+  connections_.emplace(std::move(name), std::move(connection));
+  return Status::OK();
+}
+
+Result<const Connection*> Catalog::GetConnection(
+    const std::string& name) const {
+  auto it = connections_.find(name);
+  if (it == connections_.end()) {
+    return Status::NotFound(StrCat("connection `", name, "` not found"));
+  }
+  return &it->second;
+}
+
+}  // namespace biglake

@@ -1,0 +1,223 @@
+#include "columnar/aggregate.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace biglake {
+
+std::string AggRowKey(const RecordBatch& batch, const std::vector<int>& cols,
+                      size_t row) {
+  std::string key;
+  for (int c : cols) {
+    EncodeValue(&key, batch.GetValue(row, static_cast<size_t>(c)));
+  }
+  return key;
+}
+
+namespace {
+Result<std::vector<int>> ResolveColumns(const RecordBatch& batch,
+                                        const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    int idx = batch.schema()->FieldIndex(n);
+    if (idx < 0) {
+      return Status::NotFound(
+          StrCat("no column `", n, "` in aggregate input"));
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+}  // namespace
+
+Result<RecordBatch> AggregateBatch(const RecordBatch& input,
+                                   const std::vector<std::string>& group_by,
+                                   const std::vector<AggSpec>& aggregates) {
+  BL_ASSIGN_OR_RETURN(std::vector<int> group_cols,
+                      ResolveColumns(input, group_by));
+  struct AggState {
+    double sum = 0;
+    uint64_t count = 0;
+    Value min, max;
+    bool seen = false;
+  };
+  std::vector<int> agg_cols;
+  for (const auto& spec : aggregates) {
+    if (spec.input.empty()) {
+      agg_cols.push_back(-1);  // COUNT(*)
+      continue;
+    }
+    int idx = input.schema()->FieldIndex(spec.input);
+    if (idx < 0) {
+      return Status::NotFound(StrCat("no aggregate input `", spec.input, "`"));
+    }
+    agg_cols.push_back(idx);
+  }
+
+  std::map<std::string, std::pair<uint32_t, std::vector<AggState>>> groups;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::string key = AggRowKey(input, group_cols, r);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.first = static_cast<uint32_t>(r);
+      it->second.second.resize(aggregates.size());
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      AggState& state = it->second.second[a];
+      if (agg_cols[a] < 0) {
+        ++state.count;
+        continue;
+      }
+      Value v = input.GetValue(r, static_cast<size_t>(agg_cols[a]));
+      if (v.is_null()) continue;
+      ++state.count;
+      if (v.is_int64() || v.is_double()) state.sum += v.AsDouble();
+      if (!state.seen || v < state.min) state.min = v;
+      if (!state.seen || state.max < v) state.max = v;
+      state.seen = true;
+    }
+  }
+
+  std::vector<Field> fields;
+  for (size_t g = 0; g < group_by.size(); ++g) {
+    fields.push_back(
+        input.schema()->field(static_cast<size_t>(group_cols[g])));
+  }
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const AggSpec& spec = aggregates[a];
+    DataType t = DataType::kDouble;
+    if (spec.op == AggOp::kCount) {
+      t = DataType::kInt64;
+    } else if (spec.op == AggOp::kMin || spec.op == AggOp::kMax) {
+      int idx = agg_cols[a];
+      t = idx < 0 ? DataType::kInt64
+                  : input.schema()->field(static_cast<size_t>(idx)).type;
+    }
+    fields.push_back({spec.output, t, true});
+  }
+  BatchBuilder builder(MakeSchema(std::move(fields)));
+  for (const auto& [key, group] : groups) {
+    std::vector<Value> row;
+    for (int g : group_cols) {
+      row.push_back(input.GetValue(group.first, static_cast<size_t>(g)));
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const AggState& state = group.second[a];
+      switch (aggregates[a].op) {
+        case AggOp::kCount:
+          row.push_back(Value::Int64(static_cast<int64_t>(state.count)));
+          break;
+        case AggOp::kSum:
+          row.push_back(state.count == 0 ? Value::Null()
+                                         : Value::Double(state.sum));
+          break;
+        case AggOp::kAvg:
+          row.push_back(state.count == 0
+                            ? Value::Null()
+                            : Value::Double(state.sum /
+                                            static_cast<double>(state.count)));
+          break;
+        case AggOp::kMin:
+          row.push_back(state.seen ? state.min : Value::Null());
+          break;
+        case AggOp::kMax:
+          row.push_back(state.seen ? state.max : Value::Null());
+          break;
+      }
+    }
+    BL_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
+}
+
+
+Result<RecordBatch> MergePartialAggregates(
+    const RecordBatch& partials, const std::vector<std::string>& group_by,
+    const std::vector<AggSpec>& specs) {
+  std::vector<int> group_cols;
+  for (const auto& g : group_by) {
+    int idx = partials.schema()->FieldIndex(g);
+    if (idx < 0) return Status::NotFound("no group column `" + g + "`");
+    group_cols.push_back(idx);
+  }
+  std::vector<int> spec_cols;
+  for (const auto& spec : specs) {
+    int idx = partials.schema()->FieldIndex(spec.output);
+    if (idx < 0) {
+      return Status::NotFound("no partial column `" + spec.output + "`");
+    }
+    spec_cols.push_back(idx);
+  }
+  struct MergeState {
+    int64_t count = 0;
+    double sum = 0;
+    Value min, max;
+    bool seen = false;
+    bool any = false;
+  };
+  std::map<std::string, std::pair<uint32_t, std::vector<MergeState>>> groups;
+  for (size_t r = 0; r < partials.num_rows(); ++r) {
+    std::string key = AggRowKey(partials, group_cols, r);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.first = static_cast<uint32_t>(r);
+      it->second.second.resize(specs.size());
+    }
+    for (size_t a = 0; a < specs.size(); ++a) {
+      Value v = partials.GetValue(r, static_cast<size_t>(spec_cols[a]));
+      if (v.is_null()) continue;
+      MergeState& state = it->second.second[a];
+      state.any = true;
+      switch (specs[a].op) {
+        case AggOp::kCount:
+          state.count += v.int64_value();
+          break;
+        case AggOp::kSum:
+          state.sum += v.AsDouble();
+          break;
+        case AggOp::kMin:
+          if (!state.seen || v < state.min) state.min = v;
+          state.seen = true;
+          break;
+        case AggOp::kMax:
+          if (!state.seen || state.max < v) state.max = v;
+          state.seen = true;
+          break;
+        case AggOp::kAvg:
+          return Status::InvalidArgument("AVG partials cannot be merged");
+      }
+    }
+  }
+  BatchBuilder builder(partials.schema());
+  for (const auto& [key, group] : groups) {
+    std::vector<Value> row;
+    for (int g : group_cols) {
+      row.push_back(partials.GetValue(group.first, static_cast<size_t>(g)));
+    }
+    for (size_t a = 0; a < specs.size(); ++a) {
+      const MergeState& state = group.second[a];
+      switch (specs[a].op) {
+        case AggOp::kCount:
+          row.push_back(Value::Int64(state.count));
+          break;
+        case AggOp::kSum:
+          row.push_back(state.any ? Value::Double(state.sum) : Value::Null());
+          break;
+        case AggOp::kMin:
+          row.push_back(state.seen ? state.min : Value::Null());
+          break;
+        case AggOp::kMax:
+          row.push_back(state.seen ? state.max : Value::Null());
+          break;
+        case AggOp::kAvg:
+          break;
+      }
+    }
+    BL_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
+}
+
+}  // namespace biglake

@@ -1,0 +1,48 @@
+// Vectorized hash aggregation over RecordBatches.
+//
+// Lives in the columnar library (not the engine) because aggregation runs
+// in three places: the Dremel-lite engine, the Spark-lite engine, and —
+// per the Sec 3.4 future-work item implemented here — *inside the Storage
+// Read API*, which can compute partial aggregates server-side and return a
+// much smaller payload (aggregate pushdown).
+
+#ifndef BIGLAKE_COLUMNAR_AGGREGATE_H_
+#define BIGLAKE_COLUMNAR_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/ipc.h"
+
+namespace biglake {
+
+enum class AggOp { kSum, kCount, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggOp op = AggOp::kCount;
+  std::string input;   // ignored for COUNT(*) (empty input)
+  std::string output;  // result column name
+};
+
+/// Hash group-by. Output schema: group columns, then one column per spec
+/// (COUNT -> INT64, SUM/AVG -> DOUBLE, MIN/MAX -> input type).
+Result<RecordBatch> AggregateBatch(const RecordBatch& input,
+                                   const std::vector<std::string>& group_by,
+                                   const std::vector<AggSpec>& aggregates);
+
+/// Merges per-stream partial aggregates produced by Read API aggregate
+/// pushdown into final results: COUNT partials are summed (staying INT64),
+/// SUM partials are summed, MIN/MAX partials are re-min/maxed. `specs` must
+/// be the same list the session pushed down.
+Result<RecordBatch> MergePartialAggregates(
+    const RecordBatch& partials, const std::vector<std::string>& group_by,
+    const std::vector<AggSpec>& specs);
+
+/// Serializes the values of `cols` at `row` into a joinable/groupable key.
+std::string AggRowKey(const RecordBatch& batch, const std::vector<int>& cols,
+                      size_t row);
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COLUMNAR_AGGREGATE_H_

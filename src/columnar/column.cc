@@ -1,0 +1,359 @@
+#include "columnar/column.h"
+
+#include <cassert>
+
+namespace biglake {
+
+Column Column::MakeInt64(std::vector<int64_t> values,
+                         std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kInt64;
+  c.length_ = values.size();
+  c.ints_ = std::move(values);
+  c.validity_ = std::move(validity);
+  return c;
+}
+
+Column Column::MakeTimestamp(std::vector<int64_t> values,
+                             std::vector<uint8_t> validity) {
+  Column c = MakeInt64(std::move(values), std::move(validity));
+  c.type_ = DataType::kTimestamp;
+  return c;
+}
+
+Column Column::MakeDouble(std::vector<double> values,
+                          std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kDouble;
+  c.length_ = values.size();
+  c.doubles_ = std::move(values);
+  c.validity_ = std::move(validity);
+  return c;
+}
+
+Column Column::MakeBool(std::vector<uint8_t> values,
+                        std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kBool;
+  c.length_ = values.size();
+  c.bools_ = std::move(values);
+  c.validity_ = std::move(validity);
+  return c;
+}
+
+Column Column::MakeString(std::vector<std::string> values,
+                          std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kString;
+  c.length_ = values.size();
+  c.strings_ = std::move(values);
+  c.validity_ = std::move(validity);
+  return c;
+}
+
+Column Column::MakeBytes(std::vector<std::string> values,
+                         std::vector<uint8_t> validity) {
+  Column c = MakeString(std::move(values), std::move(validity));
+  c.type_ = DataType::kBytes;
+  return c;
+}
+
+Column Column::MakeNull(DataType type, size_t length) {
+  Column c;
+  c.type_ = type;
+  c.length_ = length;
+  c.validity_.assign(length, 0);
+  if (IsIntegerPhysical(type)) {
+    c.ints_.assign(length, 0);
+  } else if (type == DataType::kDouble) {
+    c.doubles_.assign(length, 0.0);
+  } else if (type == DataType::kBool) {
+    c.bools_.assign(length, 0);
+  } else {
+    c.strings_.assign(length, "");
+  }
+  return c;
+}
+
+Column Column::MakeDictionaryString(std::vector<uint32_t> indices,
+                                    std::vector<std::string> dictionary,
+                                    std::vector<uint8_t> validity) {
+  Column c;
+  c.type_ = DataType::kString;
+  c.encoding_ = Encoding::kDictionary;
+  c.length_ = indices.size();
+  c.dict_indices_ = std::move(indices);
+  c.strings_ = std::move(dictionary);
+  c.validity_ = std::move(validity);
+  return c;
+}
+
+Column Column::MakeRunLengthInt64(std::vector<int64_t> run_values,
+                                  std::vector<uint32_t> run_lengths,
+                                  DataType type) {
+  assert(run_values.size() == run_lengths.size());
+  Column c;
+  c.type_ = type;
+  c.encoding_ = Encoding::kRunLength;
+  c.ints_ = std::move(run_values);
+  c.run_lengths_ = std::move(run_lengths);
+  size_t total = 0;
+  for (uint32_t l : c.run_lengths_) total += l;
+  c.length_ = total;
+  return c;
+}
+
+size_t Column::NullCount() const {
+  if (validity_.empty()) return 0;
+  size_t n = 0;
+  for (uint8_t v : validity_) n += (v == 0);
+  return n;
+}
+
+Value Column::GetValue(size_t i) const {
+  assert(i < length_);
+  if (IsNull(i)) return Value::Null();
+  switch (encoding_) {
+    case Encoding::kPlain:
+      switch (type_) {
+        case DataType::kInt64:
+          return Value::Int64(ints_[i]);
+        case DataType::kTimestamp:
+          return Value::Timestamp(ints_[i]);
+        case DataType::kDouble:
+          return Value::Double(doubles_[i]);
+        case DataType::kBool:
+          return Value::Bool(bools_[i] != 0);
+        case DataType::kString:
+        case DataType::kBytes:
+          return Value::String(strings_[i]);
+      }
+      return Value::Null();
+    case Encoding::kDictionary:
+      return Value::String(strings_[dict_indices_[i]]);
+    case Encoding::kRunLength: {
+      size_t pos = 0;
+      for (size_t r = 0; r < run_lengths_.size(); ++r) {
+        pos += run_lengths_[r];
+        if (i < pos) {
+          return type_ == DataType::kTimestamp ? Value::Timestamp(ints_[r])
+                                               : Value::Int64(ints_[r]);
+        }
+      }
+      return Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+Column Column::Decode() const {
+  if (encoding_ == Encoding::kPlain) return *this;
+  if (encoding_ == Encoding::kDictionary) {
+    std::vector<std::string> out;
+    out.reserve(length_);
+    for (size_t i = 0; i < length_; ++i) {
+      out.push_back(IsNull(i) ? std::string() : strings_[dict_indices_[i]]);
+    }
+    Column c = MakeString(std::move(out), validity_);
+    c.type_ = type_;
+    return c;
+  }
+  // Run-length.
+  std::vector<int64_t> out;
+  out.reserve(length_);
+  for (size_t r = 0; r < run_lengths_.size(); ++r) {
+    out.insert(out.end(), run_lengths_[r], ints_[r]);
+  }
+  Column c = MakeInt64(std::move(out));
+  c.type_ = type_;
+  return c;
+}
+
+Column Column::Gather(const std::vector<uint32_t>& row_ids) const {
+  if (encoding_ == Encoding::kDictionary) {
+    // Stay dictionary-encoded: gather only the (cheap) index vector.
+    std::vector<uint32_t> idx;
+    idx.reserve(row_ids.size());
+    std::vector<uint8_t> val;
+    if (!validity_.empty()) val.reserve(row_ids.size());
+    for (uint32_t r : row_ids) {
+      idx.push_back(dict_indices_[r]);
+      if (!validity_.empty()) val.push_back(validity_[r]);
+    }
+    Column c = MakeDictionaryString(std::move(idx), strings_, std::move(val));
+    c.type_ = type_;
+    return c;
+  }
+  const Column src = encoding_ == Encoding::kPlain ? *this : Decode();
+  std::vector<uint8_t> val;
+  if (!src.validity_.empty()) {
+    val.reserve(row_ids.size());
+    for (uint32_t r : row_ids) val.push_back(src.validity_[r]);
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      std::vector<int64_t> out;
+      out.reserve(row_ids.size());
+      for (uint32_t r : row_ids) out.push_back(src.ints_[r]);
+      Column c = MakeInt64(std::move(out), std::move(val));
+      c.type_ = type_;
+      return c;
+    }
+    case DataType::kDouble: {
+      std::vector<double> out;
+      out.reserve(row_ids.size());
+      for (uint32_t r : row_ids) out.push_back(src.doubles_[r]);
+      return MakeDouble(std::move(out), std::move(val));
+    }
+    case DataType::kBool: {
+      std::vector<uint8_t> out;
+      out.reserve(row_ids.size());
+      for (uint32_t r : row_ids) out.push_back(src.bools_[r]);
+      return MakeBool(std::move(out), std::move(val));
+    }
+    case DataType::kString:
+    case DataType::kBytes: {
+      std::vector<std::string> out;
+      out.reserve(row_ids.size());
+      for (uint32_t r : row_ids) out.push_back(src.strings_[r]);
+      Column c = MakeString(std::move(out), std::move(val));
+      c.type_ = type_;
+      return c;
+    }
+  }
+  return Column();
+}
+
+Column Column::Slice(size_t offset, size_t count) const {
+  std::vector<uint32_t> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count && offset + i < length_; ++i) {
+    ids.push_back(static_cast<uint32_t>(offset + i));
+  }
+  return Gather(ids);
+}
+
+Result<Column> Column::Concat(const std::vector<Column>& pieces) {
+  if (pieces.empty()) return Status::InvalidArgument("Concat of zero columns");
+  DataType t = pieces[0].type();
+  ColumnBuilder builder(t);
+  for (const Column& p : pieces) {
+    if (p.type() != t) {
+      return Status::InvalidArgument("Concat of mismatched column types");
+    }
+    for (size_t i = 0; i < p.length(); ++i) {
+      BL_RETURN_NOT_OK(builder.AppendValue(p.GetValue(i)));
+    }
+  }
+  return builder.Finish();
+}
+
+size_t Column::MemoryBytes() const {
+  size_t bytes = ints_.size() * sizeof(int64_t) +
+                 doubles_.size() * sizeof(double) + bools_.size() +
+                 dict_indices_.size() * sizeof(uint32_t) +
+                 run_lengths_.size() * sizeof(uint32_t) + validity_.size();
+  for (const auto& s : strings_) bytes += s.size() + sizeof(std::string);
+  return bytes;
+}
+
+void ColumnBuilder::AppendNull() {
+  saw_null_ = true;
+  validity_.resize(length_, 1);
+  validity_.push_back(0);
+  // Push a placeholder into the physical buffer.
+  if (IsIntegerPhysical(type_)) {
+    ints_.push_back(0);
+  } else if (type_ == DataType::kDouble) {
+    doubles_.push_back(0.0);
+  } else if (type_ == DataType::kBool) {
+    bools_.push_back(0);
+  } else {
+    strings_.emplace_back();
+  }
+  ++length_;
+}
+
+void ColumnBuilder::AppendInt64(int64_t v) {
+  ints_.push_back(v);
+  if (saw_null_) validity_.push_back(1);
+  ++length_;
+}
+
+void ColumnBuilder::AppendDouble(double v) {
+  doubles_.push_back(v);
+  if (saw_null_) validity_.push_back(1);
+  ++length_;
+}
+
+void ColumnBuilder::AppendBool(bool v) {
+  bools_.push_back(v ? 1 : 0);
+  if (saw_null_) validity_.push_back(1);
+  ++length_;
+}
+
+void ColumnBuilder::AppendString(std::string v) {
+  strings_.push_back(std::move(v));
+  if (saw_null_) validity_.push_back(1);
+  ++length_;
+}
+
+Status ColumnBuilder::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      if (!v.is_int64()) break;
+      AppendInt64(v.int64_value());
+      return Status::OK();
+    case DataType::kDouble:
+      if (!v.is_double() && !v.is_int64()) break;
+      AppendDouble(v.AsDouble());
+      return Status::OK();
+    case DataType::kBool:
+      if (!v.is_bool()) break;
+      AppendBool(v.bool_value());
+      return Status::OK();
+    case DataType::kString:
+    case DataType::kBytes:
+      if (!v.is_string()) break;
+      AppendString(v.string_value());
+      return Status::OK();
+  }
+  return Status::InvalidArgument(std::string("value ") + v.ToString() +
+                                 " does not match column type " +
+                                 DataTypeName(type_));
+}
+
+Column ColumnBuilder::Finish() {
+  Column c;
+  switch (type_) {
+    case DataType::kInt64:
+      c = Column::MakeInt64(std::move(ints_), std::move(validity_));
+      break;
+    case DataType::kTimestamp:
+      c = Column::MakeTimestamp(std::move(ints_), std::move(validity_));
+      break;
+    case DataType::kDouble:
+      c = Column::MakeDouble(std::move(doubles_), std::move(validity_));
+      break;
+    case DataType::kBool:
+      c = Column::MakeBool(std::move(bools_), std::move(validity_));
+      break;
+    case DataType::kString:
+      c = Column::MakeString(std::move(strings_), std::move(validity_));
+      break;
+    case DataType::kBytes:
+      c = Column::MakeBytes(std::move(strings_), std::move(validity_));
+      break;
+  }
+  length_ = 0;
+  saw_null_ = false;
+  return c;
+}
+
+}  // namespace biglake

@@ -1,0 +1,154 @@
+// Column: an immutable, optionally encoded vector of values of one type.
+//
+// Mirrors the relevant design points of Superluminal (Sec 2.2.1, Sec 3.4):
+// columnar in-memory layout, validity masks, and the ability of kernels to
+// operate *directly* on dictionary- and run-length-encoded data without
+// decoding first (see kernels.h). Dictionary encoding is supported for
+// string columns and run-length encoding for int64 columns, matching where
+// those encodings pay off in analytic data.
+
+#ifndef BIGLAKE_COLUMNAR_COLUMN_H_
+#define BIGLAKE_COLUMNAR_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "common/status.h"
+
+namespace biglake {
+
+enum class Encoding : uint8_t {
+  kPlain = 0,
+  kDictionary = 1,  // string columns: uint32 indices into a dictionary
+  kRunLength = 2,   // int64 columns: (value, run_length) pairs
+};
+
+class Column {
+ public:
+  Column() = default;
+
+  // ---- Factories ----------------------------------------------------------
+
+  static Column MakeInt64(std::vector<int64_t> values,
+                          std::vector<uint8_t> validity = {});
+  static Column MakeTimestamp(std::vector<int64_t> values,
+                              std::vector<uint8_t> validity = {});
+  static Column MakeDouble(std::vector<double> values,
+                           std::vector<uint8_t> validity = {});
+  static Column MakeBool(std::vector<uint8_t> values,
+                         std::vector<uint8_t> validity = {});
+  static Column MakeString(std::vector<std::string> values,
+                           std::vector<uint8_t> validity = {});
+  static Column MakeBytes(std::vector<std::string> values,
+                          std::vector<uint8_t> validity = {});
+  /// All-NULL column of the given type.
+  static Column MakeNull(DataType type, size_t length);
+
+  /// Dictionary-encoded strings: `indices[i]` selects `dictionary[...]`.
+  static Column MakeDictionaryString(std::vector<uint32_t> indices,
+                                     std::vector<std::string> dictionary,
+                                     std::vector<uint8_t> validity = {});
+
+  /// Run-length-encoded int64: logical value i falls in the run determined
+  /// by prefix sums of `run_lengths`.
+  static Column MakeRunLengthInt64(std::vector<int64_t> run_values,
+                                   std::vector<uint32_t> run_lengths,
+                                   DataType type = DataType::kInt64);
+
+  // ---- Introspection ------------------------------------------------------
+
+  DataType type() const { return type_; }
+  Encoding encoding() const { return encoding_; }
+  size_t length() const { return length_; }
+  bool has_validity() const { return !validity_.empty(); }
+
+  /// True if row i is NULL.
+  bool IsNull(size_t i) const {
+    return !validity_.empty() && validity_[i] == 0;
+  }
+  size_t NullCount() const;
+
+  /// Boxed scalar access (slow path; kernels use the typed spans below).
+  Value GetValue(size_t i) const;
+
+  // ---- Typed raw access (plain encoding only) -----------------------------
+
+  const std::vector<int64_t>& int64_data() const { return ints_; }
+  const std::vector<double>& double_data() const { return doubles_; }
+  const std::vector<uint8_t>& bool_data() const { return bools_; }
+  const std::vector<std::string>& string_data() const { return strings_; }
+  const std::vector<uint8_t>& validity() const { return validity_; }
+
+  // ---- Encoded access -----------------------------------------------------
+
+  const std::vector<uint32_t>& dict_indices() const { return dict_indices_; }
+  const std::vector<std::string>& dictionary() const { return strings_; }
+  const std::vector<int64_t>& run_values() const { return ints_; }
+  const std::vector<uint32_t>& run_lengths() const { return run_lengths_; }
+
+  // ---- Transformations ----------------------------------------------------
+
+  /// Fully decodes to plain encoding (no-op for plain columns).
+  Column Decode() const;
+
+  /// Gathers rows by index (the filter-materialization primitive).
+  /// Preserves dictionary encoding for dictionary columns.
+  Column Gather(const std::vector<uint32_t>& row_ids) const;
+
+  /// Column of rows [offset, offset+count).
+  Column Slice(size_t offset, size_t count) const;
+
+  /// Concatenates columns of identical type. Result is plain-encoded.
+  static Result<Column> Concat(const std::vector<Column>& pieces);
+
+  /// Approximate heap footprint, used for memory accounting in the
+  /// inference-placement experiments (Sec 4.2.1).
+  size_t MemoryBytes() const;
+
+ private:
+  DataType type_ = DataType::kInt64;
+  Encoding encoding_ = Encoding::kPlain;
+  size_t length_ = 0;
+
+  // Physical buffers; which are populated depends on type_ and encoding_.
+  std::vector<int64_t> ints_;        // plain int64/timestamp; RLE run values
+  std::vector<double> doubles_;      // plain double
+  std::vector<uint8_t> bools_;       // plain bool (1 byte per value)
+  std::vector<std::string> strings_; // plain strings; dictionary values
+  std::vector<uint32_t> dict_indices_;
+  std::vector<uint32_t> run_lengths_;
+  std::vector<uint8_t> validity_;    // empty = all valid; else 1=valid
+};
+
+/// Incremental, type-checked column construction.
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(DataType type) : type_(type) {}
+
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string v);
+  /// Appends a boxed value; must match the builder's type or be NULL.
+  Status AppendValue(const Value& v);
+
+  size_t length() const { return length_; }
+  Column Finish();
+
+ private:
+  DataType type_;
+  size_t length_ = 0;
+  bool saw_null_ = false;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> validity_;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COLUMNAR_COLUMN_H_

@@ -1,0 +1,49 @@
+// "Arrow-lite" IPC: a compact binary serialization of schemas, values,
+// statistics and record batches.
+//
+// This is the wire format of the Storage Read API's ReadRows responses
+// (Sec 2.2.1) and of the Write API's append payloads, and the building block
+// of the Parquet-lite footer and Big Metadata baselines. Dictionary and
+// run-length encodings survive serialization, which is what makes the
+// "send encoded columnar batches over the wire" optimization of Sec 3.4
+// possible.
+
+#ifndef BIGLAKE_COLUMNAR_IPC_H_
+#define BIGLAKE_COLUMNAR_IPC_H_
+
+#include <string>
+
+#include "columnar/batch.h"
+#include "columnar/expr.h"
+#include "common/coding.h"
+#include "common/status.h"
+
+namespace biglake {
+
+// ---- Scalar values ----------------------------------------------------------
+
+void EncodeValue(std::string* dst, const Value& v);
+Status DecodeValue(Decoder* dec, Value* out);
+
+// ---- Schemas ---------------------------------------------------------------
+
+void EncodeSchema(std::string* dst, const Schema& schema);
+Result<SchemaPtr> DecodeSchema(Decoder* dec);
+
+// ---- Column statistics -----------------------------------------------------
+
+void EncodeColumnStats(std::string* dst, const ColumnStats& stats);
+Status DecodeColumnStats(Decoder* dec, ColumnStats* out);
+
+// ---- Columns and batches ---------------------------------------------------
+
+void EncodeColumn(std::string* dst, const Column& col);
+Result<Column> DecodeColumn(Decoder* dec);
+
+/// Serializes schema + columns with a checksum trailer.
+std::string SerializeBatch(const RecordBatch& batch);
+Result<RecordBatch> DeserializeBatch(std::string_view data);
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COLUMNAR_IPC_H_

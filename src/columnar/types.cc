@@ -1,0 +1,83 @@
+#include "columnar/types.h"
+
+#include "common/strings.h"
+
+namespace biglake {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+    case DataType::kBytes:
+      return "BYTES";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  // NULL sorts first.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_string() || other.is_string()) {
+    // String vs non-string: order by type tag (strings last).
+    if (!is_string()) return -1;
+    if (!other.is_string()) return 1;
+    return string_value().compare(other.string_value());
+  }
+  if (is_bool() || other.is_bool()) {
+    if (is_bool() && other.is_bool()) {
+      return static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+    }
+    return is_bool() ? -1 : 1;
+  }
+  // Numeric comparison across int64/double.
+  if (is_int64() && other.is_int64()) {
+    int64_t a = int64_value(), b = other.int64_value();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = AsDouble(), b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_int64()) return StrCat(int64_value());
+  if (is_double()) return StrCat(double_value());
+  return "'" + string_value() + "'";
+}
+
+Result<SchemaPtr> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> projected;
+  projected.reserve(names.size());
+  for (const auto& name : names) {
+    BL_ASSIGN_OR_RETURN(Field f, FindField(name));
+    projected.push_back(std::move(f));
+  }
+  return MakeSchema(std::move(projected));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeName(fields_[i].type);
+    if (!fields_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace biglake

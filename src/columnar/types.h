@@ -1,0 +1,135 @@
+// Logical types, scalar values, fields and schemas for the columnar runtime.
+
+#ifndef BIGLAKE_COLUMNAR_TYPES_H_
+#define BIGLAKE_COLUMNAR_TYPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace biglake {
+
+/// Logical column types. TIMESTAMP is int64 microseconds since epoch; BYTES
+/// shares STRING's physical representation.
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kTimestamp = 4,
+  kBytes = 5,
+};
+
+const char* DataTypeName(DataType t);
+
+/// True if the physical representation is int64 (INT64, TIMESTAMP).
+inline bool IsIntegerPhysical(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kTimestamp;
+}
+/// True if the physical representation is std::string (STRING, BYTES).
+inline bool IsStringPhysical(DataType t) {
+  return t == DataType::kString || t == DataType::kBytes;
+}
+
+/// A nullable scalar. Monostate = NULL.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(b)); }
+  static Value Int64(int64_t i) { return Value(Repr(i)); }
+  static Value Double(double d) { return Value(Repr(d)); }
+  static Value String(std::string s) { return Value(Repr(std::move(s))); }
+  static Value Timestamp(int64_t micros) { return Int64(micros); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  bool bool_value() const { return std::get<bool>(v_); }
+  int64_t int64_value() const { return std::get<int64_t>(v_); }
+  double double_value() const { return std::get<double>(v_); }
+  const std::string& string_value() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: int64 and double both convert; others assert.
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(int64_value()) : double_value();
+  }
+
+  /// Total order with NULL first; comparable values of mismatched numeric
+  /// types compare numerically.
+  int Compare(const Value& other) const;
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr v) : v_(std::move(v)) {}
+  Repr v_;
+};
+
+/// A named, typed column slot in a schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// An ordered list of fields. Shared immutably via std::shared_ptr.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or -1.
+  int FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  Result<Field> FindField(const std::string& name) const {
+    int i = FieldIndex(name);
+    if (i < 0) return Status::NotFound("no field named `" + name + "`");
+    return fields_[i];
+  }
+
+  /// New schema containing only the named columns, in the given order.
+  Result<std::shared_ptr<Schema>> Project(
+      const std::vector<std::string>& names) const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+inline SchemaPtr MakeSchema(std::vector<Field> fields) {
+  return std::make_shared<Schema>(std::move(fields));
+}
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COLUMNAR_TYPES_H_

@@ -1,0 +1,74 @@
+// Deterministic PRNG (xoshiro256**) used by workload generators and the
+// simulation so that every test and bench is reproducible bit-for-bit.
+
+#ifndef BIGLAKE_COMMON_RANDOM_H_
+#define BIGLAKE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+
+namespace biglake {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding avoids correlated low-entropy states.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      s = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ULL << 53));
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Skewed distribution: returns values in [0, n) where small values are
+  /// more likely (approximate Zipf via repeated halving).
+  uint64_t Skewed(uint64_t n) {
+    uint64_t range = n;
+    while (range > 1 && OneIn(2)) range /= 2;
+    return Uniform(range == 0 ? 1 : range);
+  }
+
+  /// Random lowercase identifier of the given length.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COMMON_RANDOM_H_

@@ -1,0 +1,87 @@
+// Simulated environment: virtual clock plus cost accounting.
+//
+// The paper's quantitative claims depend on properties of infrastructure we
+// cannot run here (object-store listing latency, cross-cloud egress, VPN
+// overhead). Every substrate charges its costs to a shared SimEnv so that
+// benches report deterministic virtual latencies and exact byte counts
+// instead of noisy wall-clock numbers. Genuine CPU benchmarks (the
+// vectorized reader) use google-benchmark wall time instead.
+
+#ifndef BIGLAKE_COMMON_SIM_ENV_H_
+#define BIGLAKE_COMMON_SIM_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace biglake {
+
+/// Virtual microseconds.
+using SimMicros = uint64_t;
+
+/// A monotonically advancing virtual clock. Single-threaded by design: the
+/// simulation executes operations sequentially and models parallelism
+/// analytically (cost of a parallel stage = max over workers).
+class SimClock {
+ public:
+  SimMicros Now() const { return now_; }
+  void Advance(SimMicros delta) { now_ += delta; }
+  /// Moves the clock to `t` if `t` is in the future (used to merge parallel
+  /// branches: advance to the max completion time).
+  void AdvanceTo(SimMicros t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimMicros now_ = 0;
+};
+
+/// Aggregate operation/byte counters. Keys are free-form metric names, e.g.
+/// "objstore.list_calls", "egress.aws-east.gcp-us". Benches snapshot and diff.
+class CostCounters {
+ public:
+  void Add(const std::string& key, uint64_t delta) { counters_[key] += delta; }
+  uint64_t Get(const std::string& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, uint64_t>& all() const { return counters_; }
+  void Reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+/// The shared simulation context handed to every substrate.
+class SimEnv {
+ public:
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  CostCounters& counters() { return counters_; }
+  const CostCounters& counters() const { return counters_; }
+
+  /// Convenience: advance the clock and bump a latency counter at once.
+  void Charge(const std::string& key, SimMicros latency, uint64_t count = 1) {
+    clock_.Advance(latency);
+    counters_.Add(key, count);
+  }
+
+ private:
+  SimClock clock_;
+  CostCounters counters_;
+};
+
+/// RAII scope that measures virtual elapsed time.
+class SimTimer {
+ public:
+  explicit SimTimer(const SimEnv& env) : env_(env), start_(env.clock().Now()) {}
+  SimMicros ElapsedMicros() const { return env_.clock().Now() - start_; }
+
+ private:
+  const SimEnv& env_;
+  SimMicros start_;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COMMON_SIM_ENV_H_

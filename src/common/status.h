@@ -1,0 +1,194 @@
+// Status and Result<T>: the library-wide error-handling model.
+//
+// BigLake code does not use exceptions (Google C++ style). Every fallible
+// operation returns a Status, or a Result<T> when it also produces a value.
+// The idiom follows Arrow/RocksDB:
+//
+//   Result<Table> OpenTable(const std::string& name);
+//   ...
+//   BL_ASSIGN_OR_RETURN(Table t, OpenTable("orders"));
+//   BL_RETURN_NOT_OK(t.Validate());
+
+#ifndef BIGLAKE_COMMON_STATUS_H_
+#define BIGLAKE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace biglake {
+
+/// Canonical error space, modeled on google.rpc.Code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kUnauthenticated,
+  kFailedPrecondition,
+  kAborted,          // e.g. optimistic-concurrency conflicts
+  kOutOfRange,
+  kResourceExhausted,  // e.g. object-store mutation rate limits
+  kUnimplemented,
+  kInternal,
+  kDataLoss,           // checksum / corruption failures
+  kDeadlineExceeded,
+};
+
+/// Human-readable name of a StatusCode ("NotFound", "Ok", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// "Ok" or "NotFound: table `x` does not exist".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error. Holds exactly one of T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define BL_CONCAT_IMPL(a, b) a##b
+#define BL_CONCAT(a, b) BL_CONCAT_IMPL(a, b)
+
+/// Propagates a non-OK Status to the caller.
+#define BL_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::biglake::Status _bl_st = (expr);          \
+    if (!_bl_st.ok()) return _bl_st;            \
+  } while (0)
+
+/// Evaluates a Result expression; on error, propagates the Status, otherwise
+/// move-assigns the value into `lhs` (which may include a declaration).
+#define BL_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  BL_ASSIGN_OR_RETURN_IMPL(BL_CONCAT(_bl_result_, __LINE__), lhs, rexpr)
+
+#define BL_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                             \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value();
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COMMON_STATUS_H_

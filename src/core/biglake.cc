@@ -1,0 +1,42 @@
+#include "core/biglake.h"
+
+#include "common/strings.h"
+
+namespace biglake {
+
+Status BigLakeTableService::CreateBigLakeTable(TableDef def) {
+  if (def.kind != TableKind::kBigLake &&
+      def.kind != TableKind::kExternalLegacy) {
+    return Status::InvalidArgument(
+        "CreateBigLakeTable handles BIGLAKE and EXTERNAL tables only");
+  }
+  std::string id = def.id();
+  bool cached = def.kind == TableKind::kBigLake && def.metadata_cache_enabled;
+  BL_RETURN_NOT_OK(env_->catalog().CreateTable(std::move(def)));
+  if (cached) {
+    env_->meta().EnsureTable(id);
+    return RefreshCache(id).status();
+  }
+  return Status::OK();
+}
+
+Result<CacheRefreshReport> BigLakeTableService::RefreshCache(
+    const std::string& table_id) {
+  BL_ASSIGN_OR_RETURN(const TableDef* table,
+                      env_->catalog().GetTable(table_id));
+  if (!table->metadata_cache_enabled) {
+    return Status::FailedPrecondition(
+        StrCat("table `", table_id, "` has no metadata cache"));
+  }
+  BL_ASSIGN_OR_RETURN(const Connection* conn,
+                      env_->catalog().GetConnection(table->connection));
+  BL_RETURN_NOT_OK(CheckCredential(conn->service_account, table->bucket,
+                                   table->prefix,
+                                   env_->sim().clock().Now()));
+  BL_ASSIGN_OR_RETURN(ObjectStore * store, env_->FindStore(table->location));
+  CallerContext ctx{.location = table->location};
+  return env_->cache_manager().Refresh(table_id, *store, ctx, table->bucket,
+                                       table->prefix);
+}
+
+}  // namespace biglake

@@ -1,0 +1,33 @@
+// BigLakeTableService: lifecycle of BigLake tables over external data lakes
+// (Sec 3.1-3.3) — creation against a connection, and metadata-cache refresh
+// run under the connection's delegated credential.
+
+#ifndef BIGLAKE_CORE_BIGLAKE_H_
+#define BIGLAKE_CORE_BIGLAKE_H_
+
+#include <string>
+
+#include "core/environment.h"
+#include "meta/metadata_cache.h"
+
+namespace biglake {
+
+class BigLakeTableService {
+ public:
+  explicit BigLakeTableService(LakehouseEnv* env) : env_(env) {}
+
+  /// Creates a BigLake table over an existing lake prefix. When metadata
+  /// caching is enabled, runs the initial cache refresh.
+  Status CreateBigLakeTable(TableDef def);
+
+  /// Background cache refresh (Sec 3.1: maintenance runs under the
+  /// connection, outside any query context).
+  Result<CacheRefreshReport> RefreshCache(const std::string& table_id);
+
+ private:
+  LakehouseEnv* env_;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_CORE_BIGLAKE_H_

@@ -1,0 +1,69 @@
+// LakehouseEnv: the wired-together simulation of the BigQuery estate.
+//
+// One SimEnv (clock + counters), one control-plane Catalog and Big Metadata
+// store (the paper keeps both on GCP even for Omni, Sec 5.1/5.4), and one
+// simulated object store per (cloud, region) the deployment spans. Tests,
+// examples and benches build everything on top of this.
+
+#ifndef BIGLAKE_CORE_ENVIRONMENT_H_
+#define BIGLAKE_CORE_ENVIRONMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "meta/bigmeta.h"
+#include "meta/metadata_cache.h"
+#include "objstore/objstore.h"
+#include "security/security.h"
+
+namespace biglake {
+
+class LakehouseEnv {
+ public:
+  LakehouseEnv() : meta_(&env_), cache_mgr_(&env_, &meta_) {}
+
+  SimEnv& sim() { return env_; }
+  Catalog& catalog() { return catalog_; }
+  BigMetadataStore& meta() { return meta_; }
+  MetadataCacheManager& cache_manager() { return cache_mgr_; }
+  SessionTokenService& token_service() { return tokens_; }
+
+  /// Registers an object store for a (cloud, region); returns it.
+  ObjectStore* AddStore(const CloudLocation& location,
+                        ObjectStoreOptions options = {}) {
+    options.location = location;
+    auto store = std::make_unique<ObjectStore>(&env_, options);
+    ObjectStore* ptr = store.get();
+    stores_[location.ToString()] = std::move(store);
+    return ptr;
+  }
+
+  /// The store serving a location, or nullptr.
+  ObjectStore* store(const CloudLocation& location) const {
+    auto it = stores_.find(location.ToString());
+    return it == stores_.end() ? nullptr : it->second.get();
+  }
+
+  Result<ObjectStore*> FindStore(const CloudLocation& location) const {
+    ObjectStore* s = store(location);
+    if (s == nullptr) {
+      return Status::NotFound("no object store registered for " +
+                              location.ToString());
+    }
+    return s;
+  }
+
+ private:
+  SimEnv env_;
+  Catalog catalog_;
+  BigMetadataStore meta_;
+  MetadataCacheManager cache_mgr_;
+  SessionTokenService tokens_{0x42ab5ec7e7fULL};
+  std::map<std::string, std::unique_ptr<ObjectStore>> stores_;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_CORE_ENVIRONMENT_H_

@@ -1,0 +1,134 @@
+#include "engine/operators.h"
+
+#include "columnar/aggregate.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "columnar/ipc.h"
+#include "common/strings.h"
+
+namespace biglake {
+namespace ops {
+
+namespace {
+
+std::string RowKey(const RecordBatch& batch, const std::vector<int>& cols,
+                   size_t row) {
+  std::string key;
+  for (int c : cols) {
+    EncodeValue(&key, batch.GetValue(row, static_cast<size_t>(c)));
+  }
+  return key;
+}
+
+Result<std::vector<int>> ResolveColumns(const RecordBatch& batch,
+                                        const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    int idx = batch.schema()->FieldIndex(n);
+    if (idx < 0) {
+      return Status::NotFound(
+          StrCat("no column `", n, "` in operator input"));
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RecordBatch> HashJoinBatches(const RecordBatch& build,
+                                    const RecordBatch& probe,
+                                    const std::vector<std::string>& build_keys,
+                                    const std::vector<std::string>& probe_keys,
+                                    uint64_t* matches_out) {
+  if (build_keys.size() != probe_keys.size() || build_keys.empty()) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  BL_ASSIGN_OR_RETURN(std::vector<int> build_cols,
+                      ResolveColumns(build, build_keys));
+  BL_ASSIGN_OR_RETURN(std::vector<int> probe_cols,
+                      ResolveColumns(probe, probe_keys));
+
+  std::unordered_map<std::string, std::vector<uint32_t>> table;
+  table.reserve(build.num_rows());
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    table[RowKey(build, build_cols, r)].push_back(static_cast<uint32_t>(r));
+  }
+  std::vector<uint32_t> build_rows, probe_rows;
+  for (size_t r = 0; r < probe.num_rows(); ++r) {
+    auto it = table.find(RowKey(probe, probe_cols, r));
+    if (it == table.end()) continue;
+    for (uint32_t b : it->second) {
+      build_rows.push_back(b);
+      probe_rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  if (matches_out != nullptr) *matches_out = build_rows.size();
+
+  RecordBatch build_out = build.Gather(build_rows);
+  RecordBatch probe_out = probe.Gather(probe_rows);
+  std::vector<Field> fields;
+  std::vector<Column> cols;
+  std::set<std::string> used;
+  for (size_t c = 0; c < build_out.num_columns(); ++c) {
+    fields.push_back(build_out.schema()->field(c));
+    used.insert(fields.back().name);
+    cols.push_back(build_out.column(c));
+  }
+  for (size_t c = 0; c < probe_out.num_columns(); ++c) {
+    Field f = probe_out.schema()->field(c);
+    while (used.count(f.name) > 0) f.name += "_r";
+    used.insert(f.name);
+    fields.push_back(std::move(f));
+    cols.push_back(probe_out.column(c));
+  }
+  return RecordBatch(MakeSchema(std::move(fields)), std::move(cols));
+}
+
+Result<RecordBatch> SortBatch(const RecordBatch& input,
+                              const std::vector<SortKey>& keys) {
+  std::vector<int> key_cols;
+  for (const auto& k : keys) {
+    int idx = input.schema()->FieldIndex(k.column);
+    if (idx < 0) {
+      return Status::NotFound(StrCat("no sort column `", k.column, "`"));
+    }
+    key_cols.push_back(idx);
+  }
+  std::vector<uint32_t> order(input.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t i = 0; i < key_cols.size(); ++i) {
+      int cmp = input.GetValue(a, static_cast<size_t>(key_cols[i]))
+                    .Compare(
+                        input.GetValue(b, static_cast<size_t>(key_cols[i])));
+      if (cmp != 0) return keys[i].descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  return input.Gather(order);
+}
+
+std::vector<Value> DistinctValues(const RecordBatch& batch,
+                                  const std::string& column,
+                                  uint64_t max_values) {
+  int idx = batch.schema()->FieldIndex(column);
+  if (idx < 0) return {};
+  std::set<Value> distinct;
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    Value v = batch.GetValue(r, static_cast<size_t>(idx));
+    if (!v.is_null()) distinct.insert(std::move(v));
+    if (distinct.size() > max_values) return {};
+  }
+  return std::vector<Value>(distinct.begin(), distinct.end());
+}
+
+}  // namespace ops
+}  // namespace biglake

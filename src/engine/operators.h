@@ -1,0 +1,47 @@
+// Shared vectorized relational operators. Used by the Dremel-lite engine
+// and by the Spark-lite external engine (src/extengine) — the two engines
+// differ in scan paths, optimizers and cost models, not in join/aggregate
+// mechanics.
+
+#ifndef BIGLAKE_ENGINE_OPERATORS_H_
+#define BIGLAKE_ENGINE_OPERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "engine/plan.h"
+
+namespace biglake {
+namespace ops {
+
+/// Inner equi-join: returns build columns followed by probe columns (probe
+/// columns colliding with build names get a "_r" suffix).
+Result<RecordBatch> HashJoinBatches(const RecordBatch& build,
+                                    const RecordBatch& probe,
+                                    const std::vector<std::string>& build_keys,
+                                    const std::vector<std::string>& probe_keys,
+                                    uint64_t* matches_out = nullptr);
+
+/// Hash group-by; forwards to the shared columnar kernel (which the Read
+/// API also uses for server-side aggregate pushdown).
+inline Result<RecordBatch> AggregateBatch(
+    const RecordBatch& input, const std::vector<std::string>& group_by,
+    const std::vector<AggSpec>& aggregates) {
+  return ::biglake::AggregateBatch(input, group_by, aggregates);
+}
+
+/// Stable multi-key sort.
+Result<RecordBatch> SortBatch(const RecordBatch& input,
+                              const std::vector<SortKey>& keys);
+
+/// Distinct non-null values of one column (used for dynamic partition
+/// pruning IN-lists). Stops early past `max_values`, returning empty.
+std::vector<Value> DistinctValues(const RecordBatch& batch,
+                                  const std::string& column,
+                                  uint64_t max_values);
+
+}  // namespace ops
+}  // namespace biglake
+
+#endif  // BIGLAKE_ENGINE_OPERATORS_H_

@@ -1,0 +1,116 @@
+// Query plans for the Dremel-lite engine.
+//
+// Plans are small immutable trees built with factory helpers:
+//
+//   auto plan = Plan::Aggregate(
+//       Plan::HashJoin(Plan::Scan("ds.orders"),
+//                      Plan::Scan("ds.customers"),
+//                      {"customer_id"}, {"id"}),
+//       {"region"}, {{AggOp::kSum, "order_total", "total"}});
+//
+// Scans always execute through the Storage Read API, so governance applies
+// to the engine's own reads exactly as it does to external engines (Sec 3.2:
+// "the same implementation for data in object stores or native storage").
+
+#ifndef BIGLAKE_ENGINE_PLAN_H_
+#define BIGLAKE_ENGINE_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/aggregate.h"
+#include "columnar/batch.h"
+#include "columnar/expr.h"
+
+namespace biglake {
+
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+class Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// A batch-to-batch transform for extension operators (ML inference plugs
+/// in here; see src/ml).
+using MapFn =
+    std::function<Result<RecordBatch>(const RecordBatch&)>;
+
+class Plan {
+ public:
+  enum class Kind {
+    kScan,      // table scan via the Read API
+    kFilter,    // predicate
+    kProject,   // expressions -> named output columns
+    kHashJoin,  // equi-join, children: [build..left, probe..right]
+    kAggregate, // hash group-by
+    kOrderBy,
+    kLimit,
+    kMap,       // extension operator
+    kValues,    // literal in-memory batch (used by the cross-cloud planner)
+  };
+
+  Kind kind = Kind::kScan;
+  std::vector<PlanPtr> children;
+
+  // kScan
+  std::string table_id;
+  std::vector<std::string> scan_columns;  // empty = all
+  ExprPtr scan_predicate;
+
+  // kFilter
+  ExprPtr filter;
+
+  // kProject
+  std::vector<std::string> project_names;
+  std::vector<ExprPtr> project_exprs;
+
+  // kHashJoin
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+
+  // kAggregate
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+
+  // kOrderBy / kLimit
+  std::vector<SortKey> sort_keys;
+  uint64_t limit = 0;
+
+  // kMap
+  std::string map_name;
+  MapFn map_fn;
+
+  // kValues
+  RecordBatch values;
+
+  // ---- Factories -----------------------------------------------------------
+  static PlanPtr Scan(std::string table_id,
+                      std::vector<std::string> columns = {},
+                      ExprPtr predicate = nullptr);
+  static PlanPtr Filter(PlanPtr input, ExprPtr predicate);
+  static PlanPtr Project(PlanPtr input, std::vector<std::string> names,
+                         std::vector<ExprPtr> exprs);
+  /// Inner equi-join; `left` is the default build side (the optimizer may
+  /// swap when statistics say the right side is smaller).
+  static PlanPtr HashJoin(PlanPtr left, PlanPtr right,
+                          std::vector<std::string> left_keys,
+                          std::vector<std::string> right_keys);
+  static PlanPtr Aggregate(PlanPtr input, std::vector<std::string> group_by,
+                           std::vector<AggSpec> aggregates);
+  static PlanPtr OrderBy(PlanPtr input, std::vector<SortKey> keys);
+  static PlanPtr Limit(PlanPtr input, uint64_t n);
+  static PlanPtr Map(PlanPtr input, std::string name, MapFn fn);
+  /// A leaf producing a fixed batch (e.g. a temp table materialized from a
+  /// remote region's subquery results).
+  static PlanPtr Values(RecordBatch batch);
+
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_ENGINE_PLAN_H_

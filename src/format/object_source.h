@@ -1,0 +1,41 @@
+// RandomAccessSource backed by a (simulated) object-store object: every Read
+// is a charged GetRange, so footer peeks and column-chunk reads cost real
+// simulated I/O wherever they happen (metadata cache refresh, Read API
+// scans, external-engine direct reads).
+
+#ifndef BIGLAKE_FORMAT_OBJECT_SOURCE_H_
+#define BIGLAKE_FORMAT_OBJECT_SOURCE_H_
+
+#include <string>
+
+#include "format/parquet_lite.h"
+#include "objstore/objstore.h"
+
+namespace biglake {
+
+class ObjectSource : public RandomAccessSource {
+ public:
+  ObjectSource(const ObjectStore* store, CallerContext caller,
+               std::string bucket, std::string name, uint64_t size)
+      : store_(store),
+        caller_(std::move(caller)),
+        bucket_(std::move(bucket)),
+        name_(std::move(name)),
+        size_(size) {}
+
+  Result<std::string> Read(uint64_t offset, uint64_t length) const override {
+    return store_->GetRange(caller_, bucket_, name_, offset, length);
+  }
+  uint64_t Size() const override { return size_; }
+
+ private:
+  const ObjectStore* store_;
+  CallerContext caller_;
+  std::string bucket_;
+  std::string name_;
+  uint64_t size_;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_FORMAT_OBJECT_SOURCE_H_

@@ -1,0 +1,104 @@
+#include "meta/metadata_cache.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "format/object_source.h"
+#include "format/parquet_lite.h"
+
+namespace biglake {
+
+
+
+std::vector<std::pair<std::string, Value>> ParseHivePartition(
+    const std::string& path) {
+  std::vector<std::pair<std::string, Value>> partition;
+  for (const std::string& segment : Split(path, '/')) {
+    size_t eq = segment.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    std::string key = segment.substr(0, eq);
+    std::string val = segment.substr(eq + 1);
+    uint64_t as_int = 0;
+    if (ParseUint64(val, &as_int)) {
+      partition.emplace_back(std::move(key),
+                             Value::Int64(static_cast<int64_t>(as_int)));
+    } else {
+      partition.emplace_back(std::move(key), Value::String(std::move(val)));
+    }
+  }
+  return partition;
+}
+
+Result<CacheRefreshReport> MetadataCacheManager::Refresh(
+    const std::string& table_id, const ObjectStore& store,
+    const CallerContext& caller, const std::string& bucket,
+    const std::string& prefix, const CacheRefreshOptions& options) {
+  SimTimer timer(*env_);
+  CacheRefreshReport report;
+  meta_->EnsureTable(table_id);
+
+  // Current cache state, keyed by path.
+  BL_ASSIGN_OR_RETURN(std::vector<CachedFileMeta> cached,
+                      meta_->Snapshot(table_id));
+  std::map<std::string, const CachedFileMeta*> cached_by_path;
+  for (const auto& f : cached) cached_by_path[f.file.path] = &f;
+
+  // One full (paginated, charged) listing of the lake prefix.
+  BL_ASSIGN_OR_RETURN(std::vector<ObjectMetadata> listed,
+                      store.ListAll(caller, bucket, prefix));
+  report.listed_objects = listed.size();
+
+  std::vector<CachedFileMeta> adds;
+  std::vector<std::string> removes;
+  std::map<std::string, bool> seen;
+  for (const ObjectMetadata& obj : listed) {
+    seen[obj.name] = true;
+    auto it = cached_by_path.find(obj.name);
+    if (it != cached_by_path.end() &&
+        it->second->generation == obj.generation) {
+      continue;  // unchanged
+    }
+    if (it != cached_by_path.end()) removes.push_back(obj.name);
+
+    CachedFileMeta entry;
+    entry.file.path = obj.name;
+    entry.file.size_bytes = obj.size;
+    entry.content_type = obj.content_type;
+    entry.create_time = obj.create_time;
+    entry.update_time = obj.update_time;
+    entry.generation = obj.generation;
+    if (options.parse_hive_partitions) {
+      entry.file.partition = ParseHivePartition(obj.name);
+    }
+    if (options.parse_footers) {
+      ObjectSource source(&store, caller, bucket, obj.name, obj.size);
+      auto meta = ReadParquetFooter(source);
+      ++report.footers_read;
+      if (meta.ok()) {
+        entry.file.row_count = meta->total_rows;
+        for (size_t c = 0; c < meta->schema->num_fields(); ++c) {
+          entry.file.column_stats[meta->schema->field(c).name] =
+              meta->FileColumnStats(c);
+        }
+      }
+      // Non-Parquet files are still cached (without stats) so listings
+      // stay complete; engines will treat them as unprunable.
+    }
+    adds.push_back(std::move(entry));
+  }
+  for (const auto& f : cached) {
+    if (seen.count(f.file.path) == 0) removes.push_back(f.file.path);
+  }
+  report.added_files = adds.size();
+  report.removed_files = removes.size();
+  if (!adds.empty() || !removes.empty()) {
+    BL_RETURN_NOT_OK(
+        meta_->SwapFiles(table_id, std::move(removes), std::move(adds))
+            .status());
+  }
+  env_->counters().Add("metacache.refreshes", 1);
+  report.refresh_micros = timer.ElapsedMicros();
+  return report;
+}
+
+}  // namespace biglake

@@ -1,0 +1,112 @@
+// BQML-lite inference over Object tables (Sec 4.2).
+//
+// In-engine inference (ML.PREDICT with an imported model, Listing 1) runs
+// inside Dremel workers, with the Fig 7 placement choice:
+//   * kColocated — decode + preprocess + model in one worker. Peak worker
+//     memory = sandboxed decode footprint + resident model; large models or
+//     images blow past the worker memory limit.
+//   * kSplit    — extra exchange operators place preprocessing and
+//     inference on different workers: raw images and the model never share
+//     a worker, at the cost of shipping (small) tensors between workers.
+//
+// External inference (Sec 4.2.2) comes in two flavours:
+//   * customer models on a remote endpoint: the engine reads and
+//     preprocesses objects, then calls the endpoint with tensors;
+//   * first-party services (ML.PROCESS_DOCUMENT): the engine hands the
+//     service signed URLs and the service reads the objects directly —
+//     object bytes never flow through Dremel at all.
+
+#ifndef BIGLAKE_ML_INFERENCE_H_
+#define BIGLAKE_ML_INFERENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/object_table.h"
+#include "ml/model.h"
+
+namespace biglake {
+
+enum class InferencePlacement { kColocated, kSplit };
+
+struct InferenceOptions {
+  InferencePlacement placement = InferencePlacement::kSplit;
+  uint32_t num_workers = 8;
+  /// Per-worker memory budget (the paper's Dremel workers have "a
+  /// relatively small amount of working memory"; models > 2 GB cannot be
+  /// loaded — scaled down here).
+  uint64_t worker_memory_limit = 64ull << 20;  // 64 MiB
+  /// Model size ceiling for in-engine loading.
+  uint64_t max_in_engine_model_bytes = 32ull << 20;  // 32 MiB
+  /// Security sandbox overhead for decode and for model execution.
+  uint64_t sandbox_overhead_bytes = 4ull << 20;  // 4 MiB
+  /// Cost model.
+  double decode_micros_per_kb = 2.0;
+  SimMicros infer_micros_per_item = 1'000;
+  double exchange_micros_per_kb = 0.5;
+  uint32_t preprocess_target = 64;  // tensor side length
+};
+
+struct InferenceStats {
+  uint64_t images = 0;
+  uint64_t failed = 0;  // undecodable objects
+  /// Peak memory of any single worker under the chosen placement.
+  uint64_t peak_worker_memory = 0;
+  /// Tensor bytes exchanged between preprocessing and inference workers
+  /// (zero when colocated).
+  uint64_t exchange_bytes = 0;
+  SimMicros wall_micros = 0;
+};
+
+struct InferenceResult {
+  /// (uri STRING, predicted_class INT64, score DOUBLE)
+  RecordBatch batch;
+  InferenceStats stats;
+};
+
+class BqmlInferenceEngine {
+ public:
+  BqmlInferenceEngine(LakehouseEnv* env, ObjectTableService* object_tables)
+      : env_(env), object_tables_(object_tables) {}
+
+  /// In-engine ML.PREDICT over an object table of JPEG-lite images.
+  /// `filter` narrows which objects are processed (e.g. content_type =
+  /// 'image/jpeg' AND create_time > X). Fails with ResourceExhausted when
+  /// the placement cannot fit the worker memory limit, and with
+  /// InvalidArgument when the model exceeds the in-engine size ceiling.
+  Result<InferenceResult> PredictImages(const Principal& principal,
+                                        const std::string& table_id,
+                                        const Model& model,
+                                        const ExprPtr& filter,
+                                        const InferenceOptions& options = {});
+
+  /// ML.PREDICT against a remote endpoint: engine-side decode + preprocess,
+  /// remote inference. No model memory in workers, but tensors cross the
+  /// network and throughput follows the endpoint's (slow) autoscaling.
+  Result<InferenceResult> PredictImagesRemote(
+      const Principal& principal, const std::string& table_id,
+      RemoteModelEndpoint* endpoint, const ExprPtr& filter,
+      const InferenceOptions& options = {});
+
+  /// ML.PROCESS_DOCUMENT with a first-party service: the engine passes
+  /// signed URLs; the service fetches the documents itself and returns
+  /// flattened (uri, field, value) rows.
+  Result<RecordBatch> ProcessDocuments(const Principal& principal,
+                                       const std::string& table_id,
+                                       const DocumentParserLite& parser,
+                                       const ExprPtr& filter = nullptr);
+
+ private:
+  /// Fetches object bytes for the visible rows of an object table under the
+  /// table's delegated credential.
+  Result<std::vector<std::pair<std::string, std::string>>> FetchObjects(
+      const Principal& principal, const std::string& table_id,
+      const ExprPtr& filter);
+
+  LakehouseEnv* env_;
+  ObjectTableService* object_tables_;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_ML_INFERENCE_H_

@@ -1,0 +1,124 @@
+#include "ml/model.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace biglake {
+
+ResNetLite::ResNetLite(std::string name, size_t num_classes,
+                       uint32_t input_size, uint64_t num_parameters,
+                       uint64_t seed)
+    : name_(std::move(name)),
+      num_classes_(num_classes),
+      input_size_(input_size),
+      num_parameters_(num_parameters) {
+  // One sparse pseudo-random projection row per class. Only a small slice
+  // of the declared parameters is materialized (the rest model weight
+  // footprint, not computation).
+  Random rng(seed);
+  projection_.resize(num_classes_ * 64);
+  for (auto& w : projection_) {
+    w = static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+  }
+}
+
+Result<Tensor> ResNetLite::Infer(const Tensor& input) const {
+  if (input.shape.size() != 3 || input.shape[0] != 3 ||
+      input.shape[1] != input_size_ || input.shape[2] != input_size_) {
+    return Status::InvalidArgument(
+        StrCat("model `", name_, "` expects (3,", input_size_, ",",
+               input_size_, ") input"));
+  }
+  // Pool the input into 64 buckets, then project per class.
+  float pooled[64] = {0};
+  size_t n = input.data.size();
+  for (size_t i = 0; i < n; ++i) {
+    pooled[i % 64] += input.data[i];
+  }
+  for (float& p : pooled) p /= static_cast<float>(n / 64 + 1);
+  Tensor out;
+  out.shape = {static_cast<uint32_t>(num_classes_)};
+  out.data.resize(num_classes_);
+  for (size_t c = 0; c < num_classes_; ++c) {
+    float score = 0;
+    for (size_t k = 0; k < 64; ++k) {
+      score += pooled[k] * projection_[c * 64 + k];
+    }
+    out.data[c] = score;
+  }
+  return out;
+}
+
+size_t ResNetLite::TopClass(const Tensor& scores) {
+  return static_cast<size_t>(
+      std::max_element(scores.data.begin(), scores.data.end()) -
+      scores.data.begin());
+}
+
+Result<DocumentEntities> DocumentParserLite::Parse(
+    const std::string& text) const {
+  DocumentEntities out;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string line = Trim(raw_line);
+    size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) continue;
+    std::string key = ToLower(Trim(line.substr(0, colon)));
+    std::string value = Trim(line.substr(colon + 1));
+    if (!key.empty() && !value.empty()) {
+      out.fields[key] = value;
+    }
+  }
+  if (out.fields.empty()) {
+    return Status::InvalidArgument("document contains no extractable fields");
+  }
+  return out;
+}
+
+RemoteModelEndpoint::RemoteModelEndpoint(SimEnv* env,
+                                         std::shared_ptr<Model> model,
+                                         RemoteEndpointOptions options)
+    : env_(env),
+      model_(std::move(model)),
+      options_(options),
+      capacity_(options.initial_capacity) {}
+
+void RemoteModelEndpoint::MaybeScaleUp() {
+  SimMicros now = env_->clock().Now();
+  while (capacity_ < options_.max_capacity &&
+         now >= last_scale_up_ + options_.scale_up_interval) {
+    last_scale_up_ = last_scale_up_ == 0 ? now
+                                         : last_scale_up_ +
+                                               options_.scale_up_interval;
+    capacity_ = std::min(options_.max_capacity, capacity_ * 2);
+    env_->counters().Add("remote_model.scale_ups", 1);
+  }
+}
+
+Result<std::vector<Tensor>> RemoteModelEndpoint::InferBatch(
+    const std::vector<Tensor>& inputs) {
+  MaybeScaleUp();
+  // Ship tensors to the service and results back: network bytes both ways.
+  uint64_t bytes = 0;
+  for (const Tensor& t : inputs) bytes += t.MemoryBytes();
+  env_->counters().Add("remote_model.request_bytes", bytes);
+  // Waves of `capacity_` items; each wave pays compute, plus one network
+  // round trip for the batch.
+  uint64_t waves =
+      (inputs.size() + capacity_ - 1) / std::max<uint32_t>(1, capacity_);
+  env_->clock().Advance(options_.network_latency +
+                        waves * options_.per_item_compute);
+  env_->counters().Add("remote_model.requests", 1);
+
+  std::vector<Tensor> out;
+  out.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    BL_ASSIGN_OR_RETURN(Tensor scores, model_->Infer(t));
+    out.push_back(std::move(scores));
+  }
+  return out;
+}
+
+}  // namespace biglake

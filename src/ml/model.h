@@ -1,0 +1,110 @@
+// Models for BQML-lite (Sec 4.2): a deterministic image classifier
+// ("resnet-lite"), a document entity extractor (the Document AI stand-in),
+// and a remote model endpoint simulating Vertex AI serving.
+
+#ifndef BIGLAKE_ML_MODEL_H_
+#define BIGLAKE_ML_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_env.h"
+#include "common/status.h"
+#include "ml/tensor.h"
+
+namespace biglake {
+
+/// Abstract model loadable into Dremel workers (TF/TFLite/ONNX in the
+/// paper). `MemoryBytes` is the resident weight footprint — the quantity
+/// the 2 GB in-engine model size limit of Sec 4.2 is about.
+class Model {
+ public:
+  virtual ~Model() = default;
+  virtual const std::string& name() const = 0;
+  virtual uint32_t input_size() const = 0;  // expects (3, N, N) tensors
+  virtual uint64_t MemoryBytes() const = 0;
+  virtual size_t num_classes() const = 0;
+  /// Returns per-class scores, shape (num_classes).
+  virtual Result<Tensor> Infer(const Tensor& input) const = 0;
+};
+
+/// A small deterministic convnet-ish classifier: fixed pseudo-random
+/// projection layers seeded at construction. Deterministic: the same input
+/// always classifies identically, which is all the experiments need.
+class ResNetLite : public Model {
+ public:
+  ResNetLite(std::string name, size_t num_classes, uint32_t input_size,
+             uint64_t num_parameters, uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+  uint32_t input_size() const override { return input_size_; }
+  uint64_t MemoryBytes() const override {
+    return num_parameters_ * sizeof(float);
+  }
+  size_t num_classes() const override { return num_classes_; }
+  Result<Tensor> Infer(const Tensor& input) const override;
+
+  /// Argmax helper over an Infer() output.
+  static size_t TopClass(const Tensor& scores);
+
+ private:
+  std::string name_;
+  size_t num_classes_;
+  uint32_t input_size_;
+  uint64_t num_parameters_;
+  std::vector<float> projection_;  // per-class pseudo-random weights
+};
+
+/// Extracted document entities (the flattened output of
+/// ML.PROCESS_DOCUMENT, Sec 4.2.2).
+struct DocumentEntities {
+  std::map<std::string, std::string> fields;
+};
+
+/// Parses "key: value" lines out of text documents — the deterministic
+/// stand-in for a fine-tuned Document AI invoice parser.
+class DocumentParserLite {
+ public:
+  Result<DocumentEntities> Parse(const std::string& text) const;
+};
+
+/// A remote model serving endpoint (Vertex AI stand-in, Sec 4.2.2):
+/// per-request network latency, limited concurrent capacity with slow
+/// autoscaling, and no worker-memory limit.
+struct RemoteEndpointOptions {
+  SimMicros network_latency = 20'000;      // 20 ms per round trip
+  SimMicros per_item_compute = 2'000;      // accelerator time per item
+  uint32_t initial_capacity = 4;           // concurrent items
+  uint32_t max_capacity = 64;
+  SimMicros scale_up_interval = 2'000'000; // adds capacity every 2 s
+};
+
+class RemoteModelEndpoint {
+ public:
+  RemoteModelEndpoint(SimEnv* env, std::shared_ptr<Model> model,
+                      RemoteEndpointOptions options = {});
+
+  const Model& model() const { return *model_; }
+
+  /// Runs a batch of inputs remotely: ships tensors over the network,
+  /// queues behind available capacity, returns per-input scores. Charges
+  /// network bytes + latency to the SimEnv.
+  Result<std::vector<Tensor>> InferBatch(const std::vector<Tensor>& inputs);
+
+  uint32_t current_capacity() const { return capacity_; }
+
+ private:
+  void MaybeScaleUp();
+
+  SimEnv* env_;
+  std::shared_ptr<Model> model_;
+  RemoteEndpointOptions options_;
+  uint32_t capacity_;
+  SimMicros last_scale_up_ = 0;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_ML_MODEL_H_

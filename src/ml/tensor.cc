@@ -1,0 +1,80 @@
+#include "ml/tensor.h"
+
+#include "common/coding.h"
+#include "common/random.h"
+
+namespace biglake {
+
+namespace {
+constexpr uint32_t kJpegLiteMagic = 0x4a504c31;  // "JPL1"
+}  // namespace
+
+std::string EncodeJpegLite(uint32_t width, uint32_t height, uint64_t seed) {
+  std::string out;
+  PutFixed32(&out, kJpegLiteMagic);
+  PutFixed32(&out, width);
+  PutFixed32(&out, height);
+  PutFixed64(&out, seed);
+  // "Compressed" payload: one byte per 8-pixel block, derived from the
+  // seed so decoding is deterministic and content varies by seed.
+  uint64_t blocks = (static_cast<uint64_t>(width) * height * 3 + 7) / 8;
+  Random rng(seed);
+  out.reserve(out.size() + blocks);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    out.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  return out;
+}
+
+Result<Image> DecodeJpegLite(const std::string& bytes) {
+  Decoder dec(bytes);
+  uint32_t magic = 0, width = 0, height = 0;
+  uint64_t seed = 0;
+  BL_RETURN_NOT_OK(dec.GetFixed32(&magic));
+  if (magic != kJpegLiteMagic) {
+    return Status::DataLoss("not a JPEG-lite image");
+  }
+  BL_RETURN_NOT_OK(dec.GetFixed32(&width));
+  BL_RETURN_NOT_OK(dec.GetFixed32(&height));
+  BL_RETURN_NOT_OK(dec.GetFixed64(&seed));
+  if (width == 0 || height == 0 || width > 16384 || height > 16384) {
+    return Status::DataLoss("JPEG-lite dimensions out of range");
+  }
+  uint64_t expected_blocks =
+      (static_cast<uint64_t>(width) * height * 3 + 7) / 8;
+  if (dec.remaining() < expected_blocks) {
+    return Status::DataLoss("truncated JPEG-lite payload");
+  }
+  // "Decompress": expand each payload byte into 8 pixels, mixing in the
+  // pixel index so content is smooth-ish and deterministic.
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(static_cast<size_t>(width) * height * 3);
+  const char* payload = bytes.data() + dec.position();
+  for (size_t i = 0; i < img.pixels.size(); ++i) {
+    uint8_t block = static_cast<uint8_t>(payload[i / 8]);
+    img.pixels[i] = static_cast<uint8_t>(block ^ ((i * 31) & 0xff));
+  }
+  return img;
+}
+
+Tensor Preprocess(const Image& image, uint32_t target) {
+  Tensor t;
+  t.shape = {3, target, target};
+  t.data.resize(static_cast<size_t>(3) * target * target);
+  for (uint32_t c = 0; c < 3; ++c) {
+    for (uint32_t y = 0; y < target; ++y) {
+      for (uint32_t x = 0; x < target; ++x) {
+        uint32_t sx = x * image.width / target;
+        uint32_t sy = y * image.height / target;
+        size_t src = (static_cast<size_t>(sy) * image.width + sx) * 3 + c;
+        t.data[(static_cast<size_t>(c) * target + y) * target + x] =
+            static_cast<float>(image.pixels[src]) / 255.0f;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace biglake

@@ -1,0 +1,58 @@
+// Tensors and the JPEG-lite synthetic image codec.
+//
+// Real JPEG decoding and TensorFlow graphs are out of scope (and beside the
+// point): the paper's in-engine inference claims (Sec 4.2.1, Fig 7) are
+// about *memory and communication*, not model accuracy. JPEG-lite preserves
+// the properties that matter:
+//   * an encoded image is much smaller than its decoded pixels (~8:1),
+//   * decoding materializes width*height*3 bytes in worker memory,
+//   * preprocessing shrinks the image to a small fixed-size tensor that is
+//     cheap to exchange between workers.
+
+#ifndef BIGLAKE_ML_TENSOR_H_
+#define BIGLAKE_ML_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace biglake {
+
+/// A dense float tensor.
+struct Tensor {
+  std::vector<uint32_t> shape;
+  std::vector<float> data;
+
+  uint64_t ElementCount() const {
+    uint64_t n = 1;
+    for (uint32_t d : shape) n *= d;
+    return n;
+  }
+  uint64_t MemoryBytes() const { return data.size() * sizeof(float); }
+};
+
+/// A decoded RGB image (8-bit channels).
+struct Image {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  std::vector<uint8_t> pixels;  // width*height*3
+
+  uint64_t MemoryBytes() const { return pixels.size(); }
+};
+
+/// Produces a deterministic synthetic image and encodes it as JPEG-lite
+/// bytes (`seed` controls content). Encoded size ~ w*h*3/8.
+std::string EncodeJpegLite(uint32_t width, uint32_t height, uint64_t seed);
+
+/// Decodes JPEG-lite bytes; DataLoss on malformed input.
+Result<Image> DecodeJpegLite(const std::string& bytes);
+
+/// Resizes (nearest-neighbour) to `target` x `target` and normalizes to
+/// [0,1] floats: the standard model-input preprocessing of Sec 4.2.1.
+Tensor Preprocess(const Image& image, uint32_t target = 224);
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_ML_TENSOR_H_

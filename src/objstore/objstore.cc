@@ -1,0 +1,303 @@
+#include "objstore/objstore.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/strings.h"
+
+namespace biglake {
+
+const char* CloudProviderName(CloudProvider p) {
+  switch (p) {
+    case CloudProvider::kGCP:
+      return "gcp";
+    case CloudProvider::kAWS:
+      return "aws";
+    case CloudProvider::kAzure:
+      return "azure";
+  }
+  return "unknown";
+}
+
+std::string CloudLocation::ToString() const {
+  return StrCat(CloudProviderName(provider), ":", region);
+}
+
+ObjectStore::ObjectStore(SimEnv* env, ObjectStoreOptions options)
+    : env_(env), options_(std::move(options)) {}
+
+Status ObjectStore::CreateBucket(const std::string& bucket) {
+  if (buckets_.count(bucket) > 0) {
+    return Status::AlreadyExists(StrCat("bucket `", bucket, "` exists"));
+  }
+  buckets_[bucket] = {};
+  return Status::OK();
+}
+
+bool ObjectStore::BucketExists(const std::string& bucket) const {
+  return buckets_.count(bucket) > 0;
+}
+
+void ObjectStore::ChargeTransfer(const CallerContext& caller,
+                                 SimMicros base_latency, uint64_t bytes,
+                                 uint64_t bytes_per_sec, bool is_read) const {
+  SimMicros transfer =
+      bytes_per_sec == 0 ? 0 : (bytes * 1'000'000ull) / bytes_per_sec;
+  // Cross-region adds round-trip penalty; cross-cloud adds more.
+  SimMicros wan_penalty = 0;
+  if (!caller.location.SameCloud(options_.location)) {
+    wan_penalty = 60'000;  // 60 ms cross-cloud RTT
+  } else if (!caller.location.SameRegion(options_.location)) {
+    wan_penalty = 20'000;  // 20 ms cross-region RTT
+  }
+  env_->clock().Advance(base_latency + transfer + wan_penalty);
+  const char* store_cloud = CloudProviderName(options_.location.provider);
+  env_->counters().Add(StrCat("objstore.", store_cloud,
+                              is_read ? ".read_bytes" : ".write_bytes"),
+                       bytes);
+  if (!caller.location.SameCloud(options_.location) && is_read) {
+    // Egress: bytes leave the store's cloud toward the caller's cloud.
+    env_->counters().Add(
+        StrCat("egress.", store_cloud, ".",
+               CloudProviderName(caller.location.provider)),
+        bytes);
+  }
+}
+
+Result<uint64_t> ObjectStore::Put(const CallerContext& caller,
+                                  const std::string& bucket,
+                                  const std::string& name, std::string data,
+                                  const PutOptions& opts) {
+  if (injected_put_failures_ > 0) {
+    if (injected_put_skip_ > 0) {
+      --injected_put_skip_;
+    } else {
+      --injected_put_failures_;
+      env_->clock().Advance(options_.write_base_latency);
+      env_->counters().Add("objstore.injected_put_failures", 1);
+      return Status::DeadlineExceeded("injected transient storage fault");
+    }
+  }
+  auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) {
+    return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));
+  }
+  Bucket& b = bit->second;
+  auto oit = b.find(name);
+  uint64_t current_gen = (oit == b.end()) ? 0 : oit->second.meta.generation;
+  if (opts.if_generation_match.has_value() &&
+      *opts.if_generation_match != current_gen) {
+    return Status::FailedPrecondition(
+        StrCat("generation mismatch on `", name, "`: expected ",
+               *opts.if_generation_match, " actual ", current_gen));
+  }
+
+  // Per-object mutation rate limit (the property that caps commit rates of
+  // object-store-atomic table formats). Only replacements are limited;
+  // first-time creates are not.
+  if (oit != b.end()) {
+    StoredObject& existing = oit->second;
+    SimMicros now = env_->clock().Now();
+    while (!existing.recent_mutations.empty() &&
+           existing.recent_mutations.front() + 1'000'000 <= now) {
+      existing.recent_mutations.pop_front();
+    }
+    if (existing.recent_mutations.size() >=
+        options_.max_mutations_per_object_per_sec) {
+      env_->counters().Add("objstore.rate_limited_puts", 1);
+      // The request still burns a round trip before being rejected.
+      env_->clock().Advance(options_.write_base_latency);
+      return Status::ResourceExhausted(
+          StrCat("object `", name, "` mutation rate exceeds ",
+                 options_.max_mutations_per_object_per_sec, "/s"));
+    }
+  }
+
+  ChargeTransfer(caller, options_.write_base_latency, data.size(),
+                 options_.write_bytes_per_sec, /*is_read=*/false);
+  env_->counters().Add("objstore.put_calls", 1);
+
+  StoredObject& obj = b[name];
+  SimMicros now = env_->clock().Now();
+  if (obj.meta.generation > 0) {
+    obj.recent_mutations.push_back(now);
+  } else {
+    obj.meta.create_time = now;
+    obj.meta.name = name;
+  }
+  obj.meta.size = data.size();
+  obj.meta.generation = current_gen + 1;
+  obj.meta.content_type = opts.content_type;
+  obj.meta.update_time = now;
+  obj.data = std::move(data);
+  return obj.meta.generation;
+}
+
+Result<const ObjectStore::StoredObject*> ObjectStore::Find(
+    const std::string& bucket, const std::string& name) const {
+  auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) {
+    return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));
+  }
+  auto oit = bit->second.find(name);
+  if (oit == bit->second.end()) {
+    return Status::NotFound(
+        StrCat("object `", bucket, "/", name, "` does not exist"));
+  }
+  return &oit->second;
+}
+
+Result<std::string> ObjectStore::Get(const CallerContext& caller,
+                                     const std::string& bucket,
+                                     const std::string& name) const {
+  BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
+  ChargeTransfer(caller, options_.read_base_latency, obj->data.size(),
+                 options_.read_bytes_per_sec, /*is_read=*/true);
+  env_->counters().Add("objstore.get_calls", 1);
+  return obj->data;
+}
+
+Result<std::string> ObjectStore::GetRange(const CallerContext& caller,
+                                          const std::string& bucket,
+                                          const std::string& name,
+                                          uint64_t offset,
+                                          uint64_t length) const {
+  BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
+  if (offset > obj->data.size()) {
+    return Status::OutOfRange(StrCat("offset ", offset, " beyond object size ",
+                                     obj->data.size()));
+  }
+  uint64_t n = std::min<uint64_t>(length, obj->data.size() - offset);
+  ChargeTransfer(caller, options_.read_base_latency, n,
+                 options_.read_bytes_per_sec, /*is_read=*/true);
+  env_->counters().Add("objstore.get_calls", 1);
+  return obj->data.substr(offset, n);
+}
+
+Result<ObjectMetadata> ObjectStore::Stat(const CallerContext& caller,
+                                         const std::string& bucket,
+                                         const std::string& name) const {
+  BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
+  ChargeTransfer(caller, options_.read_base_latency, 0,
+                 options_.read_bytes_per_sec, /*is_read=*/true);
+  env_->counters().Add("objstore.stat_calls", 1);
+  return obj->meta;
+}
+
+Status ObjectStore::Delete(const CallerContext& caller,
+                           const std::string& bucket,
+                           const std::string& name) {
+  auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) {
+    return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));
+  }
+  auto oit = bit->second.find(name);
+  if (oit == bit->second.end()) {
+    return Status::NotFound(
+        StrCat("object `", bucket, "/", name, "` does not exist"));
+  }
+  env_->clock().Advance(options_.write_base_latency);
+  env_->counters().Add("objstore.delete_calls", 1);
+  bit->second.erase(oit);
+  return Status::OK();
+}
+
+Result<ListResult> ObjectStore::List(const CallerContext& caller,
+                                     const std::string& bucket,
+                                     const ListOptions& opts) const {
+  auto bit = buckets_.find(bucket);
+  if (bit == buckets_.end()) {
+    return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));
+  }
+  const Bucket& b = bit->second;
+  uint64_t page = opts.max_results > 0 ? opts.max_results
+                                       : options_.list_page_size;
+  // Every page costs a round trip; listing N objects costs
+  // ceil(N/page) * list_page_latency of virtual time. This is the "listing
+  // millions of files is inherently slow" property from Sec 3.3.
+  env_->clock().Advance(options_.list_page_latency);
+  if (!caller.location.SameCloud(options_.location)) {
+    env_->clock().Advance(60'000);
+  }
+  env_->counters().Add("objstore.list_calls", 1);
+
+  ListResult result;
+  auto it = opts.page_token.empty() ? b.lower_bound(opts.prefix)
+                                    : b.upper_bound(opts.page_token);
+  for (; it != b.end() && result.objects.size() < page; ++it) {
+    if (!StartsWith(it->first, opts.prefix)) break;
+    result.objects.push_back(it->second.meta);
+  }
+  if (it != b.end() && StartsWith(it->first, opts.prefix)) {
+    result.next_page_token = result.objects.back().name;
+  }
+  return result;
+}
+
+Result<std::vector<ObjectMetadata>> ObjectStore::ListAll(
+    const CallerContext& caller, const std::string& bucket,
+    const std::string& prefix) const {
+  std::vector<ObjectMetadata> all;
+  ListOptions opts;
+  opts.prefix = prefix;
+  while (true) {
+    BL_ASSIGN_OR_RETURN(ListResult page, List(caller, bucket, opts));
+    for (auto& m : page.objects) all.push_back(std::move(m));
+    if (page.next_page_token.empty()) break;
+    opts.page_token = page.next_page_token;
+  }
+  return all;
+}
+
+uint64_t ObjectStore::ObjectCount(const std::string& bucket) const {
+  auto bit = buckets_.find(bucket);
+  return bit == buckets_.end() ? 0 : bit->second.size();
+}
+
+std::string ObjectStore::SignUrl(const std::string& bucket,
+                                 const std::string& name,
+                                 SimMicros expiry) const {
+  std::string payload = StrCat(bucket, "/", name, "?expires=", expiry);
+  uint64_t sig = Fnv1a64(payload, options_.signing_secret);
+  return StrCat("sim://", payload, "&sig=", sig);
+}
+
+Result<std::string> ObjectStore::GetSigned(const CallerContext& caller,
+                                           const std::string& url) const {
+  // Parse sim://<bucket>/<name>?expires=<t>&sig=<s>.
+  if (!StartsWith(url, "sim://")) {
+    return Status::InvalidArgument("malformed signed url");
+  }
+  std::string rest = url.substr(6);
+  size_t sig_pos = rest.rfind("&sig=");
+  if (sig_pos == std::string::npos) {
+    return Status::InvalidArgument("signed url missing signature");
+  }
+  std::string payload = rest.substr(0, sig_pos);
+  uint64_t sig = 0;
+  if (!ParseUint64(rest.substr(sig_pos + 5), &sig)) {
+    return Status::InvalidArgument("signed url bad signature encoding");
+  }
+  if (sig != Fnv1a64(payload, options_.signing_secret)) {
+    return Status::PermissionDenied("signed url signature mismatch");
+  }
+  size_t q = payload.find("?expires=");
+  if (q == std::string::npos) {
+    return Status::InvalidArgument("signed url missing expiry");
+  }
+  SimMicros expiry = 0;
+  if (!ParseUint64(payload.substr(q + 9), &expiry)) {
+    return Status::InvalidArgument("signed url bad expiry encoding");
+  }
+  if (env_->clock().Now() > expiry) {
+    return Status::PermissionDenied("signed url expired");
+  }
+  std::string path = payload.substr(0, q);
+  size_t slash = path.find('/');
+  if (slash == std::string::npos) {
+    return Status::InvalidArgument("signed url missing object path");
+  }
+  return Get(caller, path.substr(0, slash), path.substr(slash + 1));
+}
+
+}  // namespace biglake

@@ -1,0 +1,210 @@
+// Cloud object store simulator (GCS / Amazon S3 / Azure Blob personalities).
+//
+// The BigLake paper's claims depend on four properties of real object stores,
+// all reproduced here with tunable constants:
+//   1. LIST over large buckets is slow and paginated (Sec 3.3, Sec 4.1):
+//      each page of up to `list_page_size` names costs `list_page_latency`.
+//   2. A single object can be atomically replaced only a handful of times
+//      per second (Sec 3.5): conditional puts against the same object are
+//      rate-limited and fail with ResourceExhausted beyond
+//      `max_mutations_per_object_per_sec`.
+//   3. Reads/writes have per-operation base latency plus throughput-
+//      proportional transfer time.
+//   4. Cross-cloud reads incur egress, accounted per (source, destination)
+//      cloud pair in bytes (Sec 5.6).
+//
+// The store supports object generations and compare-and-swap puts
+// (`if_generation_match`), which is exactly the primitive Iceberg-style
+// table formats use for atomic snapshot commits.
+
+#ifndef BIGLAKE_OBJSTORE_OBJSTORE_H_
+#define BIGLAKE_OBJSTORE_OBJSTORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_env.h"
+#include "common/status.h"
+
+namespace biglake {
+
+/// Which public cloud a component (store, engine, caller) lives in.
+enum class CloudProvider { kGCP, kAWS, kAzure };
+
+const char* CloudProviderName(CloudProvider p);
+
+/// A (cloud, region) placement, e.g. {kAWS, "us-east-1"}.
+struct CloudLocation {
+  CloudProvider provider = CloudProvider::kGCP;
+  std::string region = "us-central1";
+
+  bool SameCloud(const CloudLocation& other) const {
+    return provider == other.provider;
+  }
+  bool SameRegion(const CloudLocation& other) const {
+    return provider == other.provider && region == other.region;
+  }
+  std::string ToString() const;
+};
+
+/// Metadata returned by Stat/List; mirrors the attribute columns of BigLake
+/// Object tables (Sec 4.1): uri, size, content type, creation time, etc.
+struct ObjectMetadata {
+  std::string name;
+  uint64_t size = 0;
+  uint64_t generation = 0;
+  std::string content_type;
+  SimMicros create_time = 0;
+  SimMicros update_time = 0;
+};
+
+/// Tuning knobs for the simulated store. Defaults approximate public-cloud
+/// behaviour at the scale used by the benches.
+struct ObjectStoreOptions {
+  CloudLocation location;
+
+  /// LIST: page size and per-page round-trip latency.
+  uint64_t list_page_size = 1000;
+  SimMicros list_page_latency = 50'000;  // 50 ms per page
+
+  /// GET/PUT: base per-request latency plus transfer time.
+  SimMicros read_base_latency = 10'000;    // 10 ms first-byte
+  SimMicros write_base_latency = 20'000;   // 20 ms
+  uint64_t read_bytes_per_sec = 200ull << 20;   // 200 MiB/s per stream
+  uint64_t write_bytes_per_sec = 100ull << 20;  // 100 MiB/s per stream
+
+  /// Max atomic replacements of the *same* object per simulated second.
+  /// This is the object-store property that caps the commit rate of pure
+  /// object-store table formats (Sec 3.5).
+  uint64_t max_mutations_per_object_per_sec = 5;
+
+  /// Secret used to sign URLs (per-store, standing in for HMAC keys).
+  uint64_t signing_secret = 0x5167ed1bca7f00d5ULL;
+};
+
+/// Options for conditional writes.
+struct PutOptions {
+  /// If set, the put succeeds only when the object's current generation
+  /// matches (0 means "object must not exist"). Mismatch -> FailedPrecondition.
+  std::optional<uint64_t> if_generation_match;
+  std::string content_type = "application/octet-stream";
+};
+
+struct ListOptions {
+  std::string prefix;
+  std::string page_token;  // empty = first page
+  uint64_t max_results = 0;  // 0 = use store page size
+};
+
+struct ListResult {
+  std::vector<ObjectMetadata> objects;
+  std::string next_page_token;  // empty = listing complete
+};
+
+/// Identity of the caller for egress accounting and (optionally) simulated
+/// per-request latency asymmetry. Cross-cloud reads charge
+/// "egress.<src>.<dst>" byte counters on the SimEnv.
+struct CallerContext {
+  CloudLocation location;
+};
+
+/// An in-memory bucketed object store. Not thread-safe: the simulation is
+/// single-threaded and models parallelism analytically.
+class ObjectStore {
+ public:
+  ObjectStore(SimEnv* env, ObjectStoreOptions options);
+
+  const ObjectStoreOptions& options() const { return options_; }
+  const CloudLocation& location() const { return options_.location; }
+  SimEnv* env() const { return env_; }
+
+  Status CreateBucket(const std::string& bucket);
+  bool BucketExists(const std::string& bucket) const;
+
+  /// Writes (or conditionally replaces) an object. Returns the new
+  /// generation number.
+  Result<uint64_t> Put(const CallerContext& caller, const std::string& bucket,
+                       const std::string& name, std::string data,
+                       const PutOptions& opts = {});
+
+  /// Reads a whole object.
+  Result<std::string> Get(const CallerContext& caller,
+                          const std::string& bucket,
+                          const std::string& name) const;
+
+  /// Reads `length` bytes starting at `offset` (clamped to object size);
+  /// used for footer peeking and column-chunk reads.
+  Result<std::string> GetRange(const CallerContext& caller,
+                               const std::string& bucket,
+                               const std::string& name, uint64_t offset,
+                               uint64_t length) const;
+
+  Result<ObjectMetadata> Stat(const CallerContext& caller,
+                              const std::string& bucket,
+                              const std::string& name) const;
+
+  Status Delete(const CallerContext& caller, const std::string& bucket,
+                const std::string& name);
+
+  /// Paginated listing; each page charges list_page_latency.
+  Result<ListResult> List(const CallerContext& caller,
+                          const std::string& bucket,
+                          const ListOptions& opts) const;
+
+  /// Convenience: drains all pages (paying for each) into one vector.
+  Result<std::vector<ObjectMetadata>> ListAll(const CallerContext& caller,
+                                              const std::string& bucket,
+                                              const std::string& prefix) const;
+
+  uint64_t ObjectCount(const std::string& bucket) const;
+
+  /// Fault injection (tests/benches): the next `count` Put calls after
+  /// skipping `skip_first` successful ones fail with DeadlineExceeded, as a
+  /// transient network/storage fault would.
+  void InjectPutFailures(int count, int skip_first = 0) {
+    injected_put_failures_ = count;
+    injected_put_skip_ = skip_first;
+  }
+
+  /// Creates a signed URL granting read access to one object until `expiry`.
+  /// Signed URLs let governed systems (Object tables) hand out object access
+  /// without sharing bucket credentials (Sec 4.1).
+  std::string SignUrl(const std::string& bucket, const std::string& name,
+                      SimMicros expiry) const;
+
+  /// Fetches via a signed URL; verifies signature and expiry.
+  Result<std::string> GetSigned(const CallerContext& caller,
+                                const std::string& url) const;
+
+ private:
+  struct StoredObject {
+    std::string data;
+    ObjectMetadata meta;
+    /// Timestamps of recent mutations, for the per-object rate limit.
+    std::deque<SimMicros> recent_mutations;
+  };
+  using Bucket = std::map<std::string, StoredObject>;
+
+  /// Charges the virtual latency + egress for moving `bytes` to `caller`.
+  void ChargeTransfer(const CallerContext& caller, SimMicros base_latency,
+                      uint64_t bytes, uint64_t bytes_per_sec,
+                      bool is_read) const;
+
+  Result<const StoredObject*> Find(const std::string& bucket,
+                                   const std::string& name) const;
+
+  SimEnv* env_;
+  ObjectStoreOptions options_;
+  std::map<std::string, Bucket> buckets_;
+  int injected_put_failures_ = 0;
+  int injected_put_skip_ = 0;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_OBJSTORE_OBJSTORE_H_

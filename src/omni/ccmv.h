@@ -1,0 +1,105 @@
+// Cross-Cloud Materialized Views (Sec 5.6.2, Fig 10).
+//
+// A CCMV pairs a *local* materialized view in the source (foreign-cloud)
+// region with a *replica* in the target region:
+//   * Refresh materializes only the partitions whose source state changed
+//     since the last refresh (tracked by per-partition fingerprints over
+//     (file path, generation) pairs), so appends replicate one partition
+//     and upserts/deletes recreate only the partition they touched.
+//   * Replication is stateful file-based copying: local MV files stream to
+//     the target region's storage, paying egress for exactly the bytes that
+//     changed. A full (non-incremental) refresh is provided as the baseline
+//     the paper's egress-saving claims compare against.
+//   * Queries against the replica are entirely local to the target region —
+//     zero cross-cloud traffic at query time.
+
+#ifndef BIGLAKE_OMNI_CCMV_H_
+#define BIGLAKE_OMNI_CCMV_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/read_api.h"
+
+namespace biglake {
+
+struct CcmvDefinition {
+  std::string name;
+  /// Source table (typically a BigLake table in a foreign-cloud region),
+  /// hive-partitioned on `partition_column`.
+  std::string source_table;
+  std::string partition_column;
+  /// Optional row filter applied when materializing (the MV definition).
+  ExprPtr predicate;
+  /// Columns materialized (empty = all).
+  std::vector<std::string> columns;
+  /// Target region for the replica.
+  CloudLocation target_location;
+  std::string target_bucket = "ccmv-replica";
+};
+
+struct CcmvRefreshReport {
+  uint64_t partitions_total = 0;
+  uint64_t partitions_refreshed = 0;
+  uint64_t bytes_replicated = 0;  // cross-cloud egress this refresh
+  SimMicros refresh_micros = 0;
+};
+
+struct CcmvReplicationOptions {
+  uint64_t replication_bytes_per_sec = 40ull << 20;
+  SimMicros per_file_latency = 30'000;
+};
+
+class CcmvService {
+ public:
+  CcmvService(LakehouseEnv* env, StorageReadApi* read_api,
+              CcmvReplicationOptions options = {})
+      : env_(env), read_api_(read_api), options_(options) {}
+
+  /// Registers the view and runs the initial (full) refresh.
+  Result<CcmvRefreshReport> CreateView(CcmvDefinition def);
+
+  /// Incremental refresh: re-materializes and re-replicates only the
+  /// partitions whose source fingerprint changed.
+  Result<CcmvRefreshReport> Refresh(const std::string& name);
+
+  /// Baseline: re-materializes and re-replicates every partition.
+  Result<CcmvRefreshReport> FullRefresh(const std::string& name);
+
+  /// Reads the replica in the target region (no cross-cloud traffic).
+  Result<RecordBatch> QueryReplica(const Principal& principal,
+                                   const std::string& name);
+
+  /// Number of partitions currently tracked.
+  Result<uint64_t> PartitionCount(const std::string& name) const;
+
+ private:
+  struct PartitionState {
+    uint64_t fingerprint = 0;      // hash of (path, generation) pairs
+    std::string replica_object;    // object in the target bucket
+    uint64_t replica_bytes = 0;
+  };
+  struct ViewState {
+    CcmvDefinition def;
+    std::map<std::string, PartitionState> partitions;  // by partition key
+    uint64_t next_file = 1;
+  };
+
+  Result<CcmvRefreshReport> RefreshInternal(ViewState* view,
+                                            bool incremental);
+
+  /// Groups the source table's live files by partition value and
+  /// fingerprints each group.
+  Result<std::map<std::string, uint64_t>> SourceFingerprints(
+      const ViewState& view);
+
+  LakehouseEnv* env_;
+  StorageReadApi* read_api_;
+  CcmvReplicationOptions options_;
+  std::map<std::string, ViewState> views_;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_OMNI_CCMV_H_

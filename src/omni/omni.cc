@@ -1,0 +1,259 @@
+#include "omni/omni.h"
+
+#include <algorithm>
+
+#include "columnar/ipc.h"
+#include "common/strings.h"
+
+namespace biglake {
+
+VpnChannel::VpnChannel(SimEnv* env, RealmRegistry* realms, VpnOptions options)
+    : env_(env), realms_(realms), options_(options) {}
+
+void VpnChannel::RegisterEndpoint(const std::string& realm) {
+  endpoints_.insert(realm);
+}
+
+Status VpnChannel::Transfer(const std::string& from_realm,
+                            const std::string& to_realm, uint64_t bytes) {
+  // IP allowlist: packets from/to unregistered endpoints are dropped.
+  if (endpoints_.count(from_realm) == 0 || endpoints_.count(to_realm) == 0) {
+    env_->counters().Add("vpn.dropped_packets", 1);
+    return Status::PermissionDenied(
+        StrCat("VPN endpoint not allow-listed: ",
+               endpoints_.count(from_realm) == 0 ? from_realm : to_realm));
+  }
+  // Policy engine: realm-to-realm RPC policy.
+  BL_RETURN_NOT_OK(realms_->CheckRpc(from_realm, to_realm));
+  SimMicros transfer = options_.throughput_bytes_per_sec == 0
+                           ? 0
+                           : (bytes * 1'000'000ull) /
+                                 options_.throughput_bytes_per_sec;
+  auto encrypt = static_cast<SimMicros>(options_.encrypt_micros_per_kb *
+                                        static_cast<double>(bytes) / 1024.0);
+  env_->clock().Advance(options_.connection_latency + transfer + encrypt);
+  env_->counters().Add(StrCat("vpn.bytes.", from_realm, ".", to_realm),
+                       bytes);
+  return Status::OK();
+}
+
+OmniRegion::OmniRegion(LakehouseEnv* env, StorageReadApi* read_api,
+                       OmniRegionConfig config, SessionTokenService* tokens,
+                       VpnChannel* vpn)
+    : env_(env),
+      config_(std::move(config)),
+      engine_(env, read_api,
+              [&] {
+                EngineOptions o = config_.engine_options;
+                o.engine_location = config_.location;
+                return o;
+              }()),
+      tokens_(tokens),
+      vpn_(vpn) {}
+
+namespace {
+void CollectScanTables(const PlanPtr& plan, std::vector<std::string>* out) {
+  if (plan->kind == Plan::Kind::kScan) out->push_back(plan->table_id);
+  for (const auto& c : plan->children) CollectScanTables(c, out);
+}
+}  // namespace
+
+Result<QueryResult> OmniRegion::RunSubquery(const SessionToken& token,
+                                            const Credential& scoped_credential,
+                                            const Principal& principal,
+                                            const PlanPtr& plan) {
+  // Untrusted proxy (Sec 5.3.2): validate the session token before any
+  // engine work; then check every table path against both the token's
+  // scopes and the scoped-down credential.
+  SimMicros now = env_->sim().clock().Now();
+  BL_RETURN_NOT_OK(tokens_->Validate(token, realm(), "", now));
+  std::vector<std::string> tables;
+  CollectScanTables(plan, &tables);
+  for (const auto& table_id : tables) {
+    auto table = env_->catalog().GetTable(table_id);
+    if (!table.ok()) continue;  // engine will surface the real error
+    if (!(*table)->UsesObjectStorage()) continue;
+    std::string path = (*table)->bucket + "/" + (*table)->prefix;
+    BL_RETURN_NOT_OK(tokens_->Validate(token, realm(), path, now));
+    BL_RETURN_NOT_OK(CheckCredential(scoped_credential, (*table)->bucket,
+                                     (*table)->prefix, now));
+  }
+  env_->sim().counters().Add("omni.proxy_validations", 1);
+  return engine_.Execute(principal, plan);
+}
+
+OmniJobServer::OmniJobServer(LakehouseEnv* env, StorageReadApi* read_api,
+                             std::string primary_region)
+    : env_(env),
+      read_api_(read_api),
+      primary_region_(std::move(primary_region)),
+      vpn_(&env->sim(), &realms_) {
+  vpn_.RegisterEndpoint("gcp-control-plane");
+}
+
+OmniRegion* OmniJobServer::AddRegion(OmniRegionConfig config) {
+  auto region = std::make_unique<OmniRegion>(env_, read_api_, config,
+                                             &env_->token_service(), &vpn_);
+  OmniRegion* ptr = region.get();
+  regions_[config.name] = std::move(region);
+  // Security realms (Sec 5.3.3): each region only talks to the control
+  // plane and vice versa — never to sibling regions directly. Result
+  // streaming into the primary region is explicitly configured.
+  std::string realm = ptr->realm();
+  vpn_.RegisterEndpoint(realm);
+  realms_.AllowRpc(realm, "gcp-control-plane");
+  realms_.AllowRpc("gcp-control-plane", realm);
+  if (config.name != primary_region_) {
+    auto primary = regions_.find(primary_region_);
+    if (primary != regions_.end()) {
+      realms_.AllowRpc(realm, primary->second->realm());
+    }
+  } else {
+    for (auto& [name, other] : regions_) {
+      if (name != primary_region_) {
+        realms_.AllowRpc(other->realm(), realm);
+      }
+    }
+  }
+  return ptr;
+}
+
+OmniRegion* OmniJobServer::RegionFor(const CloudLocation& location) {
+  for (auto& [name, region] : regions_) {
+    if (region->location().SameRegion(location)) return region.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> OmniJobServer::PathSuperset(const PlanPtr& plan) {
+  std::vector<std::string> tables;
+  CollectScanTables(plan, &tables);
+  std::vector<std::string> paths;
+  for (const auto& table_id : tables) {
+    auto table = env_->catalog().GetTable(table_id);
+    if (table.ok() && (*table)->UsesObjectStorage()) {
+      paths.push_back((*table)->bucket + "/" + (*table)->prefix);
+    }
+  }
+  return paths;
+}
+
+namespace {
+/// True if the subtree can be executed entirely in one region, writing that
+/// region's name to `*region_name`. Subtrees with no scans are pinned
+/// nowhere (pushable anywhere); Map nodes pin to the primary (their
+/// functions cannot be shipped).
+bool SubtreeRegion(const Catalog& catalog,
+                   const std::map<std::string, std::unique_ptr<OmniRegion>>&
+                       regions,
+                   const PlanPtr& plan, std::string* region_name) {
+  if (plan->kind == Plan::Kind::kMap) return false;
+  if (plan->kind == Plan::Kind::kScan) {
+    auto table = catalog.GetTable(plan->table_id);
+    if (!table.ok()) return false;
+    for (const auto& [name, region] : regions) {
+      if (region->location().SameRegion((*table)->location)) {
+        if (!region_name->empty() && *region_name != name) return false;
+        *region_name = name;
+        return true;
+      }
+    }
+    return false;
+  }
+  for (const auto& child : plan->children) {
+    if (!SubtreeRegion(catalog, regions, child, region_name)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Result<PlanPtr> OmniJobServer::PushDownRemoteScans(
+    const Principal& principal, const PlanPtr& plan,
+    const std::string& query_id, CrossCloudQueryStats* stats) {
+  // Push the largest remote-only subtree: scans, filters, projections and
+  // aggregations all run where the data lives, so only (small) results
+  // stream across the VPN.
+  std::string subtree_region;
+  if (SubtreeRegion(env_->catalog(), regions_, plan, &subtree_region) &&
+      !subtree_region.empty() && subtree_region != primary_region_) {
+    OmniRegion* region = regions_[subtree_region].get();
+    // Regional subquery: the scan (with its pushed-down filters and
+    // projection) runs where the data lives; only results cross clouds.
+    SimMicros expiry = env_->sim().clock().Now() + 300'000'000;
+    std::vector<std::string> scopes = PathSuperset(plan);
+    SessionToken token = env_->token_service().Mint(
+        query_id, principal, region->realm(), scopes, expiry);
+    // Per-query credential scoping (Sec 5.3.1): the worker credential is
+    // narrowed to exactly the paths this subquery touches.
+    Credential scoped;
+    scoped.principal = "sa:omni-worker";
+    scoped = scoped.ScopeDown(scopes, expiry);
+    BL_ASSIGN_OR_RETURN(QueryResult sub,
+                        region->RunSubquery(token, scoped, principal, plan));
+    ++stats->regional_subqueries;
+
+    // Stream the (filtered) results to the primary region as a temp table
+    // (a cross-region CTAS in the paper), over the VPN.
+    std::string wire = SerializeBatch(sub.batch);
+    OmniRegion* primary = regions_.count(primary_region_) > 0
+                              ? regions_[primary_region_].get()
+                              : nullptr;
+    std::string to_realm = primary != nullptr ? primary->realm()
+                                              : "gcp-control-plane";
+    BL_RETURN_NOT_OK(vpn_.Transfer(region->realm(), to_realm, wire.size()));
+    stats->cross_cloud_bytes += wire.size();
+    env_->sim().counters().Add("omni.cross_cloud_result_bytes", wire.size());
+    return Plan::Values(std::move(sub.batch));
+  }
+  // Recurse; rebuild only when a child changed.
+  std::vector<PlanPtr> new_children;
+  bool changed = false;
+  for (const auto& child : plan->children) {
+    BL_ASSIGN_OR_RETURN(PlanPtr rewritten,
+                        PushDownRemoteScans(principal, child, query_id,
+                                            stats));
+    changed = changed || rewritten != child;
+    new_children.push_back(std::move(rewritten));
+  }
+  if (!changed) return plan;
+  auto copy = std::make_shared<Plan>(*plan);
+  copy->children = std::move(new_children);
+  return PlanPtr(std::move(copy));
+}
+
+Result<CrossCloudResult> OmniJobServer::ExecuteQuery(
+    const Principal& principal, const PlanPtr& plan) {
+  if (regions_.count(primary_region_) == 0) {
+    return Status::FailedPrecondition(
+        StrCat("primary region `", primary_region_, "` is not registered"));
+  }
+  std::string query_id = StrCat("q-", next_query_++);
+  CrossCloudResult result;
+  SimTimer timer(env_->sim());
+
+  // Pre-processing on the control plane: validation, authz (delegated to
+  // the Read API at scan time), metadata lookups, then regional dispatch.
+  env_->sim().Charge("omni.jobserver_queries", 2'000);
+
+  BL_ASSIGN_OR_RETURN(
+      PlanPtr rewritten,
+      PushDownRemoteScans(principal, plan, query_id, &result.stats));
+
+  // Final plan runs in the primary region, itself guarded by a token.
+  OmniRegion* primary = regions_[primary_region_].get();
+  std::vector<std::string> scopes = PathSuperset(rewritten);
+  SessionToken token = env_->token_service().Mint(
+      query_id, principal, primary->realm(), scopes,
+      env_->sim().clock().Now() + 300'000'000);
+  Credential internal;
+  internal.principal = "sa:bigquery-internal";
+  BL_ASSIGN_OR_RETURN(QueryResult final_result,
+                      primary->RunSubquery(token, internal, principal,
+                                           rewritten));
+  result.batch = std::move(final_result.batch);
+  result.stats.final_stats = final_result.stats;
+  result.stats.wall_micros = timer.ElapsedMicros();
+  return result;
+}
+
+}  // namespace biglake

@@ -1,0 +1,254 @@
+#include "security/security.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/strings.h"
+
+namespace biglake {
+
+void IamPolicy::Grant(const Principal& principal, Role role) {
+  Role& existing = bindings_[principal];
+  if (role > existing) existing = role;
+}
+
+void IamPolicy::Revoke(const Principal& principal) {
+  bindings_.erase(principal);
+}
+
+Role IamPolicy::RoleOf(const Principal& principal) const {
+  Role best = Role::kNone;
+  auto it = bindings_.find(principal);
+  if (it != bindings_.end()) best = it->second;
+  auto wildcard = bindings_.find("*");
+  if (wildcard != bindings_.end() && wildcard->second > best) {
+    best = wildcard->second;
+  }
+  return best;
+}
+
+bool IamPolicy::Allows(const Principal& principal, Role needed) const {
+  return RoleOf(principal) >= needed;
+}
+
+Credential Credential::ScopeDown(std::vector<std::string> prefixes,
+                                 SimMicros new_expiry) const {
+  Credential scoped = *this;
+  if (!scoped.path_scopes.has_value()) {
+    scoped.path_scopes = std::move(prefixes);
+  } else {
+    // Intersection: keep new prefixes that fall under an existing scope.
+    std::vector<std::string> kept;
+    for (const auto& p : prefixes) {
+      for (const auto& existing : *scoped.path_scopes) {
+        if (StartsWith(p, existing)) {
+          kept.push_back(p);
+          break;
+        }
+      }
+    }
+    scoped.path_scopes = std::move(kept);
+  }
+  if (new_expiry != 0 &&
+      (scoped.expiry == 0 || new_expiry < scoped.expiry)) {
+    scoped.expiry = new_expiry;
+  }
+  return scoped;
+}
+
+Status CheckCredential(const Credential& cred, const std::string& bucket,
+                       const std::string& path, SimMicros now) {
+  if (cred.expiry != 0 && now > cred.expiry) {
+    return Status::Unauthenticated(
+        StrCat("credential for ", cred.principal, " expired"));
+  }
+  if (!cred.path_scopes.has_value()) return Status::OK();
+  std::string full = bucket + "/" + path;
+  for (const auto& prefix : *cred.path_scopes) {
+    if (StartsWith(full, prefix)) return Status::OK();
+  }
+  return Status::PermissionDenied(
+      StrCat("credential for ", cred.principal, " is not scoped to `", full,
+             "`"));
+}
+
+Column ApplyMask(const Column& col, MaskType mask) {
+  size_t n = col.length();
+  switch (mask) {
+    case MaskType::kNullify:
+      return Column::MakeNull(col.type(), n);
+    case MaskType::kHash: {
+      // Deterministic token; equal inputs map to equal tokens so joins on
+      // masked keys still group correctly, but values are unrecoverable.
+      std::vector<std::string> out(n);
+      std::vector<uint8_t> validity;
+      bool any_null = false;
+      for (size_t i = 0; i < n; ++i) {
+        Value v = col.GetValue(i);
+        if (v.is_null()) {
+          any_null = true;
+          out[i] = "";
+        } else {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "h%016llx",
+                        static_cast<unsigned long long>(
+                            Fnv1a64(v.ToString())));
+          out[i] = buf;
+        }
+      }
+      if (any_null) {
+        validity.assign(n, 1);
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(i)) validity[i] = 0;
+        }
+      }
+      return Column::MakeString(std::move(out), std::move(validity));
+    }
+    case MaskType::kRedact: {
+      std::vector<std::string> out(n, "REDACTED");
+      std::vector<uint8_t> validity;
+      if (col.has_validity()) {
+        validity.assign(n, 1);
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(i)) validity[i] = 0;
+        }
+      }
+      return Column::MakeString(std::move(out), std::move(validity));
+    }
+    case MaskType::kLastFour: {
+      std::vector<std::string> out(n);
+      std::vector<uint8_t> validity;
+      bool any_null = false;
+      for (size_t i = 0; i < n; ++i) {
+        Value v = col.GetValue(i);
+        if (v.is_null()) {
+          any_null = true;
+          continue;
+        }
+        std::string s = v.is_string() ? v.string_value() : v.ToString();
+        if (s.size() <= 4) {
+          out[i] = s;
+        } else {
+          out[i] = std::string(s.size() - 4, 'X') + s.substr(s.size() - 4);
+        }
+      }
+      if (any_null) {
+        validity.assign(n, 1);
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(i)) validity[i] = 0;
+        }
+      }
+      return Column::MakeString(std::move(out), std::move(validity));
+    }
+  }
+  return Column::MakeNull(col.type(), n);
+}
+
+namespace {
+bool Granted(const std::set<Principal>& grantees, const Principal& p) {
+  return grantees.count(p) > 0 || grantees.count("*") > 0;
+}
+}  // namespace
+
+Result<EffectiveAccess> ResolveAccess(
+    const TablePolicy& policy, const Principal& principal,
+    const std::vector<std::string>& columns) {
+  EffectiveAccess access;
+  // Row policies: OR of the filters granted to this principal.
+  if (policy.HasRowPolicies()) {
+    ExprPtr combined;
+    for (const RowAccessPolicy& rp : policy.row_policies) {
+      if (!Granted(rp.grantees, principal)) continue;
+      combined = combined == nullptr ? rp.filter
+                                     : Expr::Or(combined, rp.filter);
+    }
+    if (combined == nullptr) {
+      access.deny_all_rows = true;
+    } else {
+      access.row_filter = combined;
+    }
+  }
+  // Column rules.
+  for (const std::string& col : columns) {
+    auto it = policy.column_rules.find(col);
+    if (it == policy.column_rules.end()) continue;
+    const ColumnRule& rule = it->second;
+    if (Granted(rule.clear_readers, principal)) continue;
+    if (rule.deny_instead_of_mask) {
+      return Status::PermissionDenied(
+          StrCat(principal, " may not read column `", col, "`"));
+    }
+    access.masked_columns[col] = rule.mask;
+  }
+  return access;
+}
+
+SessionToken SessionTokenService::Mint(const std::string& query_id,
+                                       const Principal& principal,
+                                       const std::string& realm,
+                                       std::vector<std::string> path_scopes,
+                                       SimMicros expiry) const {
+  SessionToken token;
+  token.query_id = query_id;
+  token.principal = principal;
+  token.realm = realm;
+  token.path_scopes = std::move(path_scopes);
+  token.expiry = expiry;
+  token.signature = Sign(token);
+  return token;
+}
+
+uint64_t SessionTokenService::Sign(const SessionToken& token) const {
+  std::string payload =
+      StrCat(token.query_id, "|", token.principal, "|", token.realm, "|",
+             token.expiry, "|", Join(token.path_scopes, ","));
+  return Fnv1a64(payload, secret_);
+}
+
+Status SessionTokenService::Validate(const SessionToken& token,
+                                     const std::string& realm,
+                                     const std::string& accessed_path,
+                                     SimMicros now) const {
+  if (token.signature != Sign(token)) {
+    return Status::Unauthenticated("session token signature mismatch");
+  }
+  if (token.realm != realm) {
+    return Status::PermissionDenied(
+        StrCat("session token realm `", token.realm,
+               "` does not match service realm `", realm, "`"));
+  }
+  if (token.expiry != 0 && now > token.expiry) {
+    return Status::Unauthenticated("session token expired");
+  }
+  if (!accessed_path.empty()) {
+    bool in_scope = false;
+    for (const auto& scope : token.path_scopes) {
+      if (StartsWith(accessed_path, scope)) {
+        in_scope = true;
+        break;
+      }
+    }
+    if (!in_scope) {
+      return Status::PermissionDenied(
+          StrCat("query ", token.query_id, " is not scoped to `",
+                 accessed_path, "`"));
+    }
+  }
+  return Status::OK();
+}
+
+void RealmRegistry::AllowRpc(const std::string& from_realm,
+                             const std::string& to_realm) {
+  allowed_.emplace(from_realm, to_realm);
+}
+
+Status RealmRegistry::CheckRpc(const std::string& from_realm,
+                               const std::string& to_realm) const {
+  if (from_realm == to_realm) return Status::OK();
+  if (allowed_.count({from_realm, to_realm}) > 0) return Status::OK();
+  return Status::PermissionDenied(
+      StrCat("RPC from realm `", from_realm, "` to `", to_realm,
+             "` is not allowed"));
+}
+
+}  // namespace biglake

@@ -1,0 +1,427 @@
+#include "workload/tpcds_lite.h"
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "format/parquet_lite.h"
+
+namespace biglake {
+
+namespace {
+
+const char* kCategories[] = {"electronics", "grocery", "apparel", "sports",
+                             "home", "toys"};
+const char* kRegions[] = {"east", "west", "north", "south"};
+const char* kSegments[] = {"consumer", "corporate", "smb"};
+const char* kStates[] = {"CA", "NY", "TX", "WA", "FL"};
+
+Status PutParquet(ObjectStore* store, const CloudLocation& loc,
+                  const std::string& bucket, const std::string& name,
+                  const RecordBatch& batch) {
+  BL_ASSIGN_OR_RETURN(std::string bytes, WriteParquetFile(batch));
+  PutOptions po;
+  po.content_type = "application/x-parquet-lite";
+  CallerContext ctx{.location = loc};
+  return store->Put(ctx, bucket, name, std::move(bytes), po).status();
+}
+
+}  // namespace
+
+SchemaPtr StoreSalesSchema() {
+  return MakeSchema({{"ss_item_id", DataType::kInt64, false},
+                     {"ss_customer_id", DataType::kInt64, false},
+                     {"ss_store_id", DataType::kInt64, false},
+                     {"ss_quantity", DataType::kInt64, false},
+                     {"ss_sales_price", DataType::kDouble, false},
+                     {"ss_net_profit", DataType::kDouble, false}});
+}
+
+SchemaPtr ItemSchema() {
+  return MakeSchema({{"i_item_id", DataType::kInt64, false},
+                     {"i_category", DataType::kString, false},
+                     {"i_brand", DataType::kString, false},
+                     {"i_price", DataType::kDouble, false}});
+}
+
+SchemaPtr CustomerSchema() {
+  return MakeSchema({{"c_customer_id", DataType::kInt64, false},
+                     {"c_region", DataType::kString, false},
+                     {"c_segment", DataType::kString, false}});
+}
+
+SchemaPtr StoreSchema() {
+  return MakeSchema({{"s_store_id", DataType::kInt64, false},
+                     {"s_state", DataType::kString, false}});
+}
+
+SchemaPtr DateDimSchema() {
+  return MakeSchema({{"d_date_key", DataType::kInt64, false},
+                     {"d_month", DataType::kInt64, false},
+                     {"d_is_holiday", DataType::kBool, false}});
+}
+
+Result<TpcdsTables> SetupTpcds(LakehouseEnv* env,
+                               BigLakeTableService* biglake,
+                               BlmtService* blmt, ObjectStore* store,
+                               const std::string& bucket,
+                               const std::string& prefix,
+                               const std::string& dataset,
+                               const TpcdsScale& scale, bool cached,
+                               const std::string& connection) {
+  Random rng(scale.seed);
+  const CloudLocation& loc = store->location();
+
+  // Fact: one Parquet-lite file per day partition.
+  for (int day = 0; day < scale.days; ++day) {
+    BatchBuilder b(StoreSalesSchema());
+    for (size_t r = 0; r < scale.rows_per_day; ++r) {
+      int64_t item = static_cast<int64_t>(
+          rng.Skewed(static_cast<uint64_t>(scale.num_items)));
+      double price = 1.0 + rng.NextDouble() * 99.0;
+      int64_t qty = 1 + static_cast<int64_t>(rng.Uniform(9));
+      BL_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(item),
+           Value::Int64(static_cast<int64_t>(
+               rng.Uniform(static_cast<uint64_t>(scale.num_customers)))),
+           Value::Int64(static_cast<int64_t>(
+               rng.Uniform(static_cast<uint64_t>(scale.num_stores)))),
+           Value::Int64(qty), Value::Double(price * qty),
+           Value::Double(price * qty * (rng.NextDouble() - 0.3))}));
+    }
+    BL_RETURN_NOT_OK(PutParquet(
+        store, loc, bucket,
+        StrCat(prefix, "ss_sold_date=", day, "/part-0.plk"), b.Finish()));
+  }
+
+  TpcdsTables tables;
+  // Fact table: BigLake external over the lake.
+  TableDef fact;
+  fact.dataset = dataset;
+  fact.name = "store_sales";
+  fact.kind = TableKind::kBigLake;
+  fact.schema = StoreSalesSchema();
+  fact.connection = connection;
+  fact.location = loc;
+  fact.bucket = bucket;
+  fact.prefix = prefix;
+  fact.partition_columns = {"ss_sold_date"};
+  fact.metadata_cache_enabled = cached;
+  if (!cached) fact.kind = TableKind::kExternalLegacy;
+  fact.iam.Grant("*", Role::kReader);
+  BL_RETURN_NOT_OK(biglake->CreateBigLakeTable(fact));
+  tables.store_sales = fact.id();
+
+  // Dimensions as BLMTs.
+  auto make_dim = [&](const std::string& name, SchemaPtr schema,
+                      RecordBatch rows) -> Result<std::string> {
+    TableDef def;
+    def.dataset = dataset;
+    def.name = name;
+    def.schema = std::move(schema);
+    def.connection = connection;
+    def.location = loc;
+    def.bucket = bucket;
+    def.prefix = StrCat(prefix.substr(0, prefix.find_last_of('/')), "_dims/", name, "/");
+    def.iam.Grant("*", Role::kWriter);
+    BL_RETURN_NOT_OK(blmt->CreateTable(def));
+    BL_RETURN_NOT_OK(blmt->Insert("sa:loader", def.id(), rows).status());
+    return def.id();
+  };
+
+  {
+    BatchBuilder b(ItemSchema());
+    for (int64_t i = 0; i < scale.num_items; ++i) {
+      BL_RETURN_NOT_OK(
+          b.AppendRow({Value::Int64(i),
+                       Value::String(kCategories[rng.Uniform(6)]),
+                       Value::String(StrCat("brand-", rng.Uniform(20))),
+                       Value::Double(1.0 + rng.NextDouble() * 99.0)}));
+    }
+    BL_ASSIGN_OR_RETURN(tables.item, make_dim("item", ItemSchema(),
+                                              b.Finish()));
+  }
+  {
+    BatchBuilder b(CustomerSchema());
+    for (int64_t c = 0; c < scale.num_customers; ++c) {
+      BL_RETURN_NOT_OK(b.AppendRow({Value::Int64(c),
+                                    Value::String(kRegions[rng.Uniform(4)]),
+                                    Value::String(kSegments[rng.Uniform(3)])}));
+    }
+    BL_ASSIGN_OR_RETURN(tables.customer,
+                        make_dim("customer", CustomerSchema(), b.Finish()));
+  }
+  {
+    BatchBuilder b(StoreSchema());
+    for (int64_t s = 0; s < scale.num_stores; ++s) {
+      BL_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(s), Value::String(kStates[rng.Uniform(5)])}));
+    }
+    BL_ASSIGN_OR_RETURN(tables.store, make_dim("store", StoreSchema(),
+                                               b.Finish()));
+  }
+  {
+    BatchBuilder b(DateDimSchema());
+    for (int d = 0; d < scale.days; ++d) {
+      BL_RETURN_NOT_OK(b.AppendRow({Value::Int64(d), Value::Int64(d / 30 + 1),
+                                    Value::Bool(d % 7 == 0)}));
+    }
+    BL_ASSIGN_OR_RETURN(tables.date_dim,
+                        make_dim("date_dim", DateDimSchema(), b.Finish()));
+  }
+  return tables;
+}
+
+std::vector<NamedQuery> TpcdsQueries(const TpcdsTables& t,
+                                     const TpcdsScale& scale) {
+  std::vector<NamedQuery> queries;
+  int64_t mid_day = scale.days / 2;
+
+  // Q1: single-partition scan + aggregation (pruning-dominated).
+  queries.push_back(
+      {"q01_daily_revenue",
+       Plan::Aggregate(
+           Plan::Scan(t.store_sales, {},
+                      Expr::Eq(Expr::Col("ss_sold_date"),
+                               Expr::Lit(Value::Int64(mid_day)))),
+           {}, {{AggOp::kSum, "ss_sales_price", "revenue"},
+                {AggOp::kCount, "", "sales"}})});
+
+  // Q2: date-range scan + group by store (range pruning).
+  queries.push_back(
+      {"q02_weekly_by_store",
+       Plan::Aggregate(
+           Plan::Scan(
+               t.store_sales, {},
+               Expr::And(Expr::Ge(Expr::Col("ss_sold_date"),
+                                  Expr::Lit(Value::Int64(mid_day - 3))),
+                         Expr::Le(Expr::Col("ss_sold_date"),
+                                  Expr::Lit(Value::Int64(mid_day + 3))))),
+           {"ss_store_id"}, {{AggOp::kSum, "ss_net_profit", "profit"}})});
+
+  // Q3: star join fact-item filtered by category, grouped by brand.
+  queries.push_back(
+      {"q03_category_brand",
+       Plan::Aggregate(
+           Plan::HashJoin(
+               Plan::Filter(Plan::Scan(t.item),
+                            Expr::Eq(Expr::Col("i_category"),
+                                     Expr::Lit(Value::String("electronics")))),
+               Plan::Scan(t.store_sales), {"i_item_id"}, {"ss_item_id"}),
+           {"i_brand"}, {{AggOp::kSum, "ss_sales_price", "revenue"}})});
+
+  // Q4: snowflake join via date_dim holidays — the DPP showcase: the
+  // filtered date dimension prunes fact partitions at runtime.
+  queries.push_back(
+      {"q04_holiday_profit",
+       Plan::Aggregate(
+           Plan::HashJoin(
+               Plan::Filter(Plan::Scan(t.date_dim),
+                            Expr::Eq(Expr::Col("d_is_holiday"),
+                                     Expr::Lit(Value::Bool(true)))),
+               Plan::Scan(t.store_sales), {"d_date_key"}, {"ss_sold_date"}),
+           {}, {{AggOp::kSum, "ss_net_profit", "profit"},
+                {AggOp::kCount, "", "sales"}})});
+
+  // Q5: fact written on the build side — stats must swap it.
+  queries.push_back(
+      {"q05_region_revenue",
+       Plan::Aggregate(
+           Plan::HashJoin(Plan::Scan(t.store_sales), Plan::Scan(t.customer),
+                          {"ss_customer_id"}, {"c_customer_id"}),
+           {"c_region"}, {{AggOp::kSum, "ss_sales_price", "revenue"}})});
+
+  // Q6: three-way snowflake: holidays x stores x fact.
+  queries.push_back(
+      {"q06_holiday_state",
+       Plan::Aggregate(
+           Plan::HashJoin(
+               Plan::Scan(t.store),
+               Plan::HashJoin(
+                   Plan::Filter(Plan::Scan(t.date_dim),
+                                Expr::Eq(Expr::Col("d_is_holiday"),
+                                         Expr::Lit(Value::Bool(true)))),
+                   Plan::Scan(t.store_sales), {"d_date_key"},
+                   {"ss_sold_date"}),
+               {"s_store_id"}, {"ss_store_id"}),
+           {"s_state"}, {{AggOp::kSum, "ss_sales_price", "revenue"}})});
+
+  // Q7: selective recent-window top-sellers (pruning + order by + limit).
+  queries.push_back(
+      {"q07_recent_top_items",
+       Plan::Limit(
+           Plan::OrderBy(
+               Plan::Aggregate(
+                   Plan::Scan(t.store_sales, {},
+                              Expr::Ge(Expr::Col("ss_sold_date"),
+                                       Expr::Lit(Value::Int64(
+                                           scale.days - 2)))),
+                   {"ss_item_id"},
+                   {{AggOp::kSum, "ss_quantity", "units"}}),
+               {{"units", /*descending=*/true}}),
+           10)});
+
+  // Q8: full scan aggregate (no pruning possible — the floor).
+  queries.push_back(
+      {"q08_total_profit",
+       Plan::Aggregate(Plan::Scan(t.store_sales), {},
+                       {{AggOp::kSum, "ss_net_profit", "profit"}})});
+  return queries;
+}
+
+// ---- TPC-H-lite -------------------------------------------------------------
+
+SchemaPtr LineitemSchema() {
+  return MakeSchema({{"l_orderkey", DataType::kInt64, false},
+                     {"l_quantity", DataType::kInt64, false},
+                     {"l_extendedprice", DataType::kDouble, false},
+                     {"l_discount", DataType::kDouble, false},
+                     {"l_shipdate", DataType::kInt64, false},
+                     {"l_returnflag", DataType::kString, false}});
+}
+
+SchemaPtr OrdersSchema() {
+  return MakeSchema({{"o_orderkey", DataType::kInt64, false},
+                     {"o_custkey", DataType::kInt64, false},
+                     {"o_orderdate", DataType::kInt64, false},
+                     {"o_totalprice", DataType::kDouble, false}});
+}
+
+SchemaPtr TpchCustomerSchema() {
+  return MakeSchema({{"cu_custkey", DataType::kInt64, false},
+                     {"cu_mktsegment", DataType::kString, false}});
+}
+
+Result<TpchTables> SetupTpch(LakehouseEnv* env, BigLakeTableService* biglake,
+                             BlmtService* blmt, ObjectStore* store,
+                             const std::string& bucket,
+                             const std::string& prefix,
+                             const std::string& dataset,
+                             const TpchScale& scale,
+                             const std::string& connection) {
+  Random rng(scale.seed);
+  const CloudLocation& loc = store->location();
+  size_t rows_per_file = scale.lineitem_rows /
+                         static_cast<size_t>(scale.num_files);
+  for (int f = 0; f < scale.num_files; ++f) {
+    BatchBuilder b(LineitemSchema());
+    for (size_t r = 0; r < rows_per_file; ++r) {
+      static const char* kFlags[] = {"A", "N", "R"};
+      BL_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(static_cast<int64_t>(
+               rng.Uniform(static_cast<uint64_t>(scale.num_orders)))),
+           Value::Int64(1 + static_cast<int64_t>(rng.Uniform(50))),
+           Value::Double(10.0 + rng.NextDouble() * 990.0),
+           Value::Double(rng.NextDouble() * 0.1),
+           Value::Int64(static_cast<int64_t>(rng.Uniform(365))),
+           Value::String(kFlags[rng.Uniform(3)])}));
+    }
+    BL_RETURN_NOT_OK(PutParquet(store, loc, bucket,
+                                StrCat(prefix, "lineitem/part-", f, ".plk"),
+                                b.Finish()));
+  }
+
+  TpchTables tables;
+  TableDef li;
+  li.dataset = dataset;
+  li.name = "lineitem";
+  li.kind = TableKind::kBigLake;
+  li.schema = LineitemSchema();
+  li.connection = connection;
+  li.location = loc;
+  li.bucket = bucket;
+  li.prefix = prefix + "lineitem/";
+  li.iam.Grant("*", Role::kReader);
+  BL_RETURN_NOT_OK(biglake->CreateBigLakeTable(li));
+  tables.lineitem = li.id();
+
+  auto make_dim = [&](const std::string& name, SchemaPtr schema,
+                      RecordBatch rows) -> Result<std::string> {
+    TableDef def;
+    def.dataset = dataset;
+    def.name = name;
+    def.schema = std::move(schema);
+    def.connection = connection;
+    def.location = loc;
+    def.bucket = bucket;
+    def.prefix = StrCat(prefix.substr(0, prefix.find_last_of('/')), "_dims/", name, "/");
+    def.iam.Grant("*", Role::kWriter);
+    BL_RETURN_NOT_OK(blmt->CreateTable(def));
+    BL_RETURN_NOT_OK(blmt->Insert("sa:loader", def.id(), rows).status());
+    return def.id();
+  };
+  {
+    BatchBuilder b(OrdersSchema());
+    for (int64_t o = 0; o < scale.num_orders; ++o) {
+      BL_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(o),
+           Value::Int64(static_cast<int64_t>(
+               rng.Uniform(static_cast<uint64_t>(scale.num_customers)))),
+           Value::Int64(static_cast<int64_t>(rng.Uniform(365))),
+           Value::Double(100.0 + rng.NextDouble() * 10000.0)}));
+    }
+    BL_ASSIGN_OR_RETURN(tables.orders,
+                        make_dim("orders", OrdersSchema(), b.Finish()));
+  }
+  {
+    BatchBuilder b(TpchCustomerSchema());
+    static const char* kSegs[] = {"BUILDING", "MACHINERY", "AUTOMOBILE"};
+    for (int64_t c = 0; c < scale.num_customers; ++c) {
+      BL_RETURN_NOT_OK(b.AppendRow(
+          {Value::Int64(c), Value::String(kSegs[rng.Uniform(3)])}));
+    }
+    BL_ASSIGN_OR_RETURN(
+        tables.customer,
+        make_dim("tpch_customer", TpchCustomerSchema(), b.Finish()));
+  }
+  return tables;
+}
+
+std::vector<NamedQuery> TpchQueries(const TpchTables& t) {
+  std::vector<NamedQuery> queries;
+  // Q1-like: pricing summary by return flag.
+  queries.push_back(
+      {"q1_pricing_summary",
+       Plan::Aggregate(
+           Plan::Scan(t.lineitem, {},
+                      Expr::Le(Expr::Col("l_shipdate"),
+                               Expr::Lit(Value::Int64(300)))),
+           {"l_returnflag"},
+           {{AggOp::kSum, "l_quantity", "sum_qty"},
+            {AggOp::kSum, "l_extendedprice", "sum_price"},
+            {AggOp::kAvg, "l_discount", "avg_disc"},
+            {AggOp::kCount, "", "count_order"}})});
+  // Q3-like: revenue of BUILDING-segment orders.
+  queries.push_back(
+      {"q3_shipping_priority",
+       Plan::Limit(
+           Plan::OrderBy(
+               Plan::Aggregate(
+                   Plan::HashJoin(
+                       Plan::HashJoin(
+                           Plan::Filter(
+                               Plan::Scan(t.customer),
+                               Expr::Eq(Expr::Col("cu_mktsegment"),
+                                        Expr::Lit(Value::String("BUILDING")))),
+                           Plan::Scan(t.orders), {"cu_custkey"},
+                           {"o_custkey"}),
+                       Plan::Scan(t.lineitem), {"o_orderkey"},
+                       {"l_orderkey"}),
+                   {"o_orderkey"},
+                   {{AggOp::kSum, "l_extendedprice", "revenue"}}),
+               {{"revenue", true}}),
+           10)});
+  // Q6-like: forecast revenue change (selective scan, no join).
+  queries.push_back(
+      {"q6_forecast_revenue",
+       Plan::Aggregate(
+           Plan::Scan(
+               t.lineitem, {},
+               Expr::And(Expr::Lt(Expr::Col("l_shipdate"),
+                                  Expr::Lit(Value::Int64(90))),
+                         Expr::Lt(Expr::Col("l_discount"),
+                                  Expr::Lit(Value::Double(0.05))))),
+           {}, {{AggOp::kSum, "l_extendedprice", "revenue"},
+                {AggOp::kCount, "", "n"}})});
+  return queries;
+}
+
+}  // namespace biglake

@@ -1,0 +1,102 @@
+// TPC-DS-lite / TPC-H-lite: synthetic star- and snowflake-schema workloads.
+//
+// Stand-ins for the 10T TPC-DS power run of Sec 3.3/Fig 4 and the TPC-DS/
+// TPC-H runs of Sec 3.4, scaled to laptop size. The *shape* the benches need
+// is preserved: a date-partitioned fact table with many files on object
+// storage, small dimension tables, skewed categorical data, and queries
+// whose plans benefit from (a) partition/file pruning via cached statistics,
+// (b) statistics-driven build-side selection, and (c) dynamic partition
+// pruning on snowflake joins.
+
+#ifndef BIGLAKE_WORKLOAD_TPCDS_LITE_H_
+#define BIGLAKE_WORKLOAD_TPCDS_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "engine/plan.h"
+
+namespace biglake {
+
+struct TpcdsScale {
+  int days = 30;                 // fact partitions (one file per day)
+  size_t rows_per_day = 2000;    // fact rows per partition
+  int64_t num_items = 200;
+  int64_t num_customers = 500;
+  int64_t num_stores = 10;
+  uint64_t seed = 2024;
+};
+
+/// Table ids created by SetupTpcds.
+struct TpcdsTables {
+  std::string store_sales;  // BigLake table over the partitioned lake
+  std::string item;
+  std::string customer;
+  std::string store;
+  std::string date_dim;
+};
+
+SchemaPtr StoreSalesSchema();
+SchemaPtr ItemSchema();
+SchemaPtr CustomerSchema();
+SchemaPtr StoreSchema();
+SchemaPtr DateDimSchema();
+
+/// Generates the lake (fact files partitioned by sold_date under
+/// `prefix`) and dimension BLMTs; creates catalog tables in dataset `ds`.
+/// `cached` controls whether the fact table gets a metadata cache — the
+/// Fig 3/4 before/after switch.
+Result<TpcdsTables> SetupTpcds(LakehouseEnv* env,
+                               BigLakeTableService* biglake,
+                               BlmtService* blmt, ObjectStore* store,
+                               const std::string& bucket,
+                               const std::string& prefix,
+                               const std::string& dataset,
+                               const TpcdsScale& scale, bool cached,
+                               const std::string& connection);
+
+struct NamedQuery {
+  std::string name;
+  PlanPtr plan;
+};
+
+/// The TPC-DS-lite power-run suite: a mix of pruned scans, star joins,
+/// snowflake joins and aggregations over the tables from SetupTpcds.
+std::vector<NamedQuery> TpcdsQueries(const TpcdsTables& tables,
+                                     const TpcdsScale& scale);
+
+// ---- TPC-H-lite -------------------------------------------------------------
+
+struct TpchScale {
+  size_t lineitem_rows = 30000;
+  int64_t num_orders = 5000;
+  int64_t num_customers = 300;
+  int num_files = 20;
+  uint64_t seed = 7;
+};
+
+struct TpchTables {
+  std::string lineitem;  // BigLake table on object storage
+  std::string orders;
+  std::string customer;
+};
+
+SchemaPtr LineitemSchema();
+SchemaPtr OrdersSchema();
+SchemaPtr TpchCustomerSchema();
+
+Result<TpchTables> SetupTpch(LakehouseEnv* env, BigLakeTableService* biglake,
+                             BlmtService* blmt, ObjectStore* store,
+                             const std::string& bucket,
+                             const std::string& prefix,
+                             const std::string& dataset,
+                             const TpchScale& scale,
+                             const std::string& connection);
+
+std::vector<NamedQuery> TpchQueries(const TpchTables& tables);
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_WORKLOAD_TPCDS_LITE_H_

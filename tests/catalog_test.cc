@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace biglake {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() {
+    EXPECT_TRUE(catalog_.CreateDataset("ds").ok());
+    Connection conn;
+    conn.name = "us.conn";
+    conn.service_account.principal = "sa:conn";
+    EXPECT_TRUE(catalog_.CreateConnection(conn).ok());
+  }
+
+  TableDef BigLakeDef(const std::string& name) {
+    TableDef def;
+    def.dataset = "ds";
+    def.name = name;
+    def.kind = TableKind::kBigLake;
+    def.schema = MakeSchema({{"x", DataType::kInt64, true}});
+    def.connection = "us.conn";
+    def.bucket = "b";
+    def.prefix = "p/";
+    return def;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, DatasetLifecycle) {
+  EXPECT_TRUE(catalog_.HasDataset("ds"));
+  EXPECT_FALSE(catalog_.HasDataset("nope"));
+  EXPECT_TRUE(catalog_.CreateDataset("ds").IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, TableCrud) {
+  ASSERT_TRUE(catalog_.CreateTable(BigLakeDef("t")).ok());
+  auto table = catalog_.GetTable("ds.t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->id(), "ds.t");
+  EXPECT_EQ((*table)->kind, TableKind::kBigLake);
+  EXPECT_TRUE((*table)->UsesObjectStorage());
+
+  EXPECT_TRUE(catalog_.CreateTable(BigLakeDef("t")).IsAlreadyExists());
+  EXPECT_EQ(catalog_.ListTables("ds"), (std::vector<std::string>{"t"}));
+  ASSERT_TRUE(catalog_.DropTable("ds.t").ok());
+  EXPECT_TRUE(catalog_.GetTable("ds.t").status().IsNotFound());
+  EXPECT_TRUE(catalog_.DropTable("ds.t").IsNotFound());
+}
+
+TEST_F(CatalogTest, TableIdValidation) {
+  EXPECT_TRUE(catalog_.GetTable("no_dot").status().IsInvalidArgument());
+  EXPECT_TRUE(catalog_.GetTable("missing.t").status().IsNotFound());
+  TableDef def = BigLakeDef("t");
+  def.dataset = "missing";
+  EXPECT_TRUE(catalog_.CreateTable(def).IsNotFound());
+}
+
+TEST_F(CatalogTest, BigLakeTablesRequireConnections) {
+  TableDef def = BigLakeDef("t");
+  def.connection.clear();
+  EXPECT_TRUE(catalog_.CreateTable(def).IsInvalidArgument());
+  def.connection = "us.unknown";
+  EXPECT_TRUE(catalog_.CreateTable(def).IsNotFound());
+}
+
+TEST_F(CatalogTest, ManagedTablesNeedNoConnection) {
+  TableDef def = BigLakeDef("m");
+  def.kind = TableKind::kManaged;
+  def.connection.clear();
+  EXPECT_TRUE(catalog_.CreateTable(def).ok());
+  EXPECT_FALSE((*catalog_.GetTable("ds.m"))->UsesObjectStorage());
+}
+
+TEST_F(CatalogTest, SchemaRequired) {
+  TableDef def = BigLakeDef("t");
+  def.schema = nullptr;
+  EXPECT_TRUE(catalog_.CreateTable(def).IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, ObjectTablesGetTheFixedSchema) {
+  TableDef def = BigLakeDef("objs");
+  def.kind = TableKind::kObjectTable;
+  def.schema = nullptr;  // ignored/overwritten
+  ASSERT_TRUE(catalog_.CreateTable(def).ok());
+  auto table = catalog_.GetTable("ds.objs");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->schema->Equals(*ObjectTableSchema()));
+  EXPECT_GE((*table)->schema->FieldIndex("uri"), 0);
+  EXPECT_GE((*table)->schema->FieldIndex("generation"), 0);
+}
+
+TEST_F(CatalogTest, LegacyExternalTablesRejectFineGrainedPolicies) {
+  TableDef def = BigLakeDef("legacy");
+  def.kind = TableKind::kExternalLegacy;
+  def.connection.clear();
+  RowAccessPolicy p;
+  p.name = "p";
+  p.grantees = {"*"};
+  p.filter = Expr::IsNull(Expr::Col("x"));
+  def.policy.row_policies = {p};
+  EXPECT_TRUE(catalog_.CreateTable(def).IsInvalidArgument());
+
+  // Without policies they are allowed, but never metadata-cached.
+  def.policy = TablePolicy();
+  def.metadata_cache_enabled = true;
+  ASSERT_TRUE(catalog_.CreateTable(def).ok());
+  EXPECT_FALSE((*catalog_.GetTable("ds.legacy"))->metadata_cache_enabled);
+}
+
+TEST_F(CatalogTest, ConnectionCrud) {
+  auto conn = catalog_.GetConnection("us.conn");
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ((*conn)->service_account.principal, "sa:conn");
+  EXPECT_TRUE(catalog_.GetConnection("none").status().IsNotFound());
+  Connection dup;
+  dup.name = "us.conn";
+  EXPECT_TRUE(catalog_.CreateConnection(dup).IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, MutableTableEditsPolicies) {
+  ASSERT_TRUE(catalog_.CreateTable(BigLakeDef("t")).ok());
+  auto table = catalog_.MutableTable("ds.t");
+  ASSERT_TRUE(table.ok());
+  (*table)->iam.Grant("user:alice", Role::kReader);
+  EXPECT_TRUE(
+      (*catalog_.GetTable("ds.t"))->iam.Allows("user:alice", Role::kReader));
+}
+
+TEST(TableKindTest, NamesAreStable) {
+  EXPECT_STREQ(TableKindName(TableKind::kManaged), "MANAGED");
+  EXPECT_STREQ(TableKindName(TableKind::kBigLake), "BIGLAKE");
+  EXPECT_STREQ(TableKindName(TableKind::kBigLakeManaged), "BIGLAKE_MANAGED");
+  EXPECT_STREQ(TableKindName(TableKind::kObjectTable), "OBJECT_TABLE");
+  EXPECT_STREQ(TableKindName(TableKind::kExternalLegacy), "EXTERNAL");
+}
+
+}  // namespace
+}  // namespace biglake

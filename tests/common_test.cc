@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/sim_env.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace biglake {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table `x` missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table `x` missing");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kPermissionDenied),
+               "PermissionDenied");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  BL_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*UseAssignOrReturn(5), 11);
+  EXPECT_FALSE(UseAssignOrReturn(0).ok());
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  PutDouble(&buf, 3.14159);
+  Decoder dec(buf);
+  uint32_t a;
+  uint64_t b;
+  double d;
+  ASSERT_TRUE(dec.GetFixed32(&a).ok());
+  ASSERT_TRUE(dec.GetFixed64(&b).ok());
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_EQ(a, 0xdeadbeef);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodingTest, VarintRoundTrip) {
+  std::string buf;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1ull << 32,
+                                  UINT64_MAX};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Decoder dec(buf);
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(dec.GetVarint64(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(CodingTest, SignedVarintRoundTrip) {
+  std::string buf;
+  std::vector<int64_t> values = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (int64_t v : values) PutVarint64Signed(&buf, v);
+  Decoder dec(buf);
+  for (int64_t expected : values) {
+    int64_t v;
+    ASSERT_TRUE(dec.GetVarint64Signed(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Decoder dec(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(dec.GetLengthPrefixedString(&a).ok());
+  ASSERT_TRUE(dec.GetLengthPrefixedString(&b).ok());
+  ASSERT_TRUE(dec.GetLengthPrefixedString(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+}
+
+TEST(CodingTest, TruncatedInputReturnsOutOfRange) {
+  std::string buf;
+  PutFixed64(&buf, 42);
+  Decoder dec(buf.substr(0, 3));
+  uint64_t v;
+  EXPECT_EQ(dec.GetFixed64(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(CodingTest, TruncatedVarint) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  Decoder dec(buf.substr(0, 2));
+  uint64_t v;
+  EXPECT_FALSE(dec.GetVarint64(&v).ok());
+}
+
+TEST(CodingTest, Fnv1aDiffersByContent) {
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc", 1), Fnv1a64("abc", 2));
+}
+
+TEST(SimEnvTest, ClockAdvances) {
+  SimEnv env;
+  EXPECT_EQ(env.clock().Now(), 0u);
+  env.clock().Advance(100);
+  EXPECT_EQ(env.clock().Now(), 100u);
+  env.clock().AdvanceTo(50);  // no-op: in the past
+  EXPECT_EQ(env.clock().Now(), 100u);
+  env.clock().AdvanceTo(500);
+  EXPECT_EQ(env.clock().Now(), 500u);
+}
+
+TEST(SimEnvTest, CountersAccumulate) {
+  SimEnv env;
+  env.counters().Add("x", 3);
+  env.counters().Add("x", 4);
+  EXPECT_EQ(env.counters().Get("x"), 7u);
+  EXPECT_EQ(env.counters().Get("missing"), 0u);
+  env.counters().Reset();
+  EXPECT_EQ(env.counters().Get("x"), 0u);
+}
+
+TEST(SimEnvTest, ChargeAdvancesAndCounts) {
+  SimEnv env;
+  env.Charge("op", 250, 2);
+  EXPECT_EQ(env.clock().Now(), 250u);
+  EXPECT_EQ(env.counters().Get("op"), 2u);
+}
+
+TEST(SimEnvTest, TimerMeasuresVirtualTime) {
+  SimEnv env;
+  SimTimer timer(env);
+  env.clock().Advance(1234);
+  EXPECT_EQ(timer.ElapsedMicros(), 1234u);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Uniform(10);
+    EXPECT_LT(v, 10u);
+    int64_t s = r.UniformRange(-5, 5);
+    EXPECT_GE(s, -5);
+    EXPECT_LE(s, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, SkewedFavorsSmallValues) {
+  Random r(99);
+  uint64_t below = 0, total = 20000;
+  for (uint64_t i = 0; i < total; ++i) {
+    if (r.Skewed(1000) < 100) ++below;
+  }
+  // Under uniform sampling ~10% fall below 100; skewed should be far above.
+  EXPECT_GT(below, total / 4);
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = Split("a/b/c", '/');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(Join(parts, "."), "a.b.c");
+  EXPECT_EQ(Split("", '/').size(), 1u);
+}
+
+TEST(StringsTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("dataset.table", "dataset"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_TRUE(EndsWith("file.parquet", ".parquet"));
+  EXPECT_FALSE(EndsWith("x", "xy"));
+}
+
+TEST(StringsTest, ParseUint64) {
+  uint64_t v;
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("-3", &v));
+}
+
+TEST(StringsTest, MiscHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(Trim("  x \n"), "x");
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+}
+
+}  // namespace
+}  // namespace biglake

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "core/blmt.h"
+#include "engine/engine.h"
+#include "lakehouse_fixture.h"
+
+namespace biglake {
+namespace {
+
+class EngineTest : public LakehouseFixture {
+ protected:
+  EngineTest() : api_(&lake_), biglake_(&lake_), blmt_(&lake_) {}
+
+  void CreateLakeTable(const std::string& name, int files, size_t rows) {
+    std::string prefix = name + "/";
+    BuildLake(prefix, files, rows);
+    ASSERT_TRUE(
+        biglake_.CreateBigLakeTable(MakeBigLakeDef(name, prefix)).ok());
+  }
+
+  /// Creates a small dimension table ds.regions(region, manager).
+  void CreateRegionDim() {
+    TableDef def;
+    def.dataset = "ds";
+    def.name = "regions";
+    def.schema = MakeSchema({{"region", DataType::kString, false},
+                             {"manager", DataType::kString, true}});
+    def.connection = "us.lake-conn";
+    def.location = gcp_;
+    def.bucket = "lake";
+    def.prefix = "regions/";
+    def.iam.Grant("*", Role::kWriter);
+    ASSERT_TRUE(blmt_.CreateTable(def).ok());
+    BatchBuilder b(def.schema);
+    ASSERT_TRUE(b.AppendRow({Value::String("east"), Value::String("amy")}).ok());
+    ASSERT_TRUE(b.AppendRow({Value::String("west"), Value::String("bob")}).ok());
+    ASSERT_TRUE(
+        b.AppendRow({Value::String("north"), Value::String("cat")}).ok());
+    ASSERT_TRUE(
+        b.AppendRow({Value::String("south"), Value::String("dan")}).ok());
+    ASSERT_TRUE(blmt_.Insert("u", "ds.regions", b.Finish()).ok());
+  }
+
+  QueryEngine MakeEngine(EngineOptions opts = {}) {
+    return QueryEngine(&lake_, &api_, opts);
+  }
+
+  StorageReadApi api_;
+  BigLakeTableService biglake_;
+  BlmtService blmt_;
+};
+
+TEST_F(EngineTest, ScanReturnsAllRows) {
+  CreateLakeTable("sales", 4, 50);
+  QueryEngine engine = MakeEngine();
+  auto result = engine.Execute("u", Plan::Scan("ds.sales"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.num_rows(), 200u);
+  EXPECT_EQ(result->stats.rows_returned, 200u);
+  EXPECT_EQ(result->stats.files_scanned, 4u);
+}
+
+TEST_F(EngineTest, ScanWithPredicatePushesDown) {
+  CreateLakeTable("sales", 6, 50);
+  QueryEngine engine = MakeEngine();
+  auto result = engine.Execute(
+      "u", Plan::Scan("ds.sales", {},
+                      Expr::Eq(Expr::Col("date"), Expr::Lit(Value::Int64(2)))));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.num_rows(), 50u);
+  EXPECT_EQ(result->stats.files_pruned, 5u);
+}
+
+TEST_F(EngineTest, FilterAndProject) {
+  CreateLakeTable("sales", 1, 100);
+  QueryEngine engine = MakeEngine();
+  auto plan = Plan::Project(
+      Plan::Filter(Plan::Scan("ds.sales"),
+                   Expr::Lt(Expr::Col("id"), Expr::Lit(Value::Int64(10)))),
+      {"id", "double_qty"},
+      {Expr::Col("id"),
+       Expr::Arith(ArithOp::kMul, Expr::Col("qty"),
+                   Expr::Lit(Value::Int64(2)))});
+  auto result = engine.Execute("u", plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.num_rows(), 10u);
+  EXPECT_EQ(result->batch.num_columns(), 2u);
+  EXPECT_EQ(result->batch.schema()->field(1).name, "double_qty");
+}
+
+TEST_F(EngineTest, HashJoinMatchesRows) {
+  CreateLakeTable("sales", 2, 50);
+  CreateRegionDim();
+  QueryEngine engine = MakeEngine();
+  auto plan = Plan::HashJoin(Plan::Scan("ds.regions"), Plan::Scan("ds.sales"),
+                             {"region"}, {"region"});
+  auto result = engine.Execute("u", plan);
+  ASSERT_TRUE(result.ok());
+  // Every sales row matches exactly one region row.
+  EXPECT_EQ(result->batch.num_rows(), 100u);
+  // Both manager and sales columns present.
+  EXPECT_GE(result->batch.schema()->FieldIndex("manager"), 0);
+  EXPECT_GE(result->batch.schema()->FieldIndex("qty"), 0);
+  // Collided key column renamed.
+  EXPECT_GE(result->batch.schema()->FieldIndex("region_r"), 0);
+}
+
+TEST_F(EngineTest, JoinResultValuesConsistent) {
+  CreateLakeTable("sales", 1, 20);
+  CreateRegionDim();
+  QueryEngine engine = MakeEngine();
+  auto result = engine.Execute(
+      "u", Plan::HashJoin(Plan::Scan("ds.regions"), Plan::Scan("ds.sales"),
+                          {"region"}, {"region"}));
+  ASSERT_TRUE(result.ok());
+  int region_idx = result->batch.schema()->FieldIndex("region");
+  int region_r_idx = result->batch.schema()->FieldIndex("region_r");
+  ASSERT_GE(region_idx, 0);
+  ASSERT_GE(region_r_idx, 0);
+  for (size_t r = 0; r < result->batch.num_rows(); ++r) {
+    EXPECT_TRUE(
+        result->batch.GetValue(r, static_cast<size_t>(region_idx)) ==
+        result->batch.GetValue(r, static_cast<size_t>(region_r_idx)));
+  }
+}
+
+TEST_F(EngineTest, StatsDrivenBuildSideSwap) {
+  CreateLakeTable("sales", 4, 200);  // big
+  CreateRegionDim();                 // tiny
+  // Plan puts the big table on the build side; stats should swap it.
+  auto plan = Plan::HashJoin(Plan::Scan("ds.sales"), Plan::Scan("ds.regions"),
+                             {"region"}, {"region"});
+  EngineOptions with_stats;
+  QueryEngine engine = MakeEngine(with_stats);
+  auto result = engine.Execute("u", plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.build_side_swaps, 1u);
+
+  EngineOptions no_stats;
+  no_stats.use_table_stats = false;
+  QueryEngine dumb = MakeEngine(no_stats);
+  auto dumb_result = dumb.Execute("u", plan);
+  ASSERT_TRUE(dumb_result.ok());
+  EXPECT_EQ(dumb_result->stats.build_side_swaps, 0u);
+  EXPECT_EQ(dumb_result->batch.num_rows(), result->batch.num_rows());
+}
+
+TEST_F(EngineTest, DynamicPartitionPruningPrunesFactFiles) {
+  CreateLakeTable("fact", 10, 50);  // partitioned by date=0..9
+  // Dimension selecting two dates.
+  TableDef dim;
+  dim.dataset = "ds";
+  dim.name = "dates";
+  dim.schema = MakeSchema({{"date_key", DataType::kInt64, false},
+                           {"is_holiday", DataType::kBool, false}});
+  dim.connection = "us.lake-conn";
+  dim.location = gcp_;
+  dim.bucket = "lake";
+  dim.prefix = "dates/";
+  dim.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt_.CreateTable(dim).ok());
+  BatchBuilder b(dim.schema);
+  ASSERT_TRUE(b.AppendRow({Value::Int64(3), Value::Bool(true)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Int64(7), Value::Bool(true)}).ok());
+  ASSERT_TRUE(blmt_.Insert("u", "ds.dates", b.Finish()).ok());
+
+  auto plan = Plan::HashJoin(Plan::Scan("ds.dates"), Plan::Scan("ds.fact"),
+                             {"date_key"}, {"date"});
+  EngineOptions dpp_on;
+  QueryEngine engine = MakeEngine(dpp_on);
+  auto result = engine.Execute("u", plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.dpp_scans, 1u);
+  EXPECT_EQ(result->batch.num_rows(), 100u);  // 2 dates x 50 rows
+  // 8 of 10 fact files pruned by the IN-list.
+  EXPECT_GE(result->stats.files_pruned, 8u);
+
+  EngineOptions dpp_off;
+  dpp_off.dynamic_partition_pruning = false;
+  QueryEngine nodpp = MakeEngine(dpp_off);
+  auto slow = nodpp.Execute("u", plan);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow->stats.dpp_scans, 0u);
+  EXPECT_EQ(slow->batch.num_rows(), 100u);        // same answer
+  EXPECT_GT(slow->stats.files_scanned, result->stats.files_scanned);
+}
+
+TEST_F(EngineTest, AggregateSumCountMinMaxAvg) {
+  CreateLakeTable("sales", 1, 100);
+  QueryEngine engine = MakeEngine();
+  auto plan = Plan::Aggregate(
+      Plan::Scan("ds.sales"), {"region"},
+      {{AggOp::kCount, "", "n"},
+       {AggOp::kSum, "qty", "total_qty"},
+       {AggOp::kMin, "id", "min_id"},
+       {AggOp::kMax, "id", "max_id"},
+       {AggOp::kAvg, "price", "avg_price"}});
+  auto result = engine.Execute("u", plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->batch.num_rows(), 4u);
+  // Sum of group counts == input rows.
+  int n_idx = result->batch.schema()->FieldIndex("n");
+  int64_t total = 0;
+  for (size_t r = 0; r < result->batch.num_rows(); ++r) {
+    total += result->batch.GetValue(r, static_cast<size_t>(n_idx))
+                 .int64_value();
+  }
+  EXPECT_EQ(total, 100);
+  // min_id/max_id sane.
+  int min_idx = result->batch.schema()->FieldIndex("min_id");
+  int max_idx = result->batch.schema()->FieldIndex("max_id");
+  for (size_t r = 0; r < result->batch.num_rows(); ++r) {
+    EXPECT_LE(result->batch.GetValue(r, static_cast<size_t>(min_idx))
+                  .int64_value(),
+              result->batch.GetValue(r, static_cast<size_t>(max_idx))
+                  .int64_value());
+  }
+}
+
+TEST_F(EngineTest, GlobalAggregateNoGroups) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+  auto result = engine.Execute(
+      "u", Plan::Aggregate(Plan::Scan("ds.sales"), {},
+                           {{AggOp::kCount, "", "n"}}));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->batch.num_rows(), 1u);
+  EXPECT_EQ(result->batch.GetValue(0, 0), Value::Int64(60));
+}
+
+TEST_F(EngineTest, OrderByAndLimit) {
+  CreateLakeTable("sales", 1, 50);
+  QueryEngine engine = MakeEngine();
+  auto plan = Plan::Limit(
+      Plan::OrderBy(Plan::Scan("ds.sales"), {{"id", /*descending=*/true}}),
+      5);
+  auto result = engine.Execute("u", plan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->batch.num_rows(), 5u);
+  EXPECT_EQ((*result->batch.ColumnByName("id"))->GetValue(0),
+            Value::Int64(49));
+  EXPECT_EQ((*result->batch.ColumnByName("id"))->GetValue(4),
+            Value::Int64(45));
+}
+
+TEST_F(EngineTest, MapOperatorTransformsBatch) {
+  CreateLakeTable("sales", 1, 10);
+  QueryEngine engine = MakeEngine();
+  auto plan = Plan::Map(
+      Plan::Scan("ds.sales", {"id"}), "add_one",
+      [](const RecordBatch& in) -> Result<RecordBatch> {
+        auto expr = Expr::Arith(ArithOp::kAdd, Expr::Col("id"),
+                                Expr::Lit(Value::Int64(1)));
+        BL_ASSIGN_OR_RETURN(Column c, expr->Evaluate(in));
+        return RecordBatch(
+            MakeSchema({{"id_plus_one", DataType::kInt64, true}}), {c});
+      });
+  auto result = engine.Execute("u", plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.GetValue(0, 0), Value::Int64(1));
+}
+
+TEST_F(EngineTest, GovernanceAppliesToEngineScans) {
+  std::string prefix = "gov/";
+  BuildLake(prefix, 1, 100);
+  TableDef def = MakeBigLakeDef("gov", prefix);
+  RowAccessPolicy east;
+  east.name = "east";
+  east.grantees = {"user:alice"};
+  east.filter = Expr::Eq(Expr::Col("region"), Expr::Lit(Value::String("east")));
+  def.policy.row_policies = {east};
+  ASSERT_TRUE(biglake_.CreateBigLakeTable(def).ok());
+  QueryEngine engine = MakeEngine();
+  auto alice = engine.Execute("user:alice", Plan::Scan("ds.gov"));
+  ASSERT_TRUE(alice.ok());
+  EXPECT_GT(alice->batch.num_rows(), 0u);
+  EXPECT_LT(alice->batch.num_rows(), 100u);
+  auto eve = engine.Execute("user:eve", Plan::Scan("ds.gov"));
+  ASSERT_TRUE(eve.ok());
+  EXPECT_EQ(eve->batch.num_rows(), 0u);
+}
+
+TEST_F(EngineTest, ErrorsPropagate) {
+  QueryEngine engine = MakeEngine();
+  EXPECT_FALSE(engine.Execute("u", nullptr).ok());
+  EXPECT_TRUE(
+      engine.Execute("u", Plan::Scan("ds.missing")).status().IsNotFound());
+  CreateLakeTable("sales", 1, 5);
+  EXPECT_FALSE(
+      engine
+          .Execute("u", Plan::OrderBy(Plan::Scan("ds.sales"), {{"nope"}}))
+          .ok());
+  EXPECT_FALSE(engine
+                   .Execute("u", Plan::Aggregate(Plan::Scan("ds.sales"),
+                                                 {"nope"}, {}))
+                   .ok());
+}
+
+TEST_F(EngineTest, WallTimeBenefitsFromParallelStreams) {
+  CreateLakeTable("wide", 16, 200);
+  EngineOptions one_worker;
+  one_worker.num_workers = 1;
+  EngineOptions many_workers;
+  many_workers.num_workers = 16;
+  auto r1 = MakeEngine(one_worker).Execute("u", Plan::Scan("ds.wide"));
+  auto r16 = MakeEngine(many_workers).Execute("u", Plan::Scan("ds.wide"));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r16.ok());
+  EXPECT_EQ(r1->batch.num_rows(), r16->batch.num_rows());
+  EXPECT_LT(r16->stats.wall_micros, r1->stats.wall_micros);
+}
+
+}  // namespace
+}  // namespace biglake

@@ -1,0 +1,225 @@
+// Failure injection: transient object-store faults must never corrupt
+// table state. Commits either happen completely or not at all; replicas
+// keep serving their previous version; retries succeed.
+
+#include <gtest/gtest.h>
+
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "format/iceberg_lite.h"
+#include "format/parquet_lite.h"
+#include "lakehouse_fixture.h"
+#include "omni/ccmv.h"
+
+namespace biglake {
+namespace {
+
+class FailureInjectionTest : public LakehouseFixture {};
+
+TEST_F(FailureInjectionTest, IcebergCommitFailsAtomicallyOnManifestFault) {
+  auto table =
+      IcebergTable::Create(store_, GcpCaller(), "lake", "t/", SalesSchema());
+  ASSERT_TRUE(table.ok());
+  DataFileEntry f;
+  f.path = "t/f1";
+  f.row_count = 10;
+  ASSERT_TRUE(table->CommitAppend(GcpCaller(), {f}).ok());
+
+  // Fault on the manifest write: nothing about the table changes.
+  store_->InjectPutFailures(1);
+  DataFileEntry g;
+  g.path = "t/f2";
+  g.row_count = 5;
+  IcebergCommitOptions no_retry;
+  no_retry.max_retries = 0;
+  Status failed = table->CommitAppend(GcpCaller(), {g}, no_retry);
+  EXPECT_EQ(failed.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(table->metadata().current_snapshot_id, 1u);
+  auto manifest = table->ReadCurrentManifest(GcpCaller());
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->size(), 1u);
+
+  // The retry (fault cleared) succeeds and sees both files.
+  ASSERT_TRUE(table->CommitAppend(GcpCaller(), {g}).ok());
+  EXPECT_EQ(table->ReadCurrentManifest(GcpCaller())->size(), 2u);
+}
+
+TEST_F(FailureInjectionTest, IcebergPointerFaultLeavesOldSnapshotReadable) {
+  auto table =
+      IcebergTable::Create(store_, GcpCaller(), "lake", "t/", SalesSchema());
+  ASSERT_TRUE(table.ok());
+  DataFileEntry f;
+  f.path = "t/f1";
+  f.row_count = 10;
+  ASSERT_TRUE(table->CommitAppend(GcpCaller(), {f}).ok());
+
+  // Manifest write succeeds, pointer CAS faults: the new snapshot never
+  // becomes visible (the orphaned manifest is harmless garbage).
+  store_->InjectPutFailures(1, /*skip_first=*/1);
+  DataFileEntry g;
+  g.path = "t/f2";
+  g.row_count = 5;
+  IcebergCommitOptions no_retry;
+  no_retry.max_retries = 0;
+  EXPECT_FALSE(table->CommitAppend(GcpCaller(), {g}, no_retry).ok());
+  EXPECT_EQ(table->metadata().current_snapshot_id, 1u);
+  // A fresh reader also sees the old snapshot.
+  auto reader = IcebergTable::Load(store_, GcpCaller(), "lake", "t/");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->metadata().current_snapshot_id, 1u);
+}
+
+TEST_F(FailureInjectionTest, BlmtInsertFailsCleanly) {
+  BlmtService blmt(&lake_);
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "t";
+  def.schema = SalesSchema();
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "t/";
+  def.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt.CreateTable(def).ok());
+  ASSERT_TRUE(blmt.Insert("u", "ds.t", SalesBatch(20, 0, 1)).ok());
+
+  store_->InjectPutFailures(1);
+  EXPECT_FALSE(blmt.Insert("u", "ds.t", SalesBatch(20, 100, 2)).ok());
+  // Table unchanged: no metadata entry for the failed file.
+  EXPECT_EQ(blmt.ReadAll("ds.t")->num_rows(), 20u);
+  // Retry succeeds.
+  ASSERT_TRUE(blmt.Insert("u", "ds.t", SalesBatch(20, 100, 2)).ok());
+  EXPECT_EQ(blmt.ReadAll("ds.t")->num_rows(), 40u);
+}
+
+TEST_F(FailureInjectionTest, BlmtDeleteFaultPreservesAllRows) {
+  BlmtService blmt(&lake_);
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "t";
+  def.schema = SalesSchema();
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "t/";
+  def.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt.CreateTable(def).ok());
+  ASSERT_TRUE(blmt.Insert("u", "ds.t", SalesBatch(50, 0, 1)).ok());
+
+  // The DELETE's remainder rewrite faults: the delete must not be
+  // half-applied.
+  store_->InjectPutFailures(1);
+  EXPECT_FALSE(
+      blmt.Delete("u", "ds.t",
+                  Expr::Lt(Expr::Col("id"), Expr::Lit(Value::Int64(10))))
+          .ok());
+  EXPECT_EQ(blmt.ReadAll("ds.t")->num_rows(), 50u);
+  // Retried delete applies exactly once.
+  auto deleted = blmt.Delete(
+      "u", "ds.t", Expr::Lt(Expr::Col("id"), Expr::Lit(Value::Int64(10))));
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 10u);
+  EXPECT_EQ(blmt.ReadAll("ds.t")->num_rows(), 40u);
+}
+
+class CcmvFaultTest : public ::testing::Test {
+ protected:
+  CcmvFaultTest()
+      : gcp_{CloudProvider::kGCP, "us-central1"},
+        aws_{CloudProvider::kAWS, "us-east-1"},
+        api_(&lake_),
+        biglake_(&lake_),
+        ccmv_(&lake_, &api_) {
+    gcp_store_ = lake_.AddStore(gcp_);
+    aws_store_ = lake_.AddStore(aws_);
+    EXPECT_TRUE(aws_store_->CreateBucket("s3-lake").ok());
+    EXPECT_TRUE(lake_.catalog().CreateDataset("aws_dataset").ok());
+    Connection conn;
+    conn.name = "aws.s3";
+    conn.service_account.principal = "sa:s3";
+    EXPECT_TRUE(lake_.catalog().CreateConnection(conn).ok());
+
+    auto schema = MakeSchema({{"v", DataType::kInt64, false}});
+    CallerContext ctx{.location = aws_};
+    for (int d = 0; d < 3; ++d) {
+      std::vector<Column> cols{
+          Column::MakeInt64(std::vector<int64_t>(30, d))};
+      auto bytes = WriteParquetFile(RecordBatch(schema, std::move(cols)));
+      PutOptions po;
+      po.content_type = "application/x-parquet-lite";
+      EXPECT_TRUE(aws_store_
+                      ->Put(ctx, "s3-lake",
+                            "orders/day=" + std::to_string(d) + "/p.plk",
+                            std::move(bytes).value(), po)
+                      .ok());
+    }
+    TableDef def;
+    def.dataset = "aws_dataset";
+    def.name = "orders";
+    def.kind = TableKind::kBigLake;
+    def.schema = schema;
+    def.connection = "aws.s3";
+    def.location = aws_;
+    def.bucket = "s3-lake";
+    def.prefix = "orders/";
+    def.partition_columns = {"day"};
+    def.iam.Grant("*", Role::kReader);
+    EXPECT_TRUE(biglake_.CreateBigLakeTable(def).ok());
+  }
+
+  LakehouseEnv lake_;
+  CloudLocation gcp_, aws_;
+  StorageReadApi api_;
+  BigLakeTableService biglake_;
+  CcmvService ccmv_;
+  ObjectStore* gcp_store_ = nullptr;
+  ObjectStore* aws_store_ = nullptr;
+};
+
+TEST_F(CcmvFaultTest, ReplicaSurvivesFailedRefreshAndRetries) {
+  CcmvDefinition def;
+  def.name = "mv";
+  def.source_table = "aws_dataset.orders";
+  def.partition_column = "day";
+  def.target_location = gcp_;
+  ASSERT_TRUE(ccmv_.CreateView(def).ok());
+  EXPECT_EQ(ccmv_.QueryReplica("u", "mv")->num_rows(), 90u);
+
+  // Mutate day=1 in the source, then fault the replica upload.
+  auto schema = MakeSchema({{"v", DataType::kInt64, false}});
+  std::vector<Column> cols{Column::MakeInt64(std::vector<int64_t>(40, 1))};
+  auto bytes = WriteParquetFile(RecordBatch(schema, std::move(cols)));
+  CallerContext aws_ctx{.location = aws_};
+  PutOptions po;
+  po.content_type = "application/x-parquet-lite";
+  ASSERT_TRUE(
+      aws_store_->Put(aws_ctx, "s3-lake", "orders/day=1/p.plk", *bytes, po)
+          .ok());
+  ASSERT_TRUE(biglake_.RefreshCache("aws_dataset.orders").ok());
+
+  gcp_store_->InjectPutFailures(1);
+  EXPECT_FALSE(ccmv_.Refresh("mv").ok());
+  // Crash consistency: the replica still serves the *previous* version in
+  // full — no partition lost to the failed swap.
+  auto replica = ccmv_.QueryReplica("u", "mv");
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(replica->num_rows(), 90u);
+
+  // The retry picks the stale partition back up.
+  auto retried = ccmv_.Refresh("mv");
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried->partitions_refreshed, 1u);
+  EXPECT_EQ(ccmv_.QueryReplica("u", "mv")->num_rows(), 100u);
+}
+
+TEST_F(FailureInjectionTest, SkipFirstInjectionTargetsLaterPuts) {
+  ASSERT_TRUE(store_->Put(GcpCaller(), "lake", "a", "1").ok());
+  store_->InjectPutFailures(1, /*skip_first=*/1);
+  EXPECT_TRUE(store_->Put(GcpCaller(), "lake", "b", "2").ok());   // skipped
+  EXPECT_FALSE(store_->Put(GcpCaller(), "lake", "c", "3").ok());  // faulted
+  EXPECT_TRUE(store_->Put(GcpCaller(), "lake", "d", "4").ok());   // drained
+  EXPECT_GT(lake_.sim().counters().Get("objstore.injected_put_failures"), 0u);
+}
+
+}  // namespace
+}  // namespace biglake

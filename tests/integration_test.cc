@@ -1,0 +1,302 @@
+// End-to-end integration scenarios crossing all subsystems — the
+// production use-case patterns of Sec 6.
+
+#include <gtest/gtest.h>
+
+#include "core/blmt.h"
+#include "core/object_table.h"
+#include "core/write_api.h"
+#include "engine/engine.h"
+#include "engine/sql_parser.h"
+#include "extengine/spark_lite.h"
+#include "format/iceberg_lite.h"
+#include "lakehouse_fixture.h"
+#include "ml/inference.h"
+#include "omni/ccmv.h"
+#include "omni/omni.h"
+
+namespace biglake {
+namespace {
+
+/// Sec 6 "Seamless Analytics on a Single Data Copy": one copy of governed
+/// data, consistent answers from BigQuery SQL, the plan API and Spark, with
+/// row policies enforced everywhere.
+TEST_F(LakehouseFixture, SingleDataCopyAcrossEngines) {
+  BuildLake("orders/", 5, 80);
+  TableDef def = MakeBigLakeDef("orders", "orders/");
+  RowAccessPolicy east;
+  east.name = "east";
+  east.grantees = {"*"};
+  east.filter = Expr::Eq(Expr::Col("region"), Expr::Lit(Value::String("east")));
+  def.policy.row_policies = {east};
+  BigLakeTableService biglake(&lake_);
+  ASSERT_TRUE(biglake.CreateBigLakeTable(def).ok());
+
+  StorageReadApi api(&lake_);
+  QueryEngine engine(&lake_, &api);
+  SparkLiteEngine spark(&lake_, &api);
+
+  // SQL through Dremel-lite.
+  auto sql = ParseSql("SELECT COUNT(*) AS n FROM ds.orders");
+  ASSERT_TRUE(sql.ok());
+  auto via_sql = engine.Execute("user:a", *sql);
+  ASSERT_TRUE(via_sql.ok());
+  int64_t n_sql = via_sql->batch.GetValue(0, 0).int64_value();
+
+  // Plan API through Dremel-lite.
+  auto via_plan = engine.Execute(
+      "user:a", Plan::Aggregate(Plan::Scan("ds.orders"), {},
+                                {{AggOp::kCount, "", "n"}}));
+  ASSERT_TRUE(via_plan.ok());
+
+  // DataFrame API through Spark-lite.
+  auto via_spark = spark.ReadBigLake("ds.orders")
+                       .Aggregate({}, {{AggOp::kCount, "", "n"}})
+                       .Collect("user:a");
+  ASSERT_TRUE(via_spark.ok());
+
+  EXPECT_GT(n_sql, 0);
+  EXPECT_LT(n_sql, 400);  // row policy filtered
+  EXPECT_EQ(via_plan->batch.GetValue(0, 0).int64_value(), n_sql);
+  EXPECT_EQ(via_spark->batch.GetValue(0, 0).int64_value(), n_sql);
+}
+
+/// Streaming ingestion -> BLMT -> optimization -> Iceberg export -> the
+/// exported snapshot matches what the Read API serves.
+TEST_F(LakehouseFixture, IngestOptimizeExportLifecycle) {
+  BlmtService blmt(&lake_);
+  StorageWriteApi write_api(&lake_);
+  StorageReadApi read_api(&lake_);
+
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "events";
+  def.schema = MakeSchema({{"event_id", DataType::kInt64, false},
+                           {"kind", DataType::kString, false}});
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "events/";
+  def.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt.CreateTable(def, {"event_id"}).ok());
+
+  // Stream 10 small appends through the Write API (committed mode).
+  WriteApiOptions wopts;
+  wopts.committed_flush_rows = 16;
+  StorageWriteApi streaming(&lake_, wopts);
+  auto stream =
+      streaming.CreateWriteStream("u", "ds.events", WriteMode::kCommitted);
+  ASSERT_TRUE(stream.ok());
+  for (int i = 0; i < 10; ++i) {
+    BatchBuilder b(def.schema);
+    for (int r = 0; r < 16; ++r) {
+      ASSERT_TRUE(b.AppendRow({Value::Int64(i * 16 + r),
+                               Value::String(i % 2 ? "click" : "view")})
+                      .ok());
+    }
+    ASSERT_TRUE(streaming.AppendRows(*stream, b.Finish()).ok());
+  }
+  ASSERT_TRUE(streaming.FinalizeStream(*stream).ok());
+
+  // DML + background optimization.
+  auto deleted = blmt.Delete(
+      "u", "ds.events",
+      Expr::Lt(Expr::Col("event_id"), Expr::Lit(Value::Int64(8))));
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 8u);
+  auto optimized = blmt.OptimizeStorage("ds.events");
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_LT(optimized->files_after, optimized->files_before);
+
+  // GC after some time.
+  lake_.sim().clock().Advance(20'000'000);
+  auto gc = blmt.GarbageCollect("ds.events");
+  ASSERT_TRUE(gc.ok());
+  EXPECT_GT(gc->objects_deleted, 0u);
+
+  // Iceberg export readable by a third-party Iceberg-lite reader: row
+  // totals agree with the Read API view.
+  auto exported = blmt.ExportIcebergSnapshot("ds.events");
+  ASSERT_TRUE(exported.ok());
+  auto iceberg = IcebergTable::Load(store_, GcpCaller(), exported->bucket,
+                                    exported->prefix);
+  ASSERT_TRUE(iceberg.ok());
+  auto manifest = iceberg->ReadCurrentManifest(GcpCaller());
+  ASSERT_TRUE(manifest.ok());
+  uint64_t iceberg_rows = 0;
+  for (const auto& f : *manifest) iceberg_rows += f.row_count;
+
+  auto session = read_api.CreateReadSession("u", "ds.events", {});
+  ASSERT_TRUE(session.ok());
+  uint64_t api_rows = 0;
+  for (size_t s = 0; s < session->streams.size(); ++s) {
+    api_rows += read_api.ReadStreamBatch(*session, s)->num_rows();
+  }
+  EXPECT_EQ(iceberg_rows, api_rows);
+  EXPECT_EQ(api_rows, 160u - 8u);
+}
+
+/// Sec 6 "Multi-modal Data Analysis": inference feeding a structured join.
+TEST_F(LakehouseFixture, MetadataExtractionJoinsStructuredData) {
+  // Unstructured side: images in a bucket behind an object table.
+  ObjectTableService object_tables(&lake_);
+  BqmlInferenceEngine bqml(&lake_, &object_tables);
+  PutOptions po;
+  po.content_type = "image/jpeg";
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(store_
+                    ->Put(GcpCaller(), "lake",
+                          "imgs/p" + std::to_string(i) + ".jpg",
+                          EncodeJpegLite(64, 64, i), po)
+                    .ok());
+  }
+  TableDef obj;
+  obj.dataset = "ds";
+  obj.name = "photos";
+  obj.kind = TableKind::kObjectTable;
+  obj.connection = "us.lake-conn";
+  obj.location = gcp_;
+  obj.bucket = "lake";
+  obj.prefix = "imgs/";
+  obj.iam.Grant("*", Role::kReader);
+  ASSERT_TRUE(object_tables.CreateObjectTable(obj).ok());
+
+  // Classify, then join predictions against a label dimension via the
+  // engine's Values node.
+  ResNetLite model("m", 4, 64, 1 << 16, 5);
+  InferenceOptions iopts;
+  iopts.preprocess_target = 64;
+  auto preds = bqml.PredictImages("u", "ds.photos", model, nullptr, iopts);
+  ASSERT_TRUE(preds.ok());
+  ASSERT_EQ(preds->stats.images, 12u);
+
+  BatchBuilder labels(MakeSchema({{"class_id", DataType::kInt64, false},
+                                  {"label", DataType::kString, false}}));
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE(labels
+                    .AppendRow({Value::Int64(c),
+                                Value::String("label-" + std::to_string(c))})
+                    .ok());
+  }
+  StorageReadApi api(&lake_);
+  QueryEngine engine(&lake_, &api);
+  auto joined = engine.Execute(
+      "u", Plan::HashJoin(Plan::Values(labels.Finish()),
+                          Plan::Values(preds->batch), {"class_id"},
+                          {"predicted_class"}));
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->batch.num_rows(), 12u);
+  EXPECT_GE(joined->batch.schema()->FieldIndex("label"), 0);
+  EXPECT_GE(joined->batch.schema()->FieldIndex("uri"), 0);
+}
+
+/// Sec 6 "Cross-Cloud Query and Analysis": SQL-authored Listing 3 executed
+/// through Omni, then a CCMV keeps the result fresh on GCP.
+TEST(IntegrationCrossCloud, SqlListing3ThroughOmni) {
+  LakehouseEnv lake;
+  CloudLocation gcp{CloudProvider::kGCP, "us-central1"};
+  CloudLocation aws{CloudProvider::kAWS, "us-east-1"};
+  ObjectStore* gcp_store = lake.AddStore(gcp);
+  ObjectStore* aws_store = lake.AddStore(aws);
+  ASSERT_TRUE(gcp_store->CreateBucket("gcs-lake").ok());
+  ASSERT_TRUE(aws_store->CreateBucket("s3-lake").ok());
+  ASSERT_TRUE(lake.catalog().CreateDataset("local_dataset").ok());
+  ASSERT_TRUE(lake.catalog().CreateDataset("aws_dataset").ok());
+  Connection conn;
+  conn.name = "aws.s3";
+  conn.service_account.principal = "sa:s3";
+  ASSERT_TRUE(lake.catalog().CreateConnection(conn).ok());
+  Connection gconn;
+  gconn.name = "us.gcs";
+  gconn.service_account.principal = "sa:gcs";
+  ASSERT_TRUE(lake.catalog().CreateConnection(gconn).ok());
+
+  // Orders on S3.
+  auto orders_schema = MakeSchema({{"order_id", DataType::kInt64, false},
+                                   {"customer_id", DataType::kInt64, false},
+                                   {"order_total", DataType::kDouble, false}});
+  CallerContext aws_ctx{.location = aws};
+  BatchBuilder ob(orders_schema);
+  for (int r = 0; r < 120; ++r) {
+    ASSERT_TRUE(ob.AppendRow({Value::Int64(r), Value::Int64(r % 20),
+                              Value::Double(r * 1.5)})
+                    .ok());
+  }
+  auto bytes = WriteParquetFile(ob.Finish());
+  ASSERT_TRUE(bytes.ok());
+  PutOptions po;
+  po.content_type = "application/x-parquet-lite";
+  ASSERT_TRUE(
+      aws_store->Put(aws_ctx, "s3-lake", "orders/day=0/p.plk", *bytes, po)
+          .ok());
+  BigLakeTableService biglake(&lake);
+  TableDef orders;
+  orders.dataset = "aws_dataset";
+  orders.name = "customer_orders";
+  orders.kind = TableKind::kBigLake;
+  orders.schema = orders_schema;
+  orders.connection = "aws.s3";
+  orders.location = aws;
+  orders.bucket = "s3-lake";
+  orders.prefix = "orders/";
+  orders.partition_columns = {"day"};
+  orders.iam.Grant("*", Role::kReader);
+  ASSERT_TRUE(biglake.CreateBigLakeTable(orders).ok());
+
+  // Ads on GCP.
+  BlmtService blmt(&lake);
+  TableDef ads;
+  ads.dataset = "local_dataset";
+  ads.name = "ads_impressions";
+  ads.schema = MakeSchema({{"ad_id", DataType::kInt64, false},
+                           {"customer_id", DataType::kInt64, false}});
+  ads.connection = "us.gcs";
+  ads.location = gcp;
+  ads.bucket = "gcs-lake";
+  ads.prefix = "ads/";
+  ads.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt.CreateTable(ads).ok());
+  BatchBuilder ab(ads.schema);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        ab.AppendRow({Value::Int64(i), Value::Int64(i % 10)}).ok());
+  }
+  ASSERT_TRUE(
+      blmt.Insert("u", "local_dataset.ads_impressions", ab.Finish()).ok());
+
+  // Listing 3, verbatim shape, parsed from SQL.
+  auto plan = ParseSql(
+      "SELECT o.order_id, o.order_total, ads.ad_id "
+      "FROM local_dataset.ads_impressions AS ads "
+      "JOIN aws_dataset.customer_orders AS o "
+      "ON o.customer_id = ads.customer_id");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  StorageReadApi api(&lake);
+  OmniJobServer jobserver(&lake, &api, "gcp-us");
+  jobserver.AddRegion({"gcp-us", gcp, {}});
+  jobserver.AddRegion({"aws-us-east-1", aws, {}});
+  auto result = jobserver.ExecuteQuery("user:analyst", *plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->batch.num_rows(), 0u);
+  EXPECT_EQ(result->stats.regional_subqueries, 1u);
+  EXPECT_GT(result->stats.cross_cloud_bytes, 0u);
+  EXPECT_GE(result->batch.schema()->FieldIndex("order_total"), 0);
+
+  // CCMV over the AWS table, queried locally afterwards.
+  CcmvService ccmv(&lake, &api);
+  CcmvDefinition mv;
+  mv.name = "orders_replica";
+  mv.source_table = "aws_dataset.customer_orders";
+  mv.partition_column = "day";
+  mv.target_location = gcp;
+  ASSERT_TRUE(ccmv.CreateView(mv).ok());
+  lake.sim().counters().Reset();
+  auto replica = ccmv.QueryReplica("user:analyst", "orders_replica");
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(replica->num_rows(), 120u);
+  EXPECT_EQ(lake.sim().counters().Get("egress.aws.gcp"), 0u);
+}
+
+}  // namespace
+}  // namespace biglake

@@ -1,0 +1,100 @@
+// Shared test fixture: a small lakehouse with one GCP object store, a
+// connection, and helpers to create external Parquet-lite lakes and
+// BigLake tables over them.
+
+#ifndef BIGLAKE_TESTS_LAKEHOUSE_FIXTURE_H_
+#define BIGLAKE_TESTS_LAKEHOUSE_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/biglake.h"
+#include "core/environment.h"
+#include "format/parquet_lite.h"
+
+namespace biglake {
+
+class LakehouseFixture : public ::testing::Test {
+ protected:
+  LakehouseFixture() {
+    gcp_ = {CloudProvider::kGCP, "us-central1"};
+    store_ = lake_.AddStore(gcp_);
+    EXPECT_TRUE(store_->CreateBucket("lake").ok());
+    EXPECT_TRUE(lake_.catalog().CreateDataset("ds").ok());
+    Connection conn;
+    conn.name = "us.lake-conn";
+    conn.service_account.principal = "sa:lake-conn";
+    EXPECT_TRUE(lake_.catalog().CreateConnection(conn).ok());
+  }
+
+  CallerContext GcpCaller() const { return {.location = gcp_}; }
+
+  static SchemaPtr SalesSchema() {
+    return MakeSchema({{"id", DataType::kInt64, false},
+                       {"region", DataType::kString, true},
+                       {"qty", DataType::kInt64, true},
+                       {"price", DataType::kDouble, true},
+                       {"email", DataType::kString, true}});
+  }
+
+  RecordBatch SalesBatch(size_t rows, int64_t id_base, uint64_t seed) {
+    static const char* kRegions[] = {"east", "west", "north", "south"};
+    Random rng(seed);
+    BatchBuilder b(SalesSchema());
+    for (size_t i = 0; i < rows; ++i) {
+      EXPECT_TRUE(
+          b.AppendRow({Value::Int64(id_base + static_cast<int64_t>(i)),
+                       Value::String(kRegions[rng.Uniform(4)]),
+                       Value::Int64(static_cast<int64_t>(rng.Uniform(100))),
+                       Value::Double(rng.NextDouble() * 100.0),
+                       Value::String("user" + std::to_string(i) + "@x.com")})
+              .ok());
+    }
+    return b.Finish();
+  }
+
+  /// Writes `num_files` Parquet-lite files under `prefix`, partitioned as
+  /// date=<i>/, each with `rows_per_file` rows and disjoint id ranges.
+  void BuildLake(const std::string& prefix, int num_files,
+                 size_t rows_per_file) {
+    for (int f = 0; f < num_files; ++f) {
+      RecordBatch batch = SalesBatch(
+          rows_per_file, static_cast<int64_t>(f) * 1000, 100 + f);
+      auto bytes = WriteParquetFile(batch);
+      ASSERT_TRUE(bytes.ok());
+      PutOptions po;
+      po.content_type = "application/x-parquet-lite";
+      ASSERT_TRUE(store_
+                      ->Put(GcpCaller(), "lake",
+                            prefix + "date=" + std::to_string(f) + "/part-0.plk",
+                            *bytes, po)
+                      .ok());
+    }
+  }
+
+  /// Creates a BigLake table named ds.<name> over `prefix`.
+  TableDef MakeBigLakeDef(const std::string& name, const std::string& prefix,
+                          bool cached = true) {
+    TableDef def;
+    def.dataset = "ds";
+    def.name = name;
+    def.kind = TableKind::kBigLake;
+    def.schema = SalesSchema();
+    def.connection = "us.lake-conn";
+    def.location = gcp_;
+    def.bucket = "lake";
+    def.prefix = prefix;
+    def.partition_columns = {"date"};
+    def.metadata_cache_enabled = cached;
+    def.iam.Grant("*", Role::kReader);
+    return def;
+  }
+
+  LakehouseEnv lake_;
+  CloudLocation gcp_;
+  ObjectStore* store_ = nullptr;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_TESTS_LAKEHOUSE_FIXTURE_H_

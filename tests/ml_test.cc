@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "lakehouse_fixture.h"
+#include "ml/inference.h"
+#include "ml/model.h"
+#include "ml/tensor.h"
+
+namespace biglake {
+namespace {
+
+TEST(JpegLiteTest, EncodeDecodeRoundTrip) {
+  std::string bytes = EncodeJpegLite(64, 48, 7);
+  auto img = DecodeJpegLite(bytes);
+  ASSERT_TRUE(img.ok());
+  EXPECT_EQ(img->width, 64u);
+  EXPECT_EQ(img->height, 48u);
+  EXPECT_EQ(img->pixels.size(), 64u * 48 * 3);
+  // Encoded is ~8x smaller than decoded.
+  EXPECT_LT(bytes.size(), img->MemoryBytes() / 4);
+}
+
+TEST(JpegLiteTest, DeterministicBySeed) {
+  auto a = DecodeJpegLite(EncodeJpegLite(32, 32, 1));
+  auto b = DecodeJpegLite(EncodeJpegLite(32, 32, 1));
+  auto c = DecodeJpegLite(EncodeJpegLite(32, 32, 2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->pixels, b->pixels);
+  EXPECT_NE(a->pixels, c->pixels);
+}
+
+TEST(JpegLiteTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeJpegLite("not an image").ok());
+  EXPECT_FALSE(DecodeJpegLite("").ok());
+  std::string truncated = EncodeJpegLite(100, 100, 1).substr(0, 30);
+  EXPECT_FALSE(DecodeJpegLite(truncated).ok());
+}
+
+TEST(PreprocessTest, ProducesNormalizedTensor) {
+  auto img = DecodeJpegLite(EncodeJpegLite(100, 60, 3));
+  ASSERT_TRUE(img.ok());
+  Tensor t = Preprocess(*img, 32);
+  EXPECT_EQ(t.shape, (std::vector<uint32_t>{3, 32, 32}));
+  EXPECT_EQ(t.ElementCount(), 3u * 32 * 32);
+  for (float v : t.data) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Tensor is much smaller than the decoded image (the Sec 4.2.1 insight).
+  EXPECT_LT(t.MemoryBytes(), img->MemoryBytes());
+}
+
+TEST(ResNetLiteTest, DeterministicClassification) {
+  ResNetLite model("resnet50", 10, 32, 1 << 20, 42);
+  auto img = DecodeJpegLite(EncodeJpegLite(64, 64, 5));
+  ASSERT_TRUE(img.ok());
+  Tensor input = Preprocess(*img, 32);
+  auto s1 = model.Infer(input);
+  auto s2 = model.Infer(input);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->data, s2->data);
+  EXPECT_EQ(s1->data.size(), 10u);
+  EXPECT_LT(ResNetLite::TopClass(*s1), 10u);
+}
+
+TEST(ResNetLiteTest, RejectsWrongInputShape) {
+  ResNetLite model("m", 4, 32, 1000, 1);
+  Tensor bad;
+  bad.shape = {3, 16, 16};
+  bad.data.resize(3 * 16 * 16);
+  EXPECT_FALSE(model.Infer(bad).ok());
+}
+
+TEST(DocumentParserTest, ExtractsFields) {
+  DocumentParserLite parser;
+  auto result = parser.Parse(
+      "INVOICE\nVendor: Acme Corp\nTotal: 42.50\n Date : 2023-11-01\n"
+      "garbage line without separator\n: no key\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fields.size(), 3u);
+  EXPECT_EQ(result->fields.at("vendor"), "Acme Corp");
+  EXPECT_EQ(result->fields.at("total"), "42.50");
+  EXPECT_EQ(result->fields.at("date"), "2023-11-01");
+}
+
+TEST(DocumentParserTest, EmptyDocumentIsError) {
+  DocumentParserLite parser;
+  EXPECT_FALSE(parser.Parse("no structured content here").ok());
+}
+
+TEST(RemoteEndpointTest, InferBatchChargesNetworkAndScalesUp) {
+  SimEnv env;
+  auto model = std::make_shared<ResNetLite>("big", 10, 32, 1 << 20, 9);
+  RemoteEndpointOptions opts;
+  opts.initial_capacity = 2;
+  opts.max_capacity = 16;
+  opts.scale_up_interval = 1'000'000;
+  RemoteModelEndpoint endpoint(&env, model, opts);
+
+  auto img = DecodeJpegLite(EncodeJpegLite(64, 64, 1));
+  ASSERT_TRUE(img.ok());
+  std::vector<Tensor> batch(8, Preprocess(*img, 32));
+  auto r1 = endpoint.InferBatch(batch);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->size(), 8u);
+  EXPECT_GT(env.counters().Get("remote_model.request_bytes"), 0u);
+  uint32_t cap_before = endpoint.current_capacity();
+  env.clock().Advance(5'000'000);
+  ASSERT_TRUE(endpoint.InferBatch(batch).ok());
+  EXPECT_GT(endpoint.current_capacity(), cap_before);
+}
+
+// ---- In-engine inference over object tables ---------------------------------
+
+class InferenceTest : public LakehouseFixture {
+ protected:
+  InferenceTest() : object_tables_(&lake_), bqml_(&lake_, &object_tables_) {}
+
+  void PutImages(const std::string& prefix, int count, uint32_t w,
+                 uint32_t h) {
+    for (int i = 0; i < count; ++i) {
+      PutOptions po;
+      po.content_type = "image/jpeg";
+      ASSERT_TRUE(store_
+                      ->Put(GcpCaller(), "lake",
+                            prefix + "img-" + std::to_string(i) + ".jpg",
+                            EncodeJpegLite(w, h, 100 + i), po)
+                      .ok());
+    }
+  }
+
+  void PutDocs(const std::string& prefix, int count) {
+    for (int i = 0; i < count; ++i) {
+      PutOptions po;
+      po.content_type = "application/pdf";
+      ASSERT_TRUE(
+          store_
+              ->Put(GcpCaller(), "lake",
+                    prefix + "doc-" + std::to_string(i) + ".pdf",
+                    "Vendor: acme-" + std::to_string(i) +
+                        "\nTotal: " + std::to_string(i * 10) + "\n",
+                    po)
+              .ok());
+    }
+  }
+
+  void CreateTable(const std::string& name, const std::string& prefix) {
+    TableDef def;
+    def.dataset = "ds";
+    def.name = name;
+    def.kind = TableKind::kObjectTable;
+    def.connection = "us.lake-conn";
+    def.location = gcp_;
+    def.bucket = "lake";
+    def.prefix = prefix;
+    def.iam.Grant("*", Role::kReader);
+    ASSERT_TRUE(object_tables_.CreateObjectTable(def).ok());
+  }
+
+  ObjectTableService object_tables_;
+  BqmlInferenceEngine bqml_;
+};
+
+TEST_F(InferenceTest, PredictImagesReturnsOneRowPerImage) {
+  PutImages("imgs/", 6, 64, 64);
+  CreateTable("files", "imgs/");
+  ResNetLite model("resnet", 10, 64, 1 << 18, 11);
+  InferenceOptions opts;
+  opts.preprocess_target = 64;
+  auto result = bqml_.PredictImages("u", "ds.files", model, nullptr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.num_rows(), 6u);
+  EXPECT_EQ(result->stats.images, 6u);
+  EXPECT_EQ(result->stats.failed, 0u);
+  for (size_t r = 0; r < result->batch.num_rows(); ++r) {
+    int64_t cls = result->batch.GetValue(r, 1).int64_value();
+    EXPECT_GE(cls, 0);
+    EXPECT_LT(cls, 10);
+  }
+}
+
+TEST_F(InferenceTest, NonImagesCountAsFailed) {
+  PutImages("mixed/", 2, 32, 32);
+  PutDocs("mixed/", 1);
+  CreateTable("mixed", "mixed/");
+  ResNetLite model("m", 4, 32, 1000, 1);
+  InferenceOptions opts;
+  opts.preprocess_target = 32;
+  auto result = bqml_.PredictImages("u", "ds.mixed", model, nullptr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.images, 2u);
+  EXPECT_EQ(result->stats.failed, 1u);
+}
+
+TEST_F(InferenceTest, FilterLimitsProcessedObjects) {
+  PutImages("f/", 4, 32, 32);
+  PutDocs("f/", 3);
+  CreateTable("filtered", "f/");
+  ResNetLite model("m", 4, 32, 1000, 1);
+  InferenceOptions opts;
+  opts.preprocess_target = 32;
+  auto result = bqml_.PredictImages(
+      "u", "ds.filtered", model,
+      Expr::Eq(Expr::Col("content_type"),
+               Expr::Lit(Value::String("image/jpeg"))),
+      opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.images, 4u);
+  EXPECT_EQ(result->stats.failed, 0u);  // docs never fetched
+}
+
+TEST_F(InferenceTest, SplitPlacementReducesPeakMemory) {
+  PutImages("big/", 3, 512, 512);
+  CreateTable("big", "big/");
+  ResNetLite model("biggish", 10, 64, 4ull << 20, 3);  // 16 MiB of weights
+  InferenceOptions split;
+  split.placement = InferencePlacement::kSplit;
+  split.preprocess_target = 64;
+  auto split_result =
+      bqml_.PredictImages("u", "ds.big", model, nullptr, split);
+  ASSERT_TRUE(split_result.ok());
+
+  InferenceOptions colocated = split;
+  colocated.placement = InferencePlacement::kColocated;
+  auto colocated_result =
+      bqml_.PredictImages("u", "ds.big", model, nullptr, colocated);
+  ASSERT_TRUE(colocated_result.ok());
+
+  EXPECT_LT(split_result->stats.peak_worker_memory,
+            colocated_result->stats.peak_worker_memory);
+  EXPECT_GT(split_result->stats.exchange_bytes, 0u);
+  EXPECT_EQ(colocated_result->stats.exchange_bytes, 0u);
+  // Same predictions either way.
+  EXPECT_EQ(split_result->batch.num_rows(),
+            colocated_result->batch.num_rows());
+}
+
+TEST_F(InferenceTest, ColocatedBlowsMemoryLimitWhereSplitFits) {
+  PutImages("huge/", 1, 1024, 1024);  // 3 MiB decoded
+  CreateTable("huge", "huge/");
+  ResNetLite model("large", 10, 64, (15ull << 20) / 2, 3);  // 30 MiB weights
+  InferenceOptions opts;
+  opts.preprocess_target = 64;
+  opts.worker_memory_limit = 36ull << 20;
+  opts.placement = InferencePlacement::kColocated;
+  auto colocated = bqml_.PredictImages("u", "ds.huge", model, nullptr, opts);
+  EXPECT_TRUE(colocated.status().IsResourceExhausted());
+  opts.placement = InferencePlacement::kSplit;
+  auto split = bqml_.PredictImages("u", "ds.huge", model, nullptr, opts);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->stats.images, 1u);
+}
+
+TEST_F(InferenceTest, OversizedModelRejectedInEngine) {
+  PutImages("i/", 1, 32, 32);
+  CreateTable("imgs", "i/");
+  ResNetLite model("huge", 10, 32, 20ull << 20, 1);  // 80 MiB weights
+  InferenceOptions opts;
+  opts.preprocess_target = 32;
+  auto result = bqml_.PredictImages("u", "ds.imgs", model, nullptr, opts);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(InferenceTest, RemoteInferenceHandlesOversizedModels) {
+  PutImages("r/", 5, 64, 64);
+  CreateTable("remote", "r/");
+  // Way beyond the in-engine ceiling, fine remotely.
+  auto model = std::make_shared<ResNetLite>("huge", 10, 64, 64ull << 20, 2);
+  RemoteModelEndpoint endpoint(&lake_.sim(), model);
+  InferenceOptions opts;
+  opts.preprocess_target = 64;
+  auto result =
+      bqml_.PredictImagesRemote("u", "ds.remote", &endpoint, nullptr, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.images, 5u);
+  // Tensors crossed the network.
+  EXPECT_GT(lake_.sim().counters().Get("remote_model.request_bytes"), 0u);
+  // Engine workers never held the model.
+  EXPECT_LT(result->stats.peak_worker_memory, model->MemoryBytes());
+}
+
+TEST_F(InferenceTest, ProcessDocumentsFlattensFields) {
+  PutDocs("docs/", 3);
+  CreateTable("documents", "docs/");
+  DocumentParserLite parser;
+  uint64_t engine_reads = lake_.sim().counters().Get("objstore.get_calls");
+  auto result = bqml_.ProcessDocuments("u", "ds.documents", parser);
+  ASSERT_TRUE(result.ok());
+  // 3 docs x 2 fields each, flattened long-form.
+  EXPECT_EQ(result->num_rows(), 6u);
+  EXPECT_EQ(result->schema()->field(1).name, "field");
+  // Reads happened (by the service via signed URLs), not zero.
+  EXPECT_GT(lake_.sim().counters().Get("objstore.get_calls"), engine_reads);
+}
+
+TEST_F(InferenceTest, GovernanceFiltersInferenceInputs) {
+  PutImages("gov/", 4, 32, 32);
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "gov";
+  def.kind = TableKind::kObjectTable;
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "gov/";
+  def.iam.Grant("*", Role::kReader);
+  RowAccessPolicy subset;
+  subset.name = "one";
+  subset.grantees = {"user:alice"};
+  subset.filter = Expr::Eq(Expr::Col("uri"),
+                           Expr::Lit(Value::String("gs://lake/gov/img-0.jpg")));
+  def.policy.row_policies = {subset};
+  ASSERT_TRUE(object_tables_.CreateObjectTable(def).ok());
+  ResNetLite model("m", 4, 32, 1000, 1);
+  InferenceOptions opts;
+  opts.preprocess_target = 32;
+  auto alice = bqml_.PredictImages("user:alice", "ds.gov", model, nullptr,
+                                   opts);
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(alice->stats.images, 1u);  // only the granted row
+  auto eve = bqml_.PredictImages("user:eve", "ds.gov", model, nullptr, opts);
+  ASSERT_TRUE(eve.ok());
+  EXPECT_EQ(eve->stats.images, 0u);
+}
+
+}  // namespace
+}  // namespace biglake

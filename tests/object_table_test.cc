@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/object_table.h"
+#include "lakehouse_fixture.h"
+
+namespace biglake {
+namespace {
+
+class ObjectTableTest : public LakehouseFixture {
+ protected:
+  ObjectTableTest() : service_(&lake_) {}
+
+  void PutObjects(const std::string& prefix, int count,
+                  const std::string& content_type, size_t size = 16) {
+    for (int i = 0; i < count; ++i) {
+      PutOptions po;
+      po.content_type = content_type;
+      ASSERT_TRUE(store_
+                      ->Put(GcpCaller(), "lake",
+                            prefix + "obj-" + std::to_string(i),
+                            std::string(size, 'x'), po)
+                      .ok());
+    }
+  }
+
+  TableDef ObjectTableDef(const std::string& name, const std::string& prefix) {
+    TableDef def;
+    def.dataset = "ds";
+    def.name = name;
+    def.kind = TableKind::kObjectTable;
+    def.connection = "us.lake-conn";
+    def.location = gcp_;
+    def.bucket = "lake";
+    def.prefix = prefix;
+    def.iam.Grant("*", Role::kReader);
+    return def;
+  }
+
+  ObjectTableService service_;
+};
+
+TEST_F(ObjectTableTest, ScanListsObjectsAsRows) {
+  PutObjects("imgs/", 5, "image/jpeg");
+  ASSERT_TRUE(service_.CreateObjectTable(ObjectTableDef("files", "imgs/")).ok());
+  auto rows = service_.Scan("user:x", "ds.files");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 5u);
+  EXPECT_EQ(rows->schema()->num_fields(), 6u);
+  auto uri = (*rows->ColumnByName("uri"))->GetValue(0).string_value();
+  EXPECT_EQ(uri, "gs://lake/imgs/obj-0");
+  EXPECT_EQ((*rows->ColumnByName("content_type"))->GetValue(0),
+            Value::String("image/jpeg"));
+  EXPECT_EQ((*rows->ColumnByName("size"))->GetValue(0), Value::Int64(16));
+}
+
+TEST_F(ObjectTableTest, ScanDoesNotTouchObjectStore) {
+  PutObjects("imgs/", 50, "image/jpeg");
+  ASSERT_TRUE(service_.CreateObjectTable(ObjectTableDef("files", "imgs/")).ok());
+  uint64_t lists = lake_.sim().counters().Get("objstore.list_calls");
+  uint64_t gets = lake_.sim().counters().Get("objstore.get_calls");
+  ASSERT_TRUE(service_.Scan("u", "ds.files").ok());
+  ASSERT_TRUE(service_.Scan("u", "ds.files").ok());
+  EXPECT_EQ(lake_.sim().counters().Get("objstore.list_calls"), lists);
+  EXPECT_EQ(lake_.sim().counters().Get("objstore.get_calls"), gets);
+}
+
+TEST_F(ObjectTableTest, FilterByAttributes) {
+  PutObjects("mixed/", 3, "image/jpeg");
+  PutObjects("mixed/pdf-", 2, "application/pdf");
+  ASSERT_TRUE(
+      service_.CreateObjectTable(ObjectTableDef("files", "mixed/")).ok());
+  auto jpegs = service_.Scan(
+      "u", "ds.files",
+      Expr::Eq(Expr::Col("content_type"), Expr::Lit(Value::String("image/jpeg"))));
+  ASSERT_TRUE(jpegs.ok());
+  EXPECT_EQ(jpegs->num_rows(), 3u);
+}
+
+TEST_F(ObjectTableTest, RefreshPicksUpNewObjects) {
+  PutObjects("grow/", 2, "image/png");
+  ASSERT_TRUE(service_.CreateObjectTable(ObjectTableDef("files", "grow/")).ok());
+  EXPECT_EQ(service_.Scan("u", "ds.files")->num_rows(), 2u);
+  PutObjects("grow/new-", 3, "image/png");
+  EXPECT_EQ(service_.Scan("u", "ds.files")->num_rows(), 2u);  // stale
+  ASSERT_TRUE(service_.Refresh("ds.files").ok());
+  EXPECT_EQ(service_.Scan("u", "ds.files")->num_rows(), 5u);
+}
+
+TEST_F(ObjectTableTest, RowPolicyLimitsVisibleObjects) {
+  PutObjects("old/", 3, "image/jpeg");
+  lake_.sim().clock().Advance(10'000'000);
+  SimMicros cutoff = lake_.sim().clock().Now();
+  PutObjects("old/recent-", 2, "image/jpeg");
+  TableDef def = ObjectTableDef("gov", "old/");
+  RowAccessPolicy recent_only;
+  recent_only.name = "recent";
+  recent_only.grantees = {"user:alice"};
+  recent_only.filter = Expr::Ge(Expr::Col("create_time"),
+                                Expr::Lit(Value::Int64(
+                                    static_cast<int64_t>(cutoff))));
+  def.policy.row_policies = {recent_only};
+  ASSERT_TRUE(service_.CreateObjectTable(def).ok());
+
+  auto alice = service_.Scan("user:alice", "ds.gov");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(alice->num_rows(), 2u);
+  // Principal granted no policy sees nothing.
+  auto eve = service_.Scan("user:eve", "ds.gov");
+  ASSERT_TRUE(eve.ok());
+  EXPECT_EQ(eve->num_rows(), 0u);
+}
+
+TEST_F(ObjectTableTest, SignedUrlsOnlyForVisibleRows) {
+  PutObjects("s/", 4, "image/jpeg");
+  TableDef def = ObjectTableDef("signed", "s/");
+  RowAccessPolicy only_two;
+  only_two.name = "subset";
+  only_two.grantees = {"user:alice"};
+  only_two.filter =
+      Expr::InList(Expr::Col("uri"),
+                   {Value::String("gs://lake/s/obj-0"),
+                    Value::String("gs://lake/s/obj-2")});
+  def.policy.row_policies = {only_two};
+  ASSERT_TRUE(service_.CreateObjectTable(def).ok());
+
+  auto urls =
+      service_.GenerateSignedUrls("user:alice", "ds.signed", nullptr,
+                                  1'000'000);
+  ASSERT_TRUE(urls.ok());
+  ASSERT_EQ(urls->size(), 2u);
+  // URLs actually grant access to content.
+  for (const auto& row : *urls) {
+    auto data = store_->GetSigned(GcpCaller(), row.signed_url);
+    ASSERT_TRUE(data.ok()) << row.uri;
+    EXPECT_EQ(data->size(), 16u);
+  }
+  // A principal with no policy gets zero URLs.
+  auto none =
+      service_.GenerateSignedUrls("user:eve", "ds.signed", nullptr, 1'000'000);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(ObjectTableTest, SampleIsDeterministicAndApproximate) {
+  PutObjects("big/", 1000, "image/jpeg", 4);
+  ASSERT_TRUE(service_.CreateObjectTable(ObjectTableDef("big", "big/")).ok());
+  auto s1 = service_.Sample("u", "ds.big", 0.1, 7);
+  auto s2 = service_.Sample("u", "ds.big", 0.1, 7);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->num_rows(), s2->num_rows());  // deterministic
+  EXPECT_GT(s1->num_rows(), 50u);
+  EXPECT_LT(s1->num_rows(), 200u);
+  EXPECT_FALSE(service_.Sample("u", "ds.big", 0.0, 1).ok());
+  EXPECT_FALSE(service_.Sample("u", "ds.big", 1.5, 1).ok());
+}
+
+TEST_F(ObjectTableTest, IamAndKindChecks) {
+  PutObjects("x/", 1, "a/b");
+  TableDef def = ObjectTableDef("priv", "x/");
+  def.iam = IamPolicy();
+  def.iam.Grant("user:alice", Role::kReader);
+  ASSERT_TRUE(service_.CreateObjectTable(def).ok());
+  EXPECT_TRUE(
+      service_.Scan("user:eve", "ds.priv").status().IsPermissionDenied());
+  EXPECT_TRUE(service_.Scan("user:alice", "ds.priv").ok());
+  EXPECT_TRUE(service_.Scan("u", "ds.nothere").status().IsNotFound());
+}
+
+TEST_F(ObjectTableTest, MakeUriSchemes) {
+  EXPECT_EQ(ObjectTableService::MakeUri({CloudProvider::kGCP, "r"}, "b", "p"),
+            "gs://b/p");
+  EXPECT_EQ(ObjectTableService::MakeUri({CloudProvider::kAWS, "r"}, "b", "p"),
+            "s3://b/p");
+  EXPECT_EQ(ObjectTableService::MakeUri({CloudProvider::kAzure, "r"}, "b", "p"),
+            "az://b/p");
+}
+
+}  // namespace
+}  // namespace biglake

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "objstore/objstore.h"
+
+namespace biglake {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest() : store_(&env_, DefaultOptions()) {
+    EXPECT_TRUE(store_.CreateBucket("lake").ok());
+  }
+
+  static ObjectStoreOptions DefaultOptions() {
+    ObjectStoreOptions opts;
+    opts.location = {CloudProvider::kGCP, "us-central1"};
+    return opts;
+  }
+
+  CallerContext LocalCaller() const {
+    return {.location = {CloudProvider::kGCP, "us-central1"}};
+  }
+  CallerContext CrossCloudCaller() const {
+    return {.location = {CloudProvider::kAWS, "us-east-1"}};
+  }
+
+  SimEnv env_;
+  ObjectStore store_;
+};
+
+TEST_F(ObjectStoreTest, PutGetRoundTrip) {
+  auto gen = store_.Put(LocalCaller(), "lake", "a/b.txt", "hello");
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(*gen, 1u);
+  auto data = store_.Get(LocalCaller(), "lake", "a/b.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello");
+}
+
+TEST_F(ObjectStoreTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(store_.Get(LocalCaller(), "lake", "nope").status().IsNotFound());
+  EXPECT_TRUE(
+      store_.Get(LocalCaller(), "nobucket", "x").status().IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, CreateBucketTwiceFails) {
+  EXPECT_TRUE(store_.CreateBucket("lake").IsAlreadyExists());
+}
+
+TEST_F(ObjectStoreTest, GenerationsIncrement) {
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "o", "v1").ok());
+  auto gen2 = store_.Put(LocalCaller(), "lake", "o", "v2");
+  ASSERT_TRUE(gen2.ok());
+  EXPECT_EQ(*gen2, 2u);
+}
+
+TEST_F(ObjectStoreTest, ConditionalPutEnforcesGeneration) {
+  PutOptions create_only;
+  create_only.if_generation_match = 0;
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "ptr", "s1", create_only).ok());
+  // Second create-only put must fail.
+  EXPECT_TRUE(store_.Put(LocalCaller(), "lake", "ptr", "s2", create_only)
+                  .status()
+                  .IsFailedPrecondition());
+  // CAS with correct generation succeeds.
+  PutOptions cas;
+  cas.if_generation_match = 1;
+  EXPECT_TRUE(store_.Put(LocalCaller(), "lake", "ptr", "s2", cas).ok());
+  // Stale CAS fails.
+  EXPECT_TRUE(store_.Put(LocalCaller(), "lake", "ptr", "s3", cas)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ObjectStoreTest, MutationRateLimitKicksIn) {
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "hot", "v").ok());
+  // Hammer replacements without advancing virtual time much; the default
+  // limit is 5 mutations/sec per object.
+  int ok_count = 0, exhausted = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto r = store_.Put(LocalCaller(), "lake", "hot", "v");
+    if (r.ok()) {
+      ++ok_count;
+    } else if (r.status().IsResourceExhausted()) {
+      ++exhausted;
+    }
+  }
+  EXPECT_GT(exhausted, 0);
+  EXPECT_LE(ok_count, 20);
+  EXPECT_GT(env_.counters().Get("objstore.rate_limited_puts"), 0u);
+}
+
+TEST_F(ObjectStoreTest, RateLimitRecoversAfterASecond) {
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "hot", "v").ok());
+  while (store_.Put(LocalCaller(), "lake", "hot", "v").ok()) {
+  }
+  env_.clock().Advance(1'100'000);  // > 1 virtual second
+  EXPECT_TRUE(store_.Put(LocalCaller(), "lake", "hot", "v").ok());
+}
+
+TEST_F(ObjectStoreTest, GetRange) {
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "f", "0123456789").ok());
+  auto r = store_.GetRange(LocalCaller(), "lake", "f", 3, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "3456");
+  // Clamped at the end.
+  auto tail = store_.GetRange(LocalCaller(), "lake", "f", 8, 100);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, "89");
+  // Offset beyond size is an error.
+  EXPECT_FALSE(store_.GetRange(LocalCaller(), "lake", "f", 11, 1).ok());
+}
+
+TEST_F(ObjectStoreTest, StatReturnsMetadata) {
+  PutOptions opts;
+  opts.content_type = "image/jpeg";
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "img.jpg", "JJJJ", opts).ok());
+  auto meta = store_.Stat(LocalCaller(), "lake", "img.jpg");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->name, "img.jpg");
+  EXPECT_EQ(meta->size, 4u);
+  EXPECT_EQ(meta->content_type, "image/jpeg");
+  EXPECT_EQ(meta->generation, 1u);
+}
+
+TEST_F(ObjectStoreTest, DeleteRemovesObject) {
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "d", "x").ok());
+  ASSERT_TRUE(store_.Delete(LocalCaller(), "lake", "d").ok());
+  EXPECT_TRUE(store_.Get(LocalCaller(), "lake", "d").status().IsNotFound());
+  EXPECT_TRUE(store_.Delete(LocalCaller(), "lake", "d").IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, ListWithPrefixAndPagination) {
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(store_
+                    .Put(LocalCaller(), "lake",
+                         "part=" + std::to_string(i % 3) + "/f" +
+                             std::to_string(i),
+                         "data")
+                    .ok());
+  }
+  ListOptions opts;
+  opts.prefix = "part=1/";
+  opts.max_results = 3;
+  size_t seen = 0;
+  size_t pages = 0;
+  while (true) {
+    auto page = store_.List(LocalCaller(), "lake", opts);
+    ASSERT_TRUE(page.ok());
+    ++pages;
+    for (const auto& m : page->objects) {
+      EXPECT_TRUE(m.name.rfind("part=1/", 0) == 0);
+      ++seen;
+    }
+    if (page->next_page_token.empty()) break;
+    opts.page_token = page->next_page_token;
+  }
+  EXPECT_EQ(seen, 8u);  // i % 3 == 1 for i in [0,25): 1,4,7,10,13,16,19,22
+  EXPECT_GE(pages, 3u);
+}
+
+TEST_F(ObjectStoreTest, ListAllCountsMatch) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        store_.Put(LocalCaller(), "lake", "x/" + std::to_string(i), "d").ok());
+  }
+  auto all = store_.ListAll(LocalCaller(), "lake", "x/");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 10u);
+}
+
+TEST_F(ObjectStoreTest, ListingChargesLatencyPerPage) {
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(
+        store_.Put(LocalCaller(), "lake", "big/" + std::to_string(i), "d")
+            .ok());
+  }
+  SimMicros before = env_.clock().Now();
+  uint64_t lists_before = env_.counters().Get("objstore.list_calls");
+  auto all = store_.ListAll(LocalCaller(), "lake", "big/");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 5000u);
+  uint64_t pages = env_.counters().Get("objstore.list_calls") - lists_before;
+  EXPECT_GE(pages, 5u);  // 5000 objects / 1000 per page
+  EXPECT_GE(env_.clock().Now() - before,
+            pages * store_.options().list_page_latency);
+}
+
+TEST_F(ObjectStoreTest, CrossCloudReadChargesEgress) {
+  ASSERT_TRUE(
+      store_.Put(LocalCaller(), "lake", "e", std::string(1000, 'x')).ok());
+  EXPECT_EQ(env_.counters().Get("egress.gcp.aws"), 0u);
+  ASSERT_TRUE(store_.Get(CrossCloudCaller(), "lake", "e").ok());
+  EXPECT_EQ(env_.counters().Get("egress.gcp.aws"), 1000u);
+  // Same-cloud reads do not add egress.
+  ASSERT_TRUE(store_.Get(LocalCaller(), "lake", "e").ok());
+  EXPECT_EQ(env_.counters().Get("egress.gcp.aws"), 1000u);
+}
+
+TEST_F(ObjectStoreTest, SignedUrlRoundTrip) {
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "doc.pdf", "PDF").ok());
+  std::string url =
+      store_.SignUrl("lake", "doc.pdf", env_.clock().Now() + 1'000'000);
+  auto data = store_.GetSigned(LocalCaller(), url);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "PDF");
+}
+
+TEST_F(ObjectStoreTest, SignedUrlExpires) {
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "doc", "D").ok());
+  std::string url = store_.SignUrl("lake", "doc", env_.clock().Now() + 10);
+  env_.clock().Advance(1'000'000);
+  EXPECT_TRUE(
+      store_.GetSigned(LocalCaller(), url).status().IsPermissionDenied());
+}
+
+TEST_F(ObjectStoreTest, SignedUrlTamperRejected) {
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "a", "A").ok());
+  ASSERT_TRUE(store_.Put(LocalCaller(), "lake", "b", "B").ok());
+  std::string url = store_.SignUrl("lake", "a", env_.clock().Now() + 1'000'000);
+  // Swap the object name inside the signed URL.
+  size_t pos = url.find("lake/a");
+  std::string tampered = url;
+  tampered.replace(pos, 6, "lake/b");
+  EXPECT_TRUE(
+      store_.GetSigned(LocalCaller(), tampered).status().IsPermissionDenied());
+}
+
+TEST_F(ObjectStoreTest, SignedUrlMalformed) {
+  EXPECT_FALSE(store_.GetSigned(LocalCaller(), "http://x").ok());
+  EXPECT_FALSE(store_.GetSigned(LocalCaller(), "sim://lake/a").ok());
+}
+
+TEST(CloudLocationTest, Identity) {
+  CloudLocation aws_east{CloudProvider::kAWS, "us-east-1"};
+  CloudLocation aws_west{CloudProvider::kAWS, "us-west-2"};
+  CloudLocation gcp{CloudProvider::kGCP, "us-central1"};
+  EXPECT_TRUE(aws_east.SameCloud(aws_west));
+  EXPECT_FALSE(aws_east.SameRegion(aws_west));
+  EXPECT_TRUE(aws_east.SameRegion(aws_east));
+  EXPECT_FALSE(aws_east.SameCloud(gcp));
+  EXPECT_EQ(gcp.ToString(), "gcp:us-central1");
+  EXPECT_EQ(aws_east.ToString(), "aws:us-east-1");
+}
+
+}  // namespace
+}  // namespace biglake

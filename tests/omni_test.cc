@@ -1,0 +1,447 @@
+#include <gtest/gtest.h>
+
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "format/parquet_lite.h"
+#include "omni/ccmv.h"
+#include "omni/omni.h"
+
+namespace biglake {
+namespace {
+
+/// Two-cloud fixture: a GCP primary region and an AWS Omni region, with an
+/// orders fact table on S3 and an ads dimension on GCP (the Listing 3
+/// scenario).
+class OmniTest : public ::testing::Test {
+ protected:
+  OmniTest()
+      : gcp_{CloudProvider::kGCP, "us-central1"},
+        aws_{CloudProvider::kAWS, "us-east-1"},
+        api_(&lake_),
+        biglake_(&lake_),
+        blmt_(&lake_),
+        jobserver_(&lake_, &api_, "gcp-us") {
+    gcp_store_ = lake_.AddStore(gcp_);
+    aws_store_ = lake_.AddStore(aws_);
+    EXPECT_TRUE(gcp_store_->CreateBucket("gcs-lake").ok());
+    EXPECT_TRUE(aws_store_->CreateBucket("s3-lake").ok());
+    EXPECT_TRUE(lake_.catalog().CreateDataset("local_dataset").ok());
+    EXPECT_TRUE(lake_.catalog().CreateDataset("aws_dataset").ok());
+    Connection gconn;
+    gconn.name = "us.gcp-conn";
+    gconn.service_account.principal = "sa:gcp-conn";
+    EXPECT_TRUE(lake_.catalog().CreateConnection(gconn).ok());
+    Connection aconn;
+    aconn.name = "aws.s3-conn";
+    aconn.service_account.principal = "sa:s3-conn";
+    EXPECT_TRUE(lake_.catalog().CreateConnection(aconn).ok());
+
+    primary_ = jobserver_.AddRegion({"gcp-us", gcp_, {}});
+    aws_region_ = jobserver_.AddRegion({"aws-us-east-1", aws_, {}});
+  }
+
+  static SchemaPtr OrdersSchema() {
+    return MakeSchema({{"order_id", DataType::kInt64, false},
+                       {"customer_id", DataType::kInt64, false},
+                       {"order_total", DataType::kDouble, false}});
+  }
+  static SchemaPtr AdsSchema() {
+    return MakeSchema({{"ad_id", DataType::kInt64, false},
+                       {"customer_id", DataType::kInt64, false}});
+  }
+
+  /// Orders on S3, hive-partitioned by day, rows per day configurable.
+  void BuildAwsOrders(int days, size_t rows_per_day) {
+    CallerContext ctx{.location = aws_};
+    for (int d = 0; d < days; ++d) {
+      BatchBuilder b(OrdersSchema());
+      for (size_t r = 0; r < rows_per_day; ++r) {
+        ASSERT_TRUE(
+            b.AppendRow({Value::Int64(d * 10000 + static_cast<int64_t>(r)),
+                         Value::Int64(static_cast<int64_t>(r % 50)),
+                         Value::Double(10.0 + static_cast<double>(r))})
+                .ok());
+      }
+      auto bytes = WriteParquetFile(b.Finish());
+      ASSERT_TRUE(bytes.ok());
+      PutOptions po;
+      po.content_type = "application/x-parquet-lite";
+      ASSERT_TRUE(aws_store_
+                      ->Put(ctx, "s3-lake",
+                            "orders/day=" + std::to_string(d) + "/part.plk",
+                            *bytes, po)
+                      .ok());
+    }
+    TableDef def;
+    def.dataset = "aws_dataset";
+    def.name = "customer_orders";
+    def.kind = TableKind::kBigLake;
+    def.schema = OrdersSchema();
+    def.connection = "aws.s3-conn";
+    def.location = aws_;
+    def.bucket = "s3-lake";
+    def.prefix = "orders/";
+    def.partition_columns = {"day"};
+    def.iam.Grant("*", Role::kReader);
+    ASSERT_TRUE(biglake_.CreateBigLakeTable(def).ok());
+  }
+
+  /// Ads impressions on GCP as a BLMT.
+  void BuildGcpAds(size_t rows) {
+    TableDef def;
+    def.dataset = "local_dataset";
+    def.name = "ads_impressions";
+    def.schema = AdsSchema();
+    def.connection = "us.gcp-conn";
+    def.location = gcp_;
+    def.bucket = "gcs-lake";
+    def.prefix = "ads/";
+    def.iam.Grant("*", Role::kWriter);
+    ASSERT_TRUE(blmt_.CreateTable(def).ok());
+    BatchBuilder b(AdsSchema());
+    for (size_t r = 0; r < rows; ++r) {
+      ASSERT_TRUE(b.AppendRow({Value::Int64(static_cast<int64_t>(r)),
+                               Value::Int64(static_cast<int64_t>(r % 10))})
+                      .ok());
+    }
+    ASSERT_TRUE(blmt_.Insert("u", "local_dataset.ads_impressions",
+                             b.Finish())
+                    .ok());
+  }
+
+  LakehouseEnv lake_;
+  CloudLocation gcp_, aws_;
+  StorageReadApi api_;
+  BigLakeTableService biglake_;
+  BlmtService blmt_;
+  OmniJobServer jobserver_;
+  ObjectStore* gcp_store_ = nullptr;
+  ObjectStore* aws_store_ = nullptr;
+  OmniRegion* primary_ = nullptr;
+  OmniRegion* aws_region_ = nullptr;
+};
+
+TEST_F(OmniTest, VpnEnforcesAllowlistAndRealms) {
+  VpnChannel& vpn = jobserver_.vpn();
+  // Region <-> control plane allowed.
+  EXPECT_TRUE(
+      vpn.Transfer("omni-aws-us-east-1", "gcp-control-plane", 1000).ok());
+  // Unregistered endpoint dropped at the IP filter.
+  EXPECT_TRUE(vpn.Transfer("rogue-endpoint", "gcp-control-plane", 10)
+                  .IsPermissionDenied());
+  // Region-to-region traffic is only allowed toward the primary.
+  EXPECT_TRUE(
+      vpn.Transfer("omni-aws-us-east-1", "omni-gcp-us", 1000).ok());
+  EXPECT_TRUE(vpn.Transfer("omni-gcp-us", "omni-aws-us-east-1", 10)
+                  .IsPermissionDenied());
+}
+
+TEST_F(OmniTest, VpnChargesBytesAndLatency) {
+  SimMicros before = lake_.sim().clock().Now();
+  ASSERT_TRUE(jobserver_.vpn()
+                  .Transfer("omni-aws-us-east-1", "gcp-control-plane",
+                            10 << 20)
+                  .ok());
+  EXPECT_GT(lake_.sim().clock().Now(), before);
+  EXPECT_EQ(lake_.sim().counters().Get(
+                "vpn.bytes.omni-aws-us-east-1.gcp-control-plane"),
+            10u << 20);
+}
+
+TEST_F(OmniTest, SubqueryRequiresValidToken) {
+  BuildAwsOrders(2, 10);
+  auto plan = Plan::Scan("aws_dataset.customer_orders");
+  Credential cred{.principal = "sa:s3-conn", .path_scopes = {}, .expiry = 0};
+  SimMicros expiry = lake_.sim().clock().Now() + 1'000'000;
+
+  // Valid token for the right realm and scope.
+  SessionToken good = lake_.token_service().Mint(
+      "q1", "user:x", aws_region_->realm(), {"s3-lake/orders/"}, expiry);
+  EXPECT_TRUE(aws_region_->RunSubquery(good, cred, "user:x", plan).ok());
+
+  // Wrong realm (minted for the primary region).
+  SessionToken wrong_realm = lake_.token_service().Mint(
+      "q2", "user:x", primary_->realm(), {"s3-lake/orders/"}, expiry);
+  EXPECT_TRUE(aws_region_->RunSubquery(wrong_realm, cred, "user:x", plan)
+                  .status()
+                  .IsPermissionDenied());
+
+  // Tampered scope (signature breaks).
+  SessionToken tampered = good;
+  tampered.path_scopes = {"s3-lake/"};
+  EXPECT_EQ(
+      aws_region_->RunSubquery(tampered, cred, "user:x", plan).status().code(),
+      StatusCode::kUnauthenticated);
+
+  // Out-of-scope table access.
+  SessionToken narrow = lake_.token_service().Mint(
+      "q3", "user:x", aws_region_->realm(), {"s3-lake/other/"}, expiry);
+  EXPECT_TRUE(aws_region_->RunSubquery(narrow, cred, "user:x", plan)
+                  .status()
+                  .IsPermissionDenied());
+
+  // Expired token.
+  lake_.sim().clock().Advance(2'000'000);
+  EXPECT_EQ(
+      aws_region_->RunSubquery(good, cred, "user:x", plan).status().code(),
+      StatusCode::kUnauthenticated);
+}
+
+TEST_F(OmniTest, ScopedCredentialLimitsBlastRadius) {
+  BuildAwsOrders(1, 5);
+  auto plan = Plan::Scan("aws_dataset.customer_orders");
+  SessionToken token = lake_.token_service().Mint(
+      "q1", "user:x", aws_region_->realm(), {"s3-lake/orders/"},
+      lake_.sim().clock().Now() + 1'000'000);
+  // Credential scoped to a different table's path: denied even though the
+  // token allows the path.
+  Credential wrong{.principal = "sa:s3-conn", .path_scopes = {}, .expiry = 0};
+  Credential scoped_elsewhere = wrong.ScopeDown({"s3-lake/secrets/"});
+  EXPECT_TRUE(
+      aws_region_->RunSubquery(token, scoped_elsewhere, "user:x", plan)
+          .status()
+          .IsPermissionDenied());
+}
+
+TEST_F(OmniTest, SingleRegionQueryRunsInPlace) {
+  BuildAwsOrders(3, 20);
+  // Query touching only the AWS table still works through the job server...
+  auto result = jobserver_.ExecuteQuery(
+      "user:x", Plan::Aggregate(Plan::Scan("aws_dataset.customer_orders"), {},
+                                {{AggOp::kCount, "", "n"}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.GetValue(0, 0), Value::Int64(60));
+  // ... with one regional subquery (the scan ran in AWS, only its result
+  // crossed the VPN).
+  EXPECT_EQ(result->stats.regional_subqueries, 1u);
+}
+
+TEST_F(OmniTest, CrossCloudJoinMatchesListing3) {
+  BuildAwsOrders(4, 50);
+  BuildGcpAds(30);
+  // SELECT o.order_id, o.order_total, ads.ad_id FROM ads JOIN orders.
+  auto plan = Plan::HashJoin(Plan::Scan("local_dataset.ads_impressions"),
+                             Plan::Scan("aws_dataset.customer_orders"),
+                             {"customer_id"}, {"customer_id"});
+  auto result = jobserver_.ExecuteQuery("user:x", plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->batch.num_rows(), 0u);
+  EXPECT_EQ(result->stats.regional_subqueries, 1u);
+  EXPECT_GT(result->stats.cross_cloud_bytes, 0u);
+  // Join result columns from both clouds.
+  EXPECT_GE(result->batch.schema()->FieldIndex("ad_id"), 0);
+  EXPECT_GE(result->batch.schema()->FieldIndex("order_total"), 0);
+}
+
+TEST_F(OmniTest, FilterPushdownShrinksCrossCloudBytes) {
+  BuildAwsOrders(10, 100);
+  BuildGcpAds(20);
+  auto join_all = Plan::HashJoin(
+      Plan::Scan("local_dataset.ads_impressions"),
+      Plan::Scan("aws_dataset.customer_orders"), {"customer_id"},
+      {"customer_id"});
+  auto all = jobserver_.ExecuteQuery("user:x", join_all);
+  ASSERT_TRUE(all.ok());
+
+  // Selective filter on the remote fact: pushed into the regional subquery.
+  auto join_filtered = Plan::HashJoin(
+      Plan::Scan("local_dataset.ads_impressions"),
+      Plan::Scan("aws_dataset.customer_orders", {},
+                 Expr::Eq(Expr::Col("day"), Expr::Lit(Value::Int64(5)))),
+      {"customer_id"}, {"customer_id"});
+  auto filtered = jobserver_.ExecuteQuery("user:x", join_filtered);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT(filtered->stats.cross_cloud_bytes,
+            all->stats.cross_cloud_bytes / 5);
+}
+
+TEST_F(OmniTest, PushdownBeatsNaiveRemoteRead) {
+  BuildAwsOrders(8, 200);
+  // Naive federation baseline: the GCP engine scans the S3 table directly;
+  // every raw byte crosses the clouds.
+  lake_.sim().counters().Reset();
+  EngineOptions gcp_engine;
+  gcp_engine.engine_location = gcp_;
+  QueryEngine naive(&lake_, &api_, gcp_engine);
+  auto naive_result = naive.Execute(
+      "user:x", Plan::Aggregate(Plan::Scan("aws_dataset.customer_orders"), {},
+                                {{AggOp::kSum, "order_total", "t"}}));
+  ASSERT_TRUE(naive_result.ok());
+  uint64_t naive_egress = lake_.sim().counters().Get("egress.aws.gcp");
+  EXPECT_GT(naive_egress, 0u);
+
+  // Omni: the aggregation's scan runs in AWS; only filtered rows cross.
+  lake_.sim().counters().Reset();
+  auto omni_result = jobserver_.ExecuteQuery(
+      "user:x", Plan::Aggregate(Plan::Scan("aws_dataset.customer_orders"), {},
+                                {{AggOp::kSum, "order_total", "t"}}));
+  ASSERT_TRUE(omni_result.ok());
+  uint64_t omni_egress = lake_.sim().counters().Get("egress.aws.gcp");
+  uint64_t vpn_bytes = omni_result->stats.cross_cloud_bytes;
+  EXPECT_EQ(omni_egress, 0u);  // raw data never crossed
+  EXPECT_LT(vpn_bytes, naive_egress / 2);
+  // Same answer either way.
+  EXPECT_TRUE(omni_result->batch.GetValue(0, 0) ==
+              naive_result->batch.GetValue(0, 0));
+}
+
+TEST_F(OmniTest, MissingPrimaryRegionFails) {
+  OmniJobServer empty(&lake_, &api_, "nowhere");
+  EXPECT_TRUE(empty.ExecuteQuery("u", Plan::Scan("aws_dataset.x"))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+// ---- CCMV -------------------------------------------------------------------
+
+class CcmvTest : public OmniTest {
+ protected:
+  CcmvTest() : ccmv_(&lake_, &api_) {}
+
+  CcmvDefinition Definition(const std::string& name) {
+    CcmvDefinition def;
+    def.name = name;
+    def.source_table = "aws_dataset.customer_orders";
+    def.partition_column = "day";
+    def.target_location = gcp_;
+    return def;
+  }
+
+  /// Appends one more day partition to the AWS orders lake and refreshes
+  /// the BigLake metadata cache.
+  void AppendDay(int day, size_t rows) {
+    CallerContext ctx{.location = aws_};
+    BatchBuilder b(OrdersSchema());
+    for (size_t r = 0; r < rows; ++r) {
+      ASSERT_TRUE(
+          b.AppendRow({Value::Int64(day * 10000 + static_cast<int64_t>(r)),
+                       Value::Int64(static_cast<int64_t>(r % 50)),
+                       Value::Double(1.0)})
+              .ok());
+    }
+    auto bytes = WriteParquetFile(b.Finish());
+    ASSERT_TRUE(bytes.ok());
+    PutOptions po;
+    po.content_type = "application/x-parquet-lite";
+    ASSERT_TRUE(aws_store_
+                    ->Put(ctx, "s3-lake",
+                          "orders/day=" + std::to_string(day) + "/part.plk",
+                          *bytes, po)
+                    .ok());
+    ASSERT_TRUE(biglake_.RefreshCache("aws_dataset.customer_orders").ok());
+  }
+
+  CcmvService ccmv_;
+};
+
+TEST_F(CcmvTest, CreateReplicatesAllPartitions) {
+  BuildAwsOrders(5, 40);
+  auto report = ccmv_.CreateView(Definition("orders_mv"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->partitions_total, 5u);
+  EXPECT_EQ(report->partitions_refreshed, 5u);
+  EXPECT_GT(report->bytes_replicated, 0u);
+  EXPECT_EQ(*ccmv_.PartitionCount("orders_mv"), 5u);
+  auto replica = ccmv_.QueryReplica("user:x", "orders_mv");
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(replica->num_rows(), 200u);
+}
+
+TEST_F(CcmvTest, IncrementalRefreshShipsOnlyChangedPartitions) {
+  BuildAwsOrders(6, 40);
+  ASSERT_TRUE(ccmv_.CreateView(Definition("mv")).ok());
+  // No change -> no replication.
+  auto idle = ccmv_.Refresh("mv");
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle->partitions_refreshed, 0u);
+  EXPECT_EQ(idle->bytes_replicated, 0u);
+
+  // Append one new day: exactly one partition replicates.
+  AppendDay(6, 40);
+  auto incr = ccmv_.Refresh("mv");
+  ASSERT_TRUE(incr.ok());
+  EXPECT_EQ(incr->partitions_refreshed, 1u);
+  EXPECT_GT(incr->bytes_replicated, 0u);
+  EXPECT_EQ(ccmv_.QueryReplica("u", "mv")->num_rows(), 280u);
+}
+
+TEST_F(CcmvTest, UpsertRecreatesOnlyItsPartition) {
+  BuildAwsOrders(4, 30);
+  ASSERT_TRUE(ccmv_.CreateView(Definition("mv")).ok());
+  // Rewrite day=2 (an upsert in the source).
+  AppendDay(2, 35);
+  auto refresh = ccmv_.Refresh("mv");
+  ASSERT_TRUE(refresh.ok());
+  EXPECT_EQ(refresh->partitions_refreshed, 1u);
+  EXPECT_EQ(ccmv_.QueryReplica("u", "mv")->num_rows(), 3u * 30 + 35);
+}
+
+TEST_F(CcmvTest, IncrementalEgressBeatsFullRefresh) {
+  BuildAwsOrders(10, 50);
+  ASSERT_TRUE(ccmv_.CreateView(Definition("mv")).ok());
+  AppendDay(10, 50);
+  lake_.sim().counters().Reset();
+  auto incr = ccmv_.Refresh("mv");
+  ASSERT_TRUE(incr.ok());
+  uint64_t incr_egress = lake_.sim().counters().Get("egress.aws.gcp");
+
+  AppendDay(11, 50);
+  lake_.sim().counters().Reset();
+  auto full = ccmv_.FullRefresh("mv");
+  ASSERT_TRUE(full.ok());
+  uint64_t full_egress = lake_.sim().counters().Get("egress.aws.gcp");
+  EXPECT_LT(incr_egress, full_egress / 5);
+}
+
+TEST_F(CcmvTest, ReplicaQueriesIncurNoEgress) {
+  BuildAwsOrders(3, 20);
+  ASSERT_TRUE(ccmv_.CreateView(Definition("mv")).ok());
+  lake_.sim().counters().Reset();
+  ASSERT_TRUE(ccmv_.QueryReplica("u", "mv").ok());
+  ASSERT_TRUE(ccmv_.QueryReplica("u", "mv").ok());
+  EXPECT_EQ(lake_.sim().counters().Get("egress.aws.gcp"), 0u);
+}
+
+TEST_F(CcmvTest, PredicateAndProjectionApplyToMaterialization) {
+  BuildAwsOrders(3, 30);
+  CcmvDefinition def = Definition("filtered_mv");
+  def.predicate =
+      Expr::Lt(Expr::Col("customer_id"), Expr::Lit(Value::Int64(10)));
+  def.columns = {"order_id", "customer_id"};
+  ASSERT_TRUE(ccmv_.CreateView(def).ok());
+  auto replica = ccmv_.QueryReplica("u", "filtered_mv");
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(replica->num_columns(), 2u);
+  for (size_t r = 0; r < replica->num_rows(); ++r) {
+    EXPECT_LT((*replica->ColumnByName("customer_id"))->GetValue(r)
+                  .int64_value(),
+              10);
+  }
+}
+
+TEST_F(CcmvTest, IamGatesReplicaAccess) {
+  BuildAwsOrders(1, 10);
+  // Rebuild the source IAM to be restrictive.
+  auto table = lake_.catalog().MutableTable("aws_dataset.customer_orders");
+  ASSERT_TRUE(table.ok());
+  (*table)->iam = IamPolicy();
+  (*table)->iam.Grant("user:alice", Role::kReader);
+  // The refresher service identity needs read access to materialize.
+  (*table)->iam.Grant("sa:ccmv-refresher", Role::kReader);
+  ASSERT_TRUE(ccmv_.CreateView(Definition("mv")).ok());
+  EXPECT_TRUE(ccmv_.QueryReplica("user:eve", "mv")
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(ccmv_.QueryReplica("user:alice", "mv").ok());
+}
+
+TEST_F(CcmvTest, UnknownViewAndDuplicateCreate) {
+  BuildAwsOrders(1, 5);
+  EXPECT_TRUE(ccmv_.Refresh("none").status().IsNotFound());
+  EXPECT_TRUE(ccmv_.QueryReplica("u", "none").status().IsNotFound());
+  ASSERT_TRUE(ccmv_.CreateView(Definition("mv")).ok());
+  EXPECT_TRUE(ccmv_.CreateView(Definition("mv")).status().IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace biglake

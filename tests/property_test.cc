@@ -1,0 +1,313 @@
+// Property-based suites over randomized inputs (parameterized by seed):
+//
+//  * Governance invariants: for random data, policies and principals, the
+//    Read API never leaks a masked value, row-filtered results are a subset
+//    of the unfiltered result, and Dremel-lite and Spark-lite see byte-
+//    identical governed data.
+//  * BLMT linearizability-lite: a random sequence of INSERT/DELETE/UPDATE
+//    applied to a BLMT matches a plain in-memory reference model, including
+//    under snapshot reads (time travel).
+//  * Parquet-lite: random batches of every type/encoding survive the
+//    write→object-store→footer→vectorized-read round trip bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/blmt.h"
+#include "engine/engine.h"
+#include "extengine/spark_lite.h"
+#include "lakehouse_fixture.h"
+
+namespace biglake {
+namespace {
+
+class GovernancePropertyTest : public LakehouseFixture,
+                               public ::testing::WithParamInterface<int> {};
+
+TEST_P(GovernancePropertyTest, MaskedValuesNeverLeakAndFiltersAreSubsets) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  BuildLake("gov/", 2 + static_cast<int>(rng.Uniform(3)),
+            50 + rng.Uniform(100));
+
+  // Random policy: a row policy on `region` for alice, a random mask type
+  // on `email` with bob as clear reader.
+  TableDef def = MakeBigLakeDef("gov", "gov/");
+  static const char* kRegions[] = {"east", "west", "north", "south"};
+  std::string secret_region = kRegions[rng.Uniform(4)];
+  RowAccessPolicy policy;
+  policy.name = "p";
+  policy.grantees = {"user:alice"};
+  policy.filter = Expr::Eq(Expr::Col("region"),
+                           Expr::Lit(Value::String(secret_region)));
+  RowAccessPolicy everything;
+  everything.name = "all";
+  everything.grantees = {"user:root"};
+  everything.filter = Expr::Not(Expr::IsNull(Expr::Col("id")));
+  def.policy.row_policies = {policy, everything};
+  MaskType mask = static_cast<MaskType>(rng.Uniform(4));
+  ColumnRule rule;
+  rule.clear_readers = {"user:bob"};
+  rule.mask = mask;
+  def.policy.column_rules["email"] = rule;
+
+  BigLakeTableService biglake(&lake_);
+  ASSERT_TRUE(biglake.CreateBigLakeTable(def).ok());
+  StorageReadApi api(&lake_);
+
+  auto read_all = [&](const Principal& p) -> RecordBatch {
+    auto session = api.CreateReadSession(p, "ds.gov", {});
+    EXPECT_TRUE(session.ok());
+    std::vector<RecordBatch> parts;
+    for (size_t s = 0; s < session->streams.size(); ++s) {
+      auto b = api.ReadStreamBatch(*session, s);
+      EXPECT_TRUE(b.ok());
+      parts.push_back(*b);
+    }
+    auto merged = RecordBatch::Concat(parts);
+    EXPECT_TRUE(merged.ok());
+    return *merged;
+  };
+
+  RecordBatch alice = read_all("user:alice");
+  RecordBatch bob = read_all("user:bob");
+  RecordBatch root = read_all("user:root");  // sees every row
+
+  // 1. Alice's rows all satisfy her policy and are a subset of the
+  //    all-rows view.
+  std::set<int64_t> all_ids;
+  for (size_t r = 0; r < root.num_rows(); ++r) {
+    all_ids.insert((*root.ColumnByName("id"))->GetValue(r).int64_value());
+  }
+  EXPECT_LE(alice.num_rows(), root.num_rows());
+  for (size_t r = 0; r < alice.num_rows(); ++r) {
+    EXPECT_EQ((*alice.ColumnByName("region"))->GetValue(r),
+              Value::String(secret_region));
+    EXPECT_TRUE(all_ids.count(
+        (*alice.ColumnByName("id"))->GetValue(r).int64_value()));
+  }
+
+  // 2. No masked email Alice sees contains plaintext ('@' marker), except
+  //    kLastFour which by definition keeps a short suffix.
+  auto email = alice.ColumnByName("email");
+  ASSERT_TRUE(email.ok());
+  for (size_t r = 0; r < alice.num_rows(); ++r) {
+    Value v = (*email)->GetValue(r);
+    switch (mask) {
+      case MaskType::kNullify:
+        EXPECT_TRUE(v.is_null());
+        break;
+      case MaskType::kHash:
+        EXPECT_EQ(v.string_value().find('@'), std::string::npos);
+        EXPECT_EQ(v.string_value()[0], 'h');
+        break;
+      case MaskType::kRedact:
+        EXPECT_EQ(v.string_value(), "REDACTED");
+        break;
+      case MaskType::kLastFour: {
+        const std::string& s = v.string_value();
+        // All but the last 4 characters are hidden.
+        EXPECT_EQ(s.substr(0, s.size() - 4),
+                  std::string(s.size() - 4, 'X'));
+        break;
+      }
+    }
+  }
+  // Bob (clear reader, no row policy grant) sees zero rows — row policies
+  // apply to him too; grant him and check plaintext.
+  EXPECT_EQ(bob.num_rows(), 0u);
+
+  // 3. Dremel-lite and Spark-lite agree byte-for-byte for Alice.
+  QueryEngine engine(&lake_, &api);
+  SparkLiteEngine spark(&lake_, &api);
+  auto via_engine = engine.Execute("user:alice", Plan::Scan("ds.gov"));
+  auto via_spark = spark.ReadBigLake("ds.gov").Collect("user:alice");
+  ASSERT_TRUE(via_engine.ok());
+  ASSERT_TRUE(via_spark.ok());
+  ASSERT_EQ(via_engine->batch.num_rows(), via_spark->batch.num_rows());
+  for (size_t r = 0; r < via_engine->batch.num_rows(); ++r) {
+    for (size_t c = 0; c < via_engine->batch.num_columns(); ++c) {
+      EXPECT_TRUE(via_engine->batch.GetValue(r, c) ==
+                  via_spark->batch.GetValue(r, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GovernancePropertyTest,
+                         ::testing::Range(1, 9));
+
+// ---- BLMT vs reference model --------------------------------------------------
+
+class BlmtPropertyTest : public LakehouseFixture,
+                         public ::testing::WithParamInterface<int> {};
+
+TEST_P(BlmtPropertyTest, RandomDmlMatchesReferenceModel) {
+  Random rng(1000 + static_cast<uint64_t>(GetParam()));
+  BlmtService blmt(&lake_);
+  auto schema = MakeSchema({{"k", DataType::kInt64, false},
+                            {"v", DataType::kInt64, false}});
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "t";
+  def.schema = schema;
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "t/";
+  def.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt.CreateTable(def).ok());
+
+  // Reference model: multiset of (k, v) rows.
+  std::multimap<int64_t, int64_t> reference;
+  // Snapshot history for time travel checks.
+  std::vector<std::pair<uint64_t, size_t>> snapshots;  // (txn, row count)
+
+  int64_t next_key = 0;
+  for (int op = 0; op < 30; ++op) {
+    uint64_t dice = rng.Uniform(10);
+    if (dice < 5 || reference.empty()) {  // INSERT a small batch
+      BatchBuilder b(schema);
+      size_t rows = 1 + rng.Uniform(8);
+      for (size_t r = 0; r < rows; ++r) {
+        int64_t k = next_key++;
+        int64_t v = static_cast<int64_t>(rng.Uniform(100));
+        ASSERT_TRUE(b.AppendRow({Value::Int64(k), Value::Int64(v)}).ok());
+        reference.emplace(k, v);
+      }
+      auto txn = blmt.Insert("u", "ds.t", b.Finish());
+      ASSERT_TRUE(txn.ok());
+      snapshots.emplace_back(*txn, reference.size());
+    } else if (dice < 8) {  // DELETE k < cutoff
+      int64_t cutoff = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(next_key + 1)));
+      auto deleted = blmt.Delete(
+          "u", "ds.t",
+          Expr::Lt(Expr::Col("k"), Expr::Lit(Value::Int64(cutoff))));
+      ASSERT_TRUE(deleted.ok());
+      size_t expected = 0;
+      for (auto it = reference.begin(); it != reference.end();) {
+        if (it->first < cutoff) {
+          it = reference.erase(it);
+          ++expected;
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(*deleted, expected);
+      snapshots.emplace_back(lake_.meta().LatestTxn(), reference.size());
+    } else {  // UPDATE v = 777 WHERE k % 3 == 0-ish (use a range)
+      int64_t lo = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(next_key + 1)));
+      auto updated = blmt.Update(
+          "u", "ds.t",
+          Expr::Ge(Expr::Col("k"), Expr::Lit(Value::Int64(lo))),
+          {{"v", Value::Int64(777)}});
+      ASSERT_TRUE(updated.ok());
+      size_t expected = 0;
+      for (auto& [k, v] : reference) {
+        if (k >= lo) {
+          v = 777;
+          ++expected;
+        }
+      }
+      EXPECT_EQ(*updated, expected);
+      snapshots.emplace_back(lake_.meta().LatestTxn(), reference.size());
+    }
+  }
+
+  // Final state matches the reference exactly.
+  auto all = blmt.ReadAll("ds.t");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->num_rows(), reference.size());
+  std::multimap<int64_t, int64_t> observed;
+  for (size_t r = 0; r < all->num_rows(); ++r) {
+    observed.emplace((*all->ColumnByName("k"))->GetValue(r).int64_value(),
+                     (*all->ColumnByName("v"))->GetValue(r).int64_value());
+  }
+  EXPECT_TRUE(observed == reference);
+
+  // A few historical snapshots return their as-of row counts.
+  for (size_t i = 0; i < snapshots.size(); i += 7) {
+    auto at = blmt.ReadAll("ds.t", snapshots[i].first);
+    ASSERT_TRUE(at.ok());
+    EXPECT_EQ(at->num_rows(), snapshots[i].second)
+        << "snapshot at txn " << snapshots[i].first;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlmtPropertyTest, ::testing::Range(1, 7));
+
+// ---- Parquet-lite on object storage -------------------------------------------
+
+class ParquetObjectPropertyTest : public LakehouseFixture,
+                                  public ::testing::WithParamInterface<int> {};
+
+TEST_P(ParquetObjectPropertyTest, RandomBatchSurvivesStoreRoundTrip) {
+  Random rng(500 + static_cast<uint64_t>(GetParam()));
+  auto schema = MakeSchema({{"i", DataType::kInt64, true},
+                            {"d", DataType::kDouble, true},
+                            {"s", DataType::kString, true},
+                            {"b", DataType::kBool, true}});
+  BatchBuilder builder(schema);
+  size_t rows = 1 + rng.Uniform(500);
+  for (size_t r = 0; r < rows; ++r) {
+    ASSERT_TRUE(
+        builder
+            .AppendRow(
+                {rng.OneIn(7) ? Value::Null()
+                              : Value::Int64(static_cast<int64_t>(
+                                    rng.Next() % 10000)),
+                 rng.OneIn(7) ? Value::Null()
+                              : Value::Double(rng.NextDouble() * 1e4),
+                 rng.OneIn(7)
+                     ? Value::Null()
+                     : Value::String(rng.NextString(rng.Uniform(12))),
+                 rng.OneIn(7) ? Value::Null() : Value::Bool(rng.OneIn(2))})
+            .ok());
+  }
+  RecordBatch original = builder.Finish();
+  ParquetWriteOptions wopts;
+  wopts.row_group_size = 64 + rng.Uniform(128);
+  auto bytes = WriteParquetFile(original, wopts);
+  ASSERT_TRUE(bytes.ok());
+  PutOptions po;
+  ASSERT_TRUE(store_->Put(GcpCaller(), "lake", "prop/f.plk", *bytes, po).ok());
+
+  // Read back through the object store (charged range reads).
+  auto fetched = store_->Get(GcpCaller(), "lake", "prop/f.plk");
+  ASSERT_TRUE(fetched.ok());
+  StringSource source(*fetched);
+  auto meta = ReadParquetFooter(source);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->total_rows, rows);
+  VectorizedReader reader(&source, *meta);
+  std::vector<RecordBatch> groups;
+  for (size_t g = 0; g < reader.num_row_groups(); ++g) {
+    auto b = reader.ReadRowGroup(g);
+    ASSERT_TRUE(b.ok());
+    groups.push_back(*b);
+  }
+  auto merged = RecordBatch::Concat(groups);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->num_rows(), rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      ASSERT_TRUE(merged->GetValue(r, c) == original.GetValue(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+  // Footer stats match recomputed stats.
+  for (size_t c = 0; c < 4; ++c) {
+    ColumnStats file_stats = meta->FileColumnStats(c);
+    ColumnStats actual = ComputeColumnStats(original.column(c));
+    EXPECT_TRUE(file_stats.min == actual.min);
+    EXPECT_TRUE(file_stats.max == actual.max);
+    EXPECT_EQ(file_stats.null_count, actual.null_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParquetObjectPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace biglake

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "security/security.h"
+
+namespace biglake {
+namespace {
+
+TEST(IamPolicyTest, RoleHierarchy) {
+  IamPolicy policy;
+  policy.Grant("user:alice", Role::kWriter);
+  EXPECT_TRUE(policy.Allows("user:alice", Role::kReader));
+  EXPECT_TRUE(policy.Allows("user:alice", Role::kWriter));
+  EXPECT_FALSE(policy.Allows("user:alice", Role::kOwner));
+  EXPECT_FALSE(policy.Allows("user:bob", Role::kReader));
+}
+
+TEST(IamPolicyTest, WildcardGrant) {
+  IamPolicy policy;
+  policy.Grant("*", Role::kReader);
+  policy.Grant("user:alice", Role::kOwner);
+  EXPECT_TRUE(policy.Allows("user:anyone", Role::kReader));
+  EXPECT_FALSE(policy.Allows("user:anyone", Role::kWriter));
+  EXPECT_TRUE(policy.Allows("user:alice", Role::kOwner));
+}
+
+TEST(IamPolicyTest, GrantKeepsHighestRoleAndRevokeRemoves) {
+  IamPolicy policy;
+  policy.Grant("user:a", Role::kOwner);
+  policy.Grant("user:a", Role::kReader);  // no downgrade
+  EXPECT_TRUE(policy.Allows("user:a", Role::kOwner));
+  policy.Revoke("user:a");
+  EXPECT_FALSE(policy.Allows("user:a", Role::kReader));
+}
+
+TEST(CredentialTest, UnscopedAllowsEverything) {
+  Credential cred{.principal = "sa:conn", .path_scopes = {}, .expiry = 0};
+  EXPECT_TRUE(CheckCredential(cred, "lake", "any/path", 0).ok());
+}
+
+TEST(CredentialTest, ScopedToPrefixes) {
+  Credential cred{.principal = "sa:conn", .path_scopes = {}, .expiry = 0};
+  Credential scoped = cred.ScopeDown({"lake/t1/", "lake/t2/date=5/"});
+  EXPECT_TRUE(CheckCredential(scoped, "lake", "t1/f0.plk", 0).ok());
+  EXPECT_TRUE(CheckCredential(scoped, "lake", "t2/date=5/x", 0).ok());
+  EXPECT_TRUE(CheckCredential(scoped, "lake", "t2/date=6/x", 0)
+                  .IsPermissionDenied());
+  EXPECT_TRUE(
+      CheckCredential(scoped, "other", "t1/f0.plk", 0).IsPermissionDenied());
+}
+
+TEST(CredentialTest, RescopingIntersects) {
+  Credential cred{.principal = "sa:conn", .path_scopes = {}, .expiry = 0};
+  Credential first = cred.ScopeDown({"lake/t1/"});
+  // Narrowing within scope works; escaping the scope yields nothing.
+  Credential ok = first.ScopeDown({"lake/t1/date=3/"});
+  EXPECT_TRUE(CheckCredential(ok, "lake", "t1/date=3/f", 0).ok());
+  Credential escape = first.ScopeDown({"lake/t2/"});
+  EXPECT_TRUE(
+      CheckCredential(escape, "lake", "t2/f", 0).IsPermissionDenied());
+  EXPECT_TRUE(
+      CheckCredential(escape, "lake", "t1/f", 0).IsPermissionDenied());
+}
+
+TEST(CredentialTest, Expiry) {
+  Credential cred{.principal = "sa:x", .path_scopes = {}, .expiry = 100};
+  EXPECT_TRUE(CheckCredential(cred, "b", "p", 50).ok());
+  EXPECT_EQ(CheckCredential(cred, "b", "p", 150).code(),
+            StatusCode::kUnauthenticated);
+  Credential tightened = cred.ScopeDown({"b/"}, 80);
+  EXPECT_EQ(tightened.expiry, 80u);
+}
+
+// ---- Masking ----------------------------------------------------------------
+
+TEST(MaskTest, Nullify) {
+  Column c = Column::MakeString({"alice@x.com", "bob@y.com"});
+  Column masked = ApplyMask(c, MaskType::kNullify);
+  EXPECT_EQ(masked.length(), 2u);
+  EXPECT_TRUE(masked.GetValue(0).is_null());
+  EXPECT_TRUE(masked.GetValue(1).is_null());
+}
+
+TEST(MaskTest, HashIsDeterministicAndHidesValue) {
+  Column c = Column::MakeString({"ssn-1", "ssn-2", "ssn-1"});
+  Column masked = ApplyMask(c, MaskType::kHash);
+  std::string h0 = masked.GetValue(0).string_value();
+  std::string h2 = masked.GetValue(2).string_value();
+  EXPECT_EQ(h0, h2);  // equality preserved
+  EXPECT_NE(h0, masked.GetValue(1).string_value());
+  EXPECT_NE(h0, "ssn-1");
+  EXPECT_EQ(h0[0], 'h');
+}
+
+TEST(MaskTest, Redact) {
+  Column c = Column::MakeString({"secret"});
+  Column masked = ApplyMask(c, MaskType::kRedact);
+  EXPECT_EQ(masked.GetValue(0), Value::String("REDACTED"));
+}
+
+TEST(MaskTest, LastFour) {
+  Column c = Column::MakeString({"4111111111111234", "abc"});
+  Column masked = ApplyMask(c, MaskType::kLastFour);
+  EXPECT_EQ(masked.GetValue(0), Value::String("XXXXXXXXXXXX1234"));
+  EXPECT_EQ(masked.GetValue(1), Value::String("abc"));  // too short to mask
+}
+
+TEST(MaskTest, NullsStayNull) {
+  Column c = Column::MakeString({"x", ""}, {1, 0});
+  for (MaskType m : {MaskType::kHash, MaskType::kRedact, MaskType::kLastFour,
+                     MaskType::kNullify}) {
+    Column masked = ApplyMask(c, m);
+    EXPECT_TRUE(masked.GetValue(1).is_null());
+  }
+}
+
+TEST(MaskTest, MasksNonStringTypes) {
+  Column c = Column::MakeInt64({1234567});
+  Column masked = ApplyMask(c, MaskType::kLastFour);
+  EXPECT_EQ(masked.GetValue(0), Value::String("XXX4567"));
+}
+
+// ---- Policy resolution -------------------------------------------------------
+
+TablePolicy MakePolicy() {
+  TablePolicy policy;
+  RowAccessPolicy east;
+  east.name = "east_only";
+  east.grantees = {"user:alice"};
+  east.filter = Expr::Eq(Expr::Col("region"), Expr::Lit(Value::String("east")));
+  RowAccessPolicy recent;
+  recent.name = "recent";
+  recent.grantees = {"user:alice", "user:bob"};
+  recent.filter = Expr::Gt(Expr::Col("ts"), Expr::Lit(Value::Int64(1000)));
+  policy.row_policies = {east, recent};
+
+  ColumnRule ssn;
+  ssn.clear_readers = {"user:admin"};
+  ssn.mask = MaskType::kLastFour;
+  policy.column_rules["ssn"] = ssn;
+
+  ColumnRule salary;
+  salary.clear_readers = {"user:admin"};
+  salary.deny_instead_of_mask = true;
+  policy.column_rules["salary"] = salary;
+  return policy;
+}
+
+TEST(ResolveAccessTest, RowPoliciesCombineWithOr) {
+  auto access = ResolveAccess(MakePolicy(), "user:alice", {"id"});
+  ASSERT_TRUE(access.ok());
+  EXPECT_FALSE(access->deny_all_rows);
+  ASSERT_NE(access->row_filter, nullptr);
+  // Alice gets east OR recent.
+  EXPECT_EQ(access->row_filter->ToString(),
+            "((region = 'east') OR (ts > 1000))");
+}
+
+TEST(ResolveAccessTest, SinglePolicyGrantee) {
+  auto access = ResolveAccess(MakePolicy(), "user:bob", {"id"});
+  ASSERT_TRUE(access.ok());
+  ASSERT_NE(access->row_filter, nullptr);
+  EXPECT_EQ(access->row_filter->ToString(), "(ts > 1000)");
+}
+
+TEST(ResolveAccessTest, NoGrantedPolicyHidesAllRows) {
+  auto access = ResolveAccess(MakePolicy(), "user:eve", {"id"});
+  ASSERT_TRUE(access.ok());
+  EXPECT_TRUE(access->deny_all_rows);
+}
+
+TEST(ResolveAccessTest, NoRowPoliciesMeansAllRows) {
+  TablePolicy policy;
+  auto access = ResolveAccess(policy, "user:anyone", {"id"});
+  ASSERT_TRUE(access.ok());
+  EXPECT_FALSE(access->deny_all_rows);
+  EXPECT_EQ(access->row_filter, nullptr);
+}
+
+TEST(ResolveAccessTest, MaskedColumnsForNonClearReaders) {
+  auto access = ResolveAccess(MakePolicy(), "user:alice", {"id", "ssn"});
+  ASSERT_TRUE(access.ok());
+  ASSERT_EQ(access->masked_columns.size(), 1u);
+  EXPECT_EQ(access->masked_columns.at("ssn"), MaskType::kLastFour);
+}
+
+TEST(ResolveAccessTest, ClearReaderSeesColumnUnmasked) {
+  auto access = ResolveAccess(MakePolicy(), "user:admin", {"ssn", "salary"});
+  ASSERT_TRUE(access.ok());
+  EXPECT_TRUE(access->masked_columns.empty());
+}
+
+TEST(ResolveAccessTest, DenyRuleRejectsRead) {
+  auto access = ResolveAccess(MakePolicy(), "user:alice", {"salary"});
+  EXPECT_TRUE(access.status().IsPermissionDenied());
+}
+
+TEST(ResolveAccessTest, UnrequestedColumnsDoNotTriggerDeny) {
+  auto access = ResolveAccess(MakePolicy(), "user:alice", {"id"});
+  EXPECT_TRUE(access.ok());
+}
+
+// ---- Session tokens & realms -------------------------------------------------
+
+TEST(SessionTokenTest, MintValidateRoundTrip) {
+  SessionTokenService svc(0xfeedbeef);
+  SessionToken token = svc.Mint("q1", "user:alice", "omni-aws-us-east-1",
+                                {"lake/orders/"}, 5000);
+  EXPECT_TRUE(
+      svc.Validate(token, "omni-aws-us-east-1", "lake/orders/f1.plk", 100)
+          .ok());
+}
+
+TEST(SessionTokenTest, TamperedTokenRejected) {
+  SessionTokenService svc(0xfeedbeef);
+  SessionToken token =
+      svc.Mint("q1", "user:alice", "realm-a", {"lake/"}, 5000);
+  token.principal = "user:admin";  // privilege escalation attempt
+  EXPECT_EQ(svc.Validate(token, "realm-a", "lake/x", 100).code(),
+            StatusCode::kUnauthenticated);
+}
+
+TEST(SessionTokenTest, WrongRealmRejected) {
+  SessionTokenService svc(1);
+  SessionToken token = svc.Mint("q1", "u", "realm-a", {"lake/"}, 5000);
+  EXPECT_TRUE(
+      svc.Validate(token, "realm-b", "lake/x", 100).IsPermissionDenied());
+}
+
+TEST(SessionTokenTest, ExpiredTokenRejected) {
+  SessionTokenService svc(1);
+  SessionToken token = svc.Mint("q1", "u", "r", {"lake/"}, 50);
+  EXPECT_TRUE(svc.Validate(token, "r", "lake/x", 40).ok());
+  EXPECT_EQ(svc.Validate(token, "r", "lake/x", 60).code(),
+            StatusCode::kUnauthenticated);
+}
+
+TEST(SessionTokenTest, OutOfScopePathRejected) {
+  SessionTokenService svc(1);
+  SessionToken token = svc.Mint("q1", "u", "r", {"lake/orders/"}, 0);
+  EXPECT_TRUE(svc.Validate(token, "r", "lake/customers/f", 0)
+                  .IsPermissionDenied());
+  // Empty accessed path = control-plane call with no data access.
+  EXPECT_TRUE(svc.Validate(token, "r", "", 0).ok());
+}
+
+TEST(SessionTokenTest, DifferentSecretsRejectTokens) {
+  SessionTokenService mint(1), other(2);
+  SessionToken token = mint.Mint("q", "u", "r", {}, 0);
+  EXPECT_FALSE(other.Validate(token, "r", "", 0).ok());
+}
+
+TEST(RealmRegistryTest, OnlyConfiguredPairsAllowed) {
+  RealmRegistry realms;
+  realms.AllowRpc("omni-aws-us-east-1", "gcp-control-plane");
+  EXPECT_TRUE(
+      realms.CheckRpc("omni-aws-us-east-1", "gcp-control-plane").ok());
+  // Reverse direction not implied.
+  EXPECT_TRUE(realms.CheckRpc("gcp-control-plane", "omni-aws-us-east-1")
+                  .IsPermissionDenied());
+  // Cross-region Omni traffic denied (regional isolation).
+  EXPECT_TRUE(realms.CheckRpc("omni-aws-us-east-1", "omni-azure-eu-west")
+                  .IsPermissionDenied());
+  // Same realm always allowed.
+  EXPECT_TRUE(realms.CheckRpc("r", "r").ok());
+}
+
+}  // namespace
+}  // namespace biglake

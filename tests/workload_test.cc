@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "lakehouse_fixture.h"
+#include "workload/tpcds_lite.h"
+
+namespace biglake {
+namespace {
+
+class WorkloadTest : public LakehouseFixture {
+ protected:
+  WorkloadTest() : api_(&lake_), biglake_(&lake_), blmt_(&lake_) {}
+
+  StorageReadApi api_;
+  BigLakeTableService biglake_;
+  BlmtService blmt_;
+};
+
+TEST_F(WorkloadTest, TpcdsSetupCreatesAllTables) {
+  TpcdsScale scale;
+  scale.days = 10;
+  scale.rows_per_day = 100;
+  auto tables = SetupTpcds(&lake_, &biglake_, &blmt_, store_, "lake",
+                           "tpcds/", "ds", scale, true, "us.lake-conn");
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  for (const std::string& id :
+       {tables->store_sales, tables->item, tables->customer, tables->store,
+        tables->date_dim}) {
+    EXPECT_TRUE(lake_.catalog().GetTable(id).ok()) << id;
+  }
+  // Fact table cached, with one file per day and correct row totals.
+  auto snap = lake_.meta().Snapshot(tables->store_sales);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->size(), 10u);
+  uint64_t rows = 0;
+  for (const auto& f : *snap) rows += f.file.row_count;
+  EXPECT_EQ(rows, 1000u);
+}
+
+TEST_F(WorkloadTest, TpcdsGenerationIsDeterministic) {
+  TpcdsScale scale;
+  scale.days = 3;
+  scale.rows_per_day = 50;
+  auto t1 = SetupTpcds(&lake_, &biglake_, &blmt_, store_, "lake", "a/",
+                       "ds", scale, true, "us.lake-conn");
+  ASSERT_TRUE(t1.ok());
+  // Second generation with the same seed into a different prefix/dataset.
+  ASSERT_TRUE(lake_.catalog().CreateDataset("ds2").ok());
+  auto t2 = SetupTpcds(&lake_, &biglake_, &blmt_, store_, "lake", "b/",
+                       "ds2", scale, true, "us.lake-conn");
+  ASSERT_TRUE(t2.ok());
+  QueryEngine engine(&lake_, &api_);
+  auto q1 = engine.Execute(
+      "u", Plan::Aggregate(Plan::Scan(t1->store_sales), {},
+                           {{AggOp::kSum, "ss_sales_price", "s"}}));
+  auto q2 = engine.Execute(
+      "u", Plan::Aggregate(Plan::Scan(t2->store_sales), {},
+                           {{AggOp::kSum, "ss_sales_price", "s"}}));
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q1->batch.GetValue(0, 0) == q2->batch.GetValue(0, 0));
+}
+
+TEST_F(WorkloadTest, AllTpcdsQueriesExecuteAndAgreeAcrossCacheModes) {
+  TpcdsScale scale;
+  scale.days = 8;
+  scale.rows_per_day = 120;
+  auto cached = SetupTpcds(&lake_, &biglake_, &blmt_, store_, "lake",
+                           "cached/", "ds", scale, true, "us.lake-conn");
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(lake_.catalog().CreateDataset("legacy").ok());
+  auto legacy = SetupTpcds(&lake_, &biglake_, &blmt_, store_, "lake",
+                           "legacy/", "legacy", scale, false, "us.lake-conn");
+  ASSERT_TRUE(legacy.ok());
+
+  QueryEngine engine(&lake_, &api_);
+  auto cached_queries = TpcdsQueries(*cached, scale);
+  auto legacy_queries = TpcdsQueries(*legacy, scale);
+  ASSERT_EQ(cached_queries.size(), legacy_queries.size());
+  for (size_t q = 0; q < cached_queries.size(); ++q) {
+    auto a = engine.Execute("u", cached_queries[q].plan);
+    auto b = engine.Execute("u", legacy_queries[q].plan);
+    ASSERT_TRUE(a.ok()) << cached_queries[q].name << ": "
+                        << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << legacy_queries[q].name << ": "
+                        << b.status().ToString();
+    // Metadata caching is a performance feature: answers must be identical.
+    ASSERT_EQ(a->batch.num_rows(), b->batch.num_rows())
+        << cached_queries[q].name;
+    for (size_t r = 0; r < a->batch.num_rows(); ++r) {
+      for (size_t c = 0; c < a->batch.num_columns(); ++c) {
+        ASSERT_TRUE(a->batch.GetValue(r, c) == b->batch.GetValue(r, c))
+            << cached_queries[q].name << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_F(WorkloadTest, TpchSetupAndQueriesExecute) {
+  TpchScale scale;
+  scale.lineitem_rows = 4000;
+  scale.num_files = 8;
+  auto tables = SetupTpch(&lake_, &biglake_, &blmt_, store_, "lake", "tpch/",
+                          "ds", scale, "us.lake-conn");
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  QueryEngine engine(&lake_, &api_);
+  for (const auto& q : TpchQueries(*tables)) {
+    auto result = engine.Execute("u", q.plan);
+    ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+    EXPECT_GT(result->batch.num_rows(), 0u) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace biglake
