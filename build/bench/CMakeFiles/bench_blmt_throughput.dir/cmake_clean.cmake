@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blmt_throughput.dir/bench_blmt_throughput.cc.o"
+  "CMakeFiles/bench_blmt_throughput.dir/bench_blmt_throughput.cc.o.d"
+  "bench_blmt_throughput"
+  "bench_blmt_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blmt_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

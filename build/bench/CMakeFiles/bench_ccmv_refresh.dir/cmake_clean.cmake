@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ccmv_refresh.dir/bench_ccmv_refresh.cc.o"
+  "CMakeFiles/bench_ccmv_refresh.dir/bench_ccmv_refresh.cc.o.d"
+  "bench_ccmv_refresh"
+  "bench_ccmv_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ccmv_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cross_cloud_query.
+# This may be replaced when dependencies are built.

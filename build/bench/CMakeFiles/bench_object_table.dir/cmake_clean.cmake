@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_object_table.dir/bench_object_table.cc.o"
+  "CMakeFiles/bench_object_table.dir/bench_object_table.cc.o.d"
+  "bench_object_table"
+  "bench_object_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_object_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_read_api_governance.cc" "bench/CMakeFiles/bench_read_api_governance.dir/bench_read_api_governance.cc.o" "gcc" "bench/CMakeFiles/bench_read_api_governance.dir/bench_read_api_governance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bl_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/bl_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/bl_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/bl_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/bl_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/bl_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

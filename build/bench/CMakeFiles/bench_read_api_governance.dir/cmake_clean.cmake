@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_read_api_governance.dir/bench_read_api_governance.cc.o"
+  "CMakeFiles/bench_read_api_governance.dir/bench_read_api_governance.cc.o.d"
+  "bench_read_api_governance"
+  "bench_read_api_governance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_api_governance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spark_acceleration.dir/bench_spark_acceleration.cc.o"
+  "CMakeFiles/bench_spark_acceleration.dir/bench_spark_acceleration.cc.o.d"
+  "bench_spark_acceleration"
+  "bench_spark_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spark_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

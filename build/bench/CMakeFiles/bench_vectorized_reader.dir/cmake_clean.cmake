@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vectorized_reader.dir/bench_vectorized_reader.cc.o"
+  "CMakeFiles/bench_vectorized_reader.dir/bench_vectorized_reader.cc.o.d"
+  "bench_vectorized_reader"
+  "bench_vectorized_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vectorized_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

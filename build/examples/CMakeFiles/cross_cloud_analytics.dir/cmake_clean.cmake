@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_cloud_analytics.dir/cross_cloud_analytics.cpp.o"
+  "CMakeFiles/cross_cloud_analytics.dir/cross_cloud_analytics.cpp.o.d"
+  "cross_cloud_analytics"
+  "cross_cloud_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_cloud_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governed_lakehouse.dir/governed_lakehouse.cpp.o"
+  "CMakeFiles/governed_lakehouse.dir/governed_lakehouse.cpp.o.d"
+  "governed_lakehouse"
+  "governed_lakehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governed_lakehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for governed_lakehouse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimodal_ml.dir/multimodal_ml.cpp.o"
+  "CMakeFiles/multimodal_ml.dir/multimodal_ml.cpp.o.d"
+  "multimodal_ml"
+  "multimodal_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimodal_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("objstore")
+subdirs("columnar")
+subdirs("format")
+subdirs("meta")
+subdirs("security")
+subdirs("catalog")
+subdirs("engine")
+subdirs("ml")
+subdirs("core")
+subdirs("extengine")
+subdirs("omni")
+subdirs("workload")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_catalog.dir/catalog.cc.o"
+  "CMakeFiles/bl_catalog.dir/catalog.cc.o.d"
+  "libbl_catalog.a"
+  "libbl_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_columnar.dir/aggregate.cc.o"
+  "CMakeFiles/bl_columnar.dir/aggregate.cc.o.d"
+  "CMakeFiles/bl_columnar.dir/batch.cc.o"
+  "CMakeFiles/bl_columnar.dir/batch.cc.o.d"
+  "CMakeFiles/bl_columnar.dir/column.cc.o"
+  "CMakeFiles/bl_columnar.dir/column.cc.o.d"
+  "CMakeFiles/bl_columnar.dir/expr.cc.o"
+  "CMakeFiles/bl_columnar.dir/expr.cc.o.d"
+  "CMakeFiles/bl_columnar.dir/ipc.cc.o"
+  "CMakeFiles/bl_columnar.dir/ipc.cc.o.d"
+  "CMakeFiles/bl_columnar.dir/types.cc.o"
+  "CMakeFiles/bl_columnar.dir/types.cc.o.d"
+  "libbl_columnar.a"
+  "libbl_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_common.dir/status.cc.o"
+  "CMakeFiles/bl_common.dir/status.cc.o.d"
+  "libbl_common.a"
+  "libbl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

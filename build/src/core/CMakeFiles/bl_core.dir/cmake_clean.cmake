@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_core.dir/biglake.cc.o"
+  "CMakeFiles/bl_core.dir/biglake.cc.o.d"
+  "CMakeFiles/bl_core.dir/blmt.cc.o"
+  "CMakeFiles/bl_core.dir/blmt.cc.o.d"
+  "CMakeFiles/bl_core.dir/object_table.cc.o"
+  "CMakeFiles/bl_core.dir/object_table.cc.o.d"
+  "CMakeFiles/bl_core.dir/read_api.cc.o"
+  "CMakeFiles/bl_core.dir/read_api.cc.o.d"
+  "CMakeFiles/bl_core.dir/write_api.cc.o"
+  "CMakeFiles/bl_core.dir/write_api.cc.o.d"
+  "libbl_core.a"
+  "libbl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

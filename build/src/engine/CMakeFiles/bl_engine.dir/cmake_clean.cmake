@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_engine.dir/engine.cc.o"
+  "CMakeFiles/bl_engine.dir/engine.cc.o.d"
+  "CMakeFiles/bl_engine.dir/operators.cc.o"
+  "CMakeFiles/bl_engine.dir/operators.cc.o.d"
+  "CMakeFiles/bl_engine.dir/plan.cc.o"
+  "CMakeFiles/bl_engine.dir/plan.cc.o.d"
+  "CMakeFiles/bl_engine.dir/sql_parser.cc.o"
+  "CMakeFiles/bl_engine.dir/sql_parser.cc.o.d"
+  "libbl_engine.a"
+  "libbl_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_extengine.dir/spark_lite.cc.o"
+  "CMakeFiles/bl_extengine.dir/spark_lite.cc.o.d"
+  "libbl_extengine.a"
+  "libbl_extengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_extengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_format.dir/iceberg_lite.cc.o"
+  "CMakeFiles/bl_format.dir/iceberg_lite.cc.o.d"
+  "CMakeFiles/bl_format.dir/parquet_lite.cc.o"
+  "CMakeFiles/bl_format.dir/parquet_lite.cc.o.d"
+  "libbl_format.a"
+  "libbl_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

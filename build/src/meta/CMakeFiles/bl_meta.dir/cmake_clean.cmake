@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_meta.dir/bigmeta.cc.o"
+  "CMakeFiles/bl_meta.dir/bigmeta.cc.o.d"
+  "CMakeFiles/bl_meta.dir/metadata_cache.cc.o"
+  "CMakeFiles/bl_meta.dir/metadata_cache.cc.o.d"
+  "libbl_meta.a"
+  "libbl_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_ml.dir/inference.cc.o"
+  "CMakeFiles/bl_ml.dir/inference.cc.o.d"
+  "CMakeFiles/bl_ml.dir/model.cc.o"
+  "CMakeFiles/bl_ml.dir/model.cc.o.d"
+  "CMakeFiles/bl_ml.dir/tensor.cc.o"
+  "CMakeFiles/bl_ml.dir/tensor.cc.o.d"
+  "libbl_ml.a"
+  "libbl_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

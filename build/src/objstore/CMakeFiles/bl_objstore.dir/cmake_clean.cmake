@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_objstore.dir/objstore.cc.o"
+  "CMakeFiles/bl_objstore.dir/objstore.cc.o.d"
+  "libbl_objstore.a"
+  "libbl_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_omni.dir/ccmv.cc.o"
+  "CMakeFiles/bl_omni.dir/ccmv.cc.o.d"
+  "CMakeFiles/bl_omni.dir/omni.cc.o"
+  "CMakeFiles/bl_omni.dir/omni.cc.o.d"
+  "libbl_omni.a"
+  "libbl_omni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_omni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

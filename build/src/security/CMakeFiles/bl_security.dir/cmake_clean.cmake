@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_security.dir/security.cc.o"
+  "CMakeFiles/bl_security.dir/security.cc.o.d"
+  "libbl_security.a"
+  "libbl_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_workload.dir/tpcds_lite.cc.o"
+  "CMakeFiles/bl_workload.dir/tpcds_lite.cc.o.d"
+  "libbl_workload.a"
+  "libbl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

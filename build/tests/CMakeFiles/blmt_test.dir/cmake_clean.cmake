@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blmt_test.dir/blmt_test.cc.o"
+  "CMakeFiles/blmt_test.dir/blmt_test.cc.o.d"
+  "blmt_test"
+  "blmt_test.pdb"
+  "blmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

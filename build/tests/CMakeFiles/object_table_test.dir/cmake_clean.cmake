@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_table_test.dir/object_table_test.cc.o"
+  "CMakeFiles/object_table_test.dir/object_table_test.cc.o.d"
+  "object_table_test"
+  "object_table_test.pdb"
+  "object_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

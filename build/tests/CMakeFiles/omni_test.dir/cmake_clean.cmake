@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omni_test.dir/omni_test.cc.o"
+  "CMakeFiles/omni_test.dir/omni_test.cc.o.d"
+  "omni_test"
+  "omni_test.pdb"
+  "omni_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omni_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_api_test.dir/read_api_test.cc.o"
+  "CMakeFiles/read_api_test.dir/read_api_test.cc.o.d"
+  "read_api_test"
+  "read_api_test.pdb"
+  "read_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

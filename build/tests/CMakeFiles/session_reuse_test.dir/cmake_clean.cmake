@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_reuse_test.dir/session_reuse_test.cc.o"
+  "CMakeFiles/session_reuse_test.dir/session_reuse_test.cc.o.d"
+  "session_reuse_test"
+  "session_reuse_test.pdb"
+  "session_reuse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_lite_test.dir/spark_lite_test.cc.o"
+  "CMakeFiles/spark_lite_test.dir/spark_lite_test.cc.o.d"
+  "spark_lite_test"
+  "spark_lite_test.pdb"
+  "spark_lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
