@@ -1,0 +1,165 @@
+// Real wall-clock scaling of stream-parallel scans.
+//
+// Unlike the other benches (which report *virtual* time from the simulated
+// cost model), this one measures actual elapsed time with a steady clock:
+// the work-stealing pool really decodes Parquet-lite files on real threads,
+// one task per read stream. We sweep the pool size over 1/2/4/8 workers on
+// a multi-file table and report the speedup against the single-worker run,
+// emitting one JSON line per configuration for machine consumption.
+//
+// On a host with at least 4 hardware threads the 4-worker configuration
+// must scan at least 2x faster than 1 worker; on smaller hosts (CI
+// containers are often pinned to one core) the assertion is skipped — the
+// numbers are still printed.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/read_api.h"
+#include "engine/engine.h"
+#include "format/parquet_lite.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+constexpr int kFiles = 32;
+constexpr size_t kRowsPerFile = 8000;
+constexpr int kIters = 5;
+
+SchemaPtr ScanSchema() {
+  return MakeSchema({{"id", DataType::kInt64, false},
+                     {"grp", DataType::kInt64, false},
+                     {"a", DataType::kDouble, false},
+                     {"b", DataType::kDouble, false},
+                     {"tag", DataType::kString, true}});
+}
+
+void BuildLake(BenchLakehouse* env) {
+  Random rng(42);
+  for (int f = 0; f < kFiles; ++f) {
+    BatchBuilder b(ScanSchema());
+    for (size_t r = 0; r < kRowsPerFile; ++r) {
+      (void)b.AppendRow(
+          {Value::Int64(f * 100000 + static_cast<int64_t>(r)),
+           Value::Int64(static_cast<int64_t>(rng.Uniform(64))),
+           Value::Double(rng.NextDouble() * 1000.0),
+           Value::Double(rng.NextDouble()),
+           Value::String("tag" + std::to_string(rng.Uniform(1000)))});
+    }
+    auto bytes = WriteParquetFile(b.Finish());
+    PutOptions po;
+    po.content_type = "application/x-parquet-lite";
+    (void)env->store->Put(env->Caller(), "lake",
+                          "scan/date=" + std::to_string(f) + "/p.plk",
+                          std::move(bytes).value(), po);
+  }
+}
+
+double BestRealMs(QueryEngine* engine, const PlanPtr& plan) {
+  double best = 1e18;
+  for (int it = 0; it < kIters; ++it) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = engine->Execute("u", plan);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::printf("query failed: %s\n", result.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (result->batch.num_rows() != kFiles * kRowsPerFile) {
+      std::printf("wrong row count: %llu\n",
+                  static_cast<unsigned long long>(result->batch.num_rows()));
+      std::exit(1);
+    }
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+int Run() {
+  PrintHeader("Parallel scan: real wall-clock scaling over pool size");
+  std::printf("table: %d files x %zu rows; best of %d iterations\n\n",
+              kFiles, kRowsPerFile, kIters);
+
+  BenchLakehouse env;
+  BigLakeTableService biglake(&env.lake);
+  StorageReadApi api(&env.lake);
+  BuildLake(&env);
+
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "scan";
+  def.kind = TableKind::kBigLake;
+  def.schema = ScanSchema();
+  def.connection = "us.lake-conn";
+  def.location = env.gcp;
+  def.bucket = "lake";
+  def.prefix = "scan/";
+  def.partition_columns = {"date"};
+  def.metadata_cache_enabled = true;
+  def.iam.Grant("*", Role::kReader);
+  if (!biglake.CreateBigLakeTable(def).ok()) {
+    std::printf("table creation failed\n");
+    return 1;
+  }
+
+  PrintRow({"workers", "real time", "speedup vs 1"}, {10, 14, 14});
+  PlanPtr plan = Plan::Scan("ds.scan");
+  double base_ms = 0.0;
+  double ms_at_4 = 0.0;
+  std::vector<std::pair<int, double>> rows;
+  for (int workers : {1, 2, 4, 8}) {
+    EngineOptions opts;
+    opts.num_workers = static_cast<uint32_t>(workers);
+    QueryEngine engine(&env.lake, &api, opts);
+    // Warm the engine (metadata caches, lazily built pool) before timing.
+    (void)engine.Execute("u", plan);
+    double ms = BestRealMs(&engine, plan);
+    if (workers == 1) base_ms = ms;
+    if (workers == 4) ms_at_4 = ms;
+    rows.emplace_back(workers, ms);
+    char time_str[32];
+    std::snprintf(time_str, sizeof(time_str), "%.2f ms", ms);
+    PrintRow({std::to_string(workers), time_str, Factor(base_ms / ms)},
+             {10, 14, 14});
+  }
+
+  std::printf("\n");
+  for (const auto& [workers, ms] : rows) {
+    std::printf(
+        "{\"bench\":\"parallel_scan\",\"workers\":%d,\"real_ms\":%.3f,"
+        "\"speedup_vs_1\":%.3f}\n",
+        workers, ms, base_ms / ms);
+  }
+
+  unsigned hw = std::thread::hardware_concurrency();
+  double speedup4 = base_ms / ms_at_4;
+  if (hw >= 4) {
+    if (speedup4 < 2.0) {
+      std::printf(
+          "\nFAIL: expected >= 2.00x at 4 workers on %u hardware threads, "
+          "got %.2fx\n",
+          hw, speedup4);
+      return 1;
+    }
+    std::printf("\nOK: %.2fx at 4 workers (%u hardware threads)\n", speedup4,
+                hw);
+  } else {
+    std::printf(
+        "\nSKIP speedup assertion: only %u hardware thread(s) available; "
+        "need >= 4 for a meaningful scaling check.\n",
+        hw);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

@@ -5,7 +5,17 @@
 // overhead). Every substrate charges its costs to a shared SimEnv so that
 // benches report deterministic virtual latencies and exact byte counts
 // instead of noisy wall-clock numbers. Genuine CPU benchmarks (the
-// vectorized reader) use google-benchmark wall time instead.
+// vectorized reader, the parallel-scan scaling bench) use wall time instead.
+//
+// Thread safety: by default SimEnv is single-threaded — charges mutate the
+// clock and counters directly (the pool-size-1 compatibility mode). When
+// work fans out over the thread pool, each task installs a ScopedChargeShard
+// and all charges made on that thread accumulate into the task's private
+// shard. After the parallel region the launcher calls MergeShards, which
+// folds the shards back into the environment in slot order — so counter
+// totals and the clock are bit-identical run-to-run (and identical to a
+// serial execution of the same tasks) no matter how the pool interleaved
+// them.
 
 #ifndef BIGLAKE_COMMON_SIM_ENV_H_
 #define BIGLAKE_COMMON_SIM_ENV_H_
@@ -13,22 +23,75 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace biglake {
 
 /// Virtual microseconds.
 using SimMicros = uint64_t;
 
-/// A monotonically advancing virtual clock. Single-threaded by design: the
-/// simulation executes operations sequentially and models parallelism
-/// analytically (cost of a parallel stage = max over workers).
+/// A per-task accumulator for charges made from pool workers. `base_now` is
+/// the virtual time at which the parallel region started (every task sees
+/// the clock as base_now + its own accumulated charges); `advanced` is the
+/// task's private virtual elapsed time — exactly what a SimTimer around the
+/// task would have measured in a serial execution.
+struct ChargeShard {
+  SimMicros base_now = 0;
+  SimMicros advanced = 0;
+  std::map<std::string, uint64_t> counters;
+};
+
+namespace sim_internal {
+/// The shard receiving this thread's charges, or nullptr for the direct
+/// single-threaded path.
+inline ChargeShard*& CurrentShard() {
+  static thread_local ChargeShard* shard = nullptr;
+  return shard;
+}
+}  // namespace sim_internal
+
+/// Installs a shard as this thread's charge destination for its lifetime
+/// (restores the previous destination on destruction).
+class ScopedChargeShard {
+ public:
+  explicit ScopedChargeShard(ChargeShard* shard)
+      : prev_(sim_internal::CurrentShard()) {
+    sim_internal::CurrentShard() = shard;
+  }
+  ~ScopedChargeShard() { sim_internal::CurrentShard() = prev_; }
+
+  ScopedChargeShard(const ScopedChargeShard&) = delete;
+  ScopedChargeShard& operator=(const ScopedChargeShard&) = delete;
+
+ private:
+  ChargeShard* prev_;
+};
+
+/// A monotonically advancing virtual clock. Advances route to the calling
+/// thread's ChargeShard when one is installed, so pool workers never touch
+/// the shared state concurrently.
 class SimClock {
  public:
-  SimMicros Now() const { return now_; }
-  void Advance(SimMicros delta) { now_ += delta; }
+  SimMicros Now() const {
+    if (const ChargeShard* s = sim_internal::CurrentShard()) {
+      return s->base_now + s->advanced;
+    }
+    return now_;
+  }
+  void Advance(SimMicros delta) {
+    if (ChargeShard* s = sim_internal::CurrentShard()) {
+      s->advanced += delta;
+      return;
+    }
+    now_ += delta;
+  }
   /// Moves the clock to `t` if `t` is in the future (used to merge parallel
   /// branches: advance to the max completion time).
   void AdvanceTo(SimMicros t) {
+    if (ChargeShard* s = sim_internal::CurrentShard()) {
+      if (t > s->base_now + s->advanced) s->advanced = t - s->base_now;
+      return;
+    }
     if (t > now_) now_ = t;
   }
 
@@ -37,10 +100,19 @@ class SimClock {
 };
 
 /// Aggregate operation/byte counters. Keys are free-form metric names, e.g.
-/// "objstore.list_calls", "egress.aws-east.gcp-us". Benches snapshot and diff.
+/// "objstore.list_calls", "egress.aws-east.gcp-us". Benches snapshot and
+/// diff. Adds route to the thread's ChargeShard when one is installed;
+/// Get/all read the merged (global) state and must not be called from
+/// inside a parallel region.
 class CostCounters {
  public:
-  void Add(const std::string& key, uint64_t delta) { counters_[key] += delta; }
+  void Add(const std::string& key, uint64_t delta) {
+    if (ChargeShard* s = sim_internal::CurrentShard()) {
+      s->counters[key] += delta;
+      return;
+    }
+    counters_[key] += delta;
+  }
   uint64_t Get(const std::string& key) const {
     auto it = counters_.find(key);
     return it == counters_.end() ? 0 : it->second;
@@ -64,6 +136,30 @@ class SimEnv {
   void Charge(const std::string& key, SimMicros latency, uint64_t count = 1) {
     clock_.Advance(latency);
     counters_.Add(key, count);
+  }
+
+  /// Prepares one shard per parallel task, pinned at the current virtual
+  /// time. Call from the launching thread before fanning out.
+  std::vector<ChargeShard> MakeShards(size_t n) const {
+    std::vector<ChargeShard> shards(n);
+    for (ChargeShard& s : shards) s.base_now = clock_.Now();
+    return shards;
+  }
+
+  /// Folds shards back into the environment after a parallel region, in
+  /// slot order. The merge is serial-equivalent: the clock advances by the
+  /// SUM of per-shard virtual time (total resource time, exactly what a
+  /// serial execution of the same tasks would have charged) and counters
+  /// are summed. Wall-clock parallelism is the caller's concern: it knows
+  /// each task's elapsed time from shard.advanced and can take the
+  /// max-over-workers itself.
+  void MergeShards(std::vector<ChargeShard>* shards) {
+    for (ChargeShard& s : *shards) {
+      clock_.Advance(s.advanced);
+      for (const auto& [key, delta] : s.counters) {
+        counters_.Add(key, delta);
+      }
+    }
   }
 
  private:

@@ -1,0 +1,179 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace biglake {
+
+namespace {
+
+/// Identifies the pool (and worker slot) owning the current thread, so
+/// Submit can push to the submitting worker's own deque.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+
+WorkerIdentity& CurrentWorker() {
+  static thread_local WorkerIdentity id;
+  return id;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  size_t target;
+  const WorkerIdentity& self = CurrentWorker();
+  if (self.pool == this) {
+    target = self.index;  // own deque: popped LIFO by this worker
+  } else {
+    target = next_worker_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    ++queued_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOneTask(size_t home) {
+  std::function<void()> task;
+  if (home < workers_.size()) {
+    Worker& own = *workers_[home];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    size_t nw = workers_.size();
+    size_t start = home < nw ? home + 1 : 0;
+    for (size_t k = 0; k < nw && !task; ++k) {
+      Worker& victim = *workers_[(start + k) % nw];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    --queued_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  CurrentWorker() = {this, index};
+  for (;;) {
+    if (TryRunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn,
+                               size_t grain) {
+  if (n == 0) return Status::OK();
+  if (grain == 0) grain = 1;
+  if (workers_.empty() || n <= grain) {
+    for (size_t i = 0; i < n; ++i) BL_RETURN_NOT_OK(fn(i));
+    return Status::OK();
+  }
+
+  struct ChunkResult {
+    Status status;
+    std::exception_ptr exception;
+  };
+  size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<ChunkResult> results(num_chunks);
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = num_chunks;
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    Submit([&, c] {
+      size_t begin = c * grain;
+      size_t end = std::min(n, begin + grain);
+      try {
+        for (size_t i = begin; i < end; ++i) {
+          Status s = fn(i);
+          if (!s.ok()) {
+            results[c].status = std::move(s);
+            break;
+          }
+        }
+      } catch (...) {
+        results[c].exception = std::current_exception();
+      }
+      {
+        // Notify under the lock: the waiter may destroy done_cv as soon as
+        // it observes remaining == 0, which it can only do post-unlock.
+        std::lock_guard<std::mutex> lk(done_mu);
+        if (--remaining == 0) done_cv.notify_all();
+      }
+    });
+  }
+
+  // The caller is an execution resource too: steal chunks (or any other
+  // queued work) until this ParallelFor's chunks have all completed.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(done_mu);
+      if (remaining == 0) break;
+    }
+    if (!TryRunOneTask(workers_.size())) {
+      std::unique_lock<std::mutex> lk(done_mu);
+      done_cv.wait_for(lk, std::chrono::milliseconds(1),
+                       [&] { return remaining == 0; });
+      if (remaining == 0) break;
+    }
+  }
+
+  for (const ChunkResult& r : results) {
+    if (r.exception != nullptr) std::rethrow_exception(r.exception);
+    if (!r.status.ok()) return r.status;
+  }
+  return Status::OK();
+}
+
+}  // namespace biglake

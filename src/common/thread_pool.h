@@ -1,0 +1,83 @@
+// A fixed-size work-stealing thread pool for the real execution substrate.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (cache
+// locality) and steals FIFO from other workers when idle (oldest — usually
+// largest — work first). ParallelFor is the primary entry point: it chunks
+// an index range into tasks, lets the calling thread help drain the queues,
+// and propagates the first failure deterministically — results land in
+// index-addressed slots, so callers get a fixed merge order no matter which
+// thread ran which task.
+//
+// A pool built with `num_threads <= 1` spawns no threads at all: Submit and
+// ParallelFor run inline on the caller, preserving the simulation's
+// single-threaded compatibility mode.
+
+#ifndef BIGLAKE_COMMON_THREAD_POOL_H_
+#define BIGLAKE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace biglake {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 or 1 = inline mode, no threads).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of spawned worker threads (0 in inline mode).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. When called from a pool worker the task goes onto
+  /// that worker's own deque (stolen by others only when they run dry);
+  /// external submitters round-robin across deques. Inline mode runs `fn`
+  /// immediately.
+  void Submit(std::function<void()> fn);
+
+  /// Runs `fn(i)` for every i in [0, n), chunked into tasks of `grain`
+  /// consecutive indices. Blocks until all indices ran; the calling thread
+  /// participates in execution. Error handling is deterministic regardless
+  /// of scheduling: the failure (exception rethrown, or non-OK Status
+  /// returned) from the lowest-indexed failing chunk wins. Every chunk runs
+  /// to its own first failure even if an earlier chunk already failed.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn,
+                     size_t grain = 1);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops one task (own deque LIFO when `home` is a worker index, else
+  /// steal FIFO) and runs it. Returns false if every deque was empty.
+  bool TryRunOneTask(size_t home);
+  void WorkerLoop(size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  size_t queued_ = 0;  // tasks pushed but not yet popped; guarded by wake_mu_
+  bool stop_ = false;  // guarded by wake_mu_
+
+  std::atomic<size_t> next_worker_{0};
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COMMON_THREAD_POOL_H_

@@ -94,10 +94,13 @@ Result<PrunedFiles> StorageReadApi::CollectFiles(const TableDef& table,
           meta->FileColumnStats(c);
     }
     if (predicate != nullptr) {
+      // Stack-local scratch for partition-column pseudo-stats: pointers
+      // handed to EvaluatePrune stay valid for the call only, and no state
+      // leaks across calls or threads.
+      ColumnStats scratch;
       auto lookup = [&](const std::string& col) -> const ColumnStats* {
         for (const auto& [pcol, pval] : entry.file.partition) {
           if (pcol == col && !pval.is_null()) {
-            static thread_local ColumnStats scratch;
             scratch.min = pval;
             scratch.max = pval;
             scratch.row_count = entry.file.row_count;
@@ -289,10 +292,10 @@ Result<ReadSession> StorageReadApi::RefineSession(
   uint64_t pruned_count = 0;
   for (const ReadStream& stream : session.streams) {
     for (const CachedFileMeta& f : stream.files) {
+      ColumnStats scratch;  // per-file scratch; see CollectFiles
       auto lookup = [&](const std::string& col) -> const ColumnStats* {
         for (const auto& [pcol, pval] : f.file.partition) {
           if (pcol == col && !pval.is_null()) {
-            static thread_local ColumnStats scratch;
             scratch.min = pval;
             scratch.max = pval;
             scratch.row_count = f.file.row_count;

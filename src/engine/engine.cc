@@ -8,11 +8,22 @@
 namespace biglake {
 
 void QueryEngine::ChargeCpu(uint64_t values, QueryStats* stats) {
-  auto micros = static_cast<SimMicros>(options_.cpu_micros_per_value *
-                                       static_cast<double>(values));
+  // Accumulate in double and convert to integral micros once per operator,
+  // carrying the fraction forward — many small operators whose per-call
+  // cost is < 1 µs would otherwise all floor to 0 and vanish.
+  cpu_carry_ += options_.cpu_micros_per_value * static_cast<double>(values);
+  auto micros = static_cast<SimMicros>(cpu_carry_);
+  cpu_carry_ -= static_cast<double>(micros);
   env_->sim().Charge("engine.cpu", micros);
   stats->total_micros += micros;
   stats->wall_micros += micros / std::max<uint32_t>(1, options_.num_workers);
+}
+
+ThreadPool* QueryEngine::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  }
+  return pool_.get();
 }
 
 uint64_t QueryEngine::EstimateRows(const PlanPtr& plan) {
@@ -141,17 +152,41 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
   stats->files_pruned += session.files_pruned;
   stats->read_streams += session.streams.size();
 
-  // Streams execute on parallel workers: wall time is the max per-stream
-  // elapsed within each wave of `num_workers` streams.
-  std::vector<RecordBatch> batches;
-  std::vector<SimMicros> stream_elapsed;
-  for (size_t s = 0; s < session.streams.size(); ++s) {
-    SimTimer t(env_->sim());
-    BL_ASSIGN_OR_RETURN(RecordBatch b, read_api_->ReadStreamBatch(session, s));
-    stream_elapsed.push_back(t.ElapsedMicros());
-    stats->total_micros += stream_elapsed.back();
-    batches.push_back(std::move(b));
+  // Streams execute on the worker pool for real — one task per read stream,
+  // the paper's unit of scan parallelism. Each task charges simulated costs
+  // into its own shard; MergeShards folds them back serial-equivalently, so
+  // the virtual clock and every counter are bit-identical to a one-worker
+  // run. Output batches land in stream-indexed slots and concatenate in
+  // stream order, so results are deterministic too.
+  const size_t num_streams = session.streams.size();
+  std::vector<RecordBatch> batches(num_streams);
+  std::vector<SimMicros> stream_elapsed(num_streams, 0);
+  if (num_streams > 1 && options_.num_workers > 1) {
+    std::vector<ChargeShard> shards = env_->sim().MakeShards(num_streams);
+    Status read_status =
+        pool()->ParallelFor(num_streams, [&](size_t s) -> Status {
+          ScopedChargeShard scope(&shards[s]);
+          BL_ASSIGN_OR_RETURN(batches[s],
+                              read_api_->ReadStreamBatch(session, s));
+          return Status::OK();
+        });
+    env_->sim().MergeShards(&shards);  // charge even partial failures
+    BL_RETURN_NOT_OK(read_status);
+    for (size_t s = 0; s < num_streams; ++s) {
+      stream_elapsed[s] = shards[s].advanced;
+      stats->total_micros += shards[s].advanced;
+    }
+  } else {
+    // Pool-size-1 compatibility mode: inline, no threads, direct charges.
+    for (size_t s = 0; s < num_streams; ++s) {
+      SimTimer t(env_->sim());
+      BL_ASSIGN_OR_RETURN(batches[s], read_api_->ReadStreamBatch(session, s));
+      stream_elapsed[s] = t.ElapsedMicros();
+      stats->total_micros += stream_elapsed[s];
+    }
   }
+  // Reported wall time: the max per-stream virtual elapsed within each wave
+  // of `num_workers` streams.
   std::sort(stream_elapsed.rbegin(), stream_elapsed.rend());
   for (size_t i = 0; i < stream_elapsed.size();
        i += options_.num_workers) {
@@ -237,9 +272,19 @@ Result<RecordBatch> QueryEngine::ExecuteJoin(const Principal& principal,
   BL_ASSIGN_OR_RETURN(RecordBatch probe,
                       ExecuteNode(principal, probe_plan, stats));
   uint64_t matches = 0;
-  BL_ASSIGN_OR_RETURN(
-      RecordBatch joined,
-      ops::HashJoinBatches(build, probe, build_keys, probe_keys, &matches));
+  RecordBatch joined;
+  if (options_.num_workers > 1 &&
+      build.num_rows() + probe.num_rows() >=
+          options_.parallel_row_threshold) {
+    // Radix-partitioned parallel join; output identical to the serial path.
+    BL_ASSIGN_OR_RETURN(
+        joined, ops::PartitionedHashJoin(pool(), build, probe, build_keys,
+                                         probe_keys, &matches,
+                                         options_.num_workers));
+  } else {
+    BL_ASSIGN_OR_RETURN(joined, ops::HashJoinBatches(build, probe, build_keys,
+                                                     probe_keys, &matches));
+  }
   // Building the hash table costs ~4x per row vs probing: picking
   // the smaller build side (stats-driven) matters.
   ChargeCpu(build.num_rows() * 4 + probe.num_rows() + matches, stats);
@@ -252,6 +297,12 @@ Result<RecordBatch> QueryEngine::ExecuteAggregate(const RecordBatch& input,
   ChargeCpu(input.num_rows() *
                 (agg.aggregates.size() + agg.group_by.size() + 1),
             stats);
+  if (options_.num_workers > 1 &&
+      input.num_rows() >= options_.parallel_row_threshold) {
+    // Chunked partial aggregation on the pool, merged in chunk order.
+    return ops::ParallelAggregate(pool(), input, agg.group_by,
+                                  agg.aggregates);
+  }
   return ops::AggregateBatch(input, agg.group_by, agg.aggregates);
 }
 

@@ -11,16 +11,27 @@
 //     dimension into the fact scan as an IN-list, letting Big Metadata prune
 //     fact files before any data is read. Both can be disabled to reproduce
 //     the paper's before/after comparisons.
-//   * Analytic parallelism: scans fan out over read streams; the reported
-//     wall time divides parallelizable work across `num_workers` (the shuffle
-//     and worker scheduling of real Dremel are modeled, not implemented as
-//     threads — the simulation is single-threaded and deterministic).
+//   * Real parallelism with deterministic merges: `num_workers` sizes an
+//     actual work-stealing thread pool. Scans fan one pool task out per
+//     read stream (the paper's unit of scan parallelism) and concatenate
+//     batches in stream order; large joins radix-partition build and probe
+//     across the pool and merge matches back into probe-row order; large
+//     aggregations compute chunked partial states merged in chunk order.
+//     Every parallel region charges simulated costs into per-task shards
+//     that are folded back serial-equivalently (see common/sim_env.h), so
+//     query results, cost counters and the virtual clock are bit-identical
+//     run-to-run and match the pool-size-1 compatibility mode
+//     (num_workers = 1, which executes inline with no threads). Reported
+//     `wall_micros` is the max-over-workers of charged virtual time per
+//     wave of streams, not a naive division.
 
 #ifndef BIGLAKE_ENGINE_ENGINE_H_
 #define BIGLAKE_ENGINE_ENGINE_H_
 
+#include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/read_api.h"
 #include "engine/plan.h"
 
@@ -37,6 +48,10 @@ struct EngineOptions {
   uint64_t dpp_max_keys = 4096;
   /// CPU cost per value flowing through a vectorized operator.
   double cpu_micros_per_value = 0.002;
+  /// Joins and aggregations go parallel only past this many input rows;
+  /// below it the serial kernels run (identical results, no pool overhead).
+  /// Scans parallelize per read stream whenever num_workers > 1.
+  uint64_t parallel_row_threshold = 8192;
   /// Where this engine's workers run; scans of data in other clouds cross
   /// the WAN (used by Omni data planes).
   CloudLocation engine_location{CloudProvider::kGCP, "us-central1"};
@@ -85,11 +100,18 @@ class QueryEngine {
   uint64_t EstimateRows(const PlanPtr& plan);
 
   /// Charges vectorized CPU for `values` processed values; adds to stats.
+  /// Fractional micros accumulate in `cpu_carry_` so sub-micro charges are
+  /// not silently floored away.
   void ChargeCpu(uint64_t values, QueryStats* stats);
+
+  /// The execution pool (num_workers threads), built on first parallel use.
+  ThreadPool* pool();
 
   LakehouseEnv* env_;
   StorageReadApi* read_api_;
   EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  double cpu_carry_ = 0.0;
 };
 
 }  // namespace biglake

@@ -39,6 +39,44 @@ Result<std::vector<int>> ResolveColumns(const RecordBatch& batch,
   return out;
 }
 
+/// Gathers matched rows and stitches the joined schema (probe columns
+/// colliding with build names get a "_r" suffix). Shared by the serial and
+/// partitioned join paths so both produce identical output.
+RecordBatch AssembleJoinOutput(const RecordBatch& build,
+                               const RecordBatch& probe,
+                               const std::vector<uint32_t>& build_rows,
+                               const std::vector<uint32_t>& probe_rows) {
+  RecordBatch build_out = build.Gather(build_rows);
+  RecordBatch probe_out = probe.Gather(probe_rows);
+  std::vector<Field> fields;
+  std::vector<Column> cols;
+  std::set<std::string> used;
+  for (size_t c = 0; c < build_out.num_columns(); ++c) {
+    fields.push_back(build_out.schema()->field(c));
+    used.insert(fields.back().name);
+    cols.push_back(build_out.column(c));
+  }
+  for (size_t c = 0; c < probe_out.num_columns(); ++c) {
+    Field f = probe_out.schema()->field(c);
+    while (used.count(f.name) > 0) f.name += "_r";
+    used.insert(f.name);
+    fields.push_back(std::move(f));
+    cols.push_back(probe_out.column(c));
+  }
+  return RecordBatch(MakeSchema(std::move(fields)), std::move(cols));
+}
+
+/// FNV-1a — a fixed hash so radix partition assignment is identical across
+/// platforms and runs (std::hash makes no such promise).
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 Result<RecordBatch> HashJoinBatches(const RecordBatch& build,
@@ -69,25 +107,207 @@ Result<RecordBatch> HashJoinBatches(const RecordBatch& build,
     }
   }
   if (matches_out != nullptr) *matches_out = build_rows.size();
+  return AssembleJoinOutput(build, probe, build_rows, probe_rows);
+}
 
-  RecordBatch build_out = build.Gather(build_rows);
-  RecordBatch probe_out = probe.Gather(probe_rows);
+Result<RecordBatch> PartitionedHashJoin(
+    ThreadPool* pool, const RecordBatch& build, const RecordBatch& probe,
+    const std::vector<std::string>& build_keys,
+    const std::vector<std::string>& probe_keys, uint64_t* matches_out,
+    size_t num_partitions) {
+  if (build_keys.size() != probe_keys.size() || build_keys.empty()) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  BL_ASSIGN_OR_RETURN(std::vector<int> build_cols,
+                      ResolveColumns(build, build_keys));
+  BL_ASSIGN_OR_RETURN(std::vector<int> probe_cols,
+                      ResolveColumns(probe, probe_keys));
+  size_t P = std::max<size_t>(1, std::min<size_t>(num_partitions, 64));
+
+  // Encode join keys in parallel (the expensive per-row work), into
+  // index-addressed slots.
+  std::vector<std::string> bkeys(build.num_rows());
+  std::vector<std::string> pkeys(probe.num_rows());
+  constexpr size_t kKeyGrain = 2048;
+  BL_RETURN_NOT_OK(pool->ParallelFor(
+      build.num_rows(),
+      [&](size_t r) -> Status {
+        bkeys[r] = RowKey(build, build_cols, r);
+        return Status::OK();
+      },
+      kKeyGrain));
+  BL_RETURN_NOT_OK(pool->ParallelFor(
+      probe.num_rows(),
+      [&](size_t r) -> Status {
+        pkeys[r] = RowKey(probe, probe_cols, r);
+        return Status::OK();
+      },
+      kKeyGrain));
+
+  // Radix partition: every key lands in exactly one partition, so each
+  // partition joins independently.
+  std::vector<std::vector<uint32_t>> build_parts(P), probe_parts(P);
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    build_parts[Fnv1a(bkeys[r]) % P].push_back(static_cast<uint32_t>(r));
+  }
+  for (size_t r = 0; r < probe.num_rows(); ++r) {
+    probe_parts[Fnv1a(pkeys[r]) % P].push_back(static_cast<uint32_t>(r));
+  }
+
+  struct PartitionMatches {
+    std::vector<uint32_t> build_rows;
+    std::vector<uint32_t> probe_rows;
+  };
+  std::vector<PartitionMatches> matches(P);
+  BL_RETURN_NOT_OK(pool->ParallelFor(P, [&](size_t p) -> Status {
+    std::unordered_map<std::string, std::vector<uint32_t>> table;
+    table.reserve(build_parts[p].size());
+    for (uint32_t r : build_parts[p]) {
+      table[bkeys[r]].push_back(r);  // ascending: build rows visit in order
+    }
+    PartitionMatches& out = matches[p];
+    for (uint32_t r : probe_parts[p]) {
+      auto it = table.find(pkeys[r]);
+      if (it == table.end()) continue;
+      for (uint32_t b : it->second) {
+        out.build_rows.push_back(b);
+        out.probe_rows.push_back(r);
+      }
+    }
+    return Status::OK();
+  }));
+
+  // Merge partitions back into global probe-row order. Each probe row lives
+  // in one partition with its matches already in build-row order, so a
+  // stable sort on the probe index reproduces the serial join's output
+  // row-for-row.
+  size_t total = 0;
+  for (const auto& m : matches) total += m.build_rows.size();
+  std::vector<uint32_t> order_build, order_probe;
+  order_build.reserve(total);
+  order_probe.reserve(total);
+  for (const auto& m : matches) {
+    order_build.insert(order_build.end(), m.build_rows.begin(),
+                       m.build_rows.end());
+    order_probe.insert(order_probe.end(), m.probe_rows.begin(),
+                       m.probe_rows.end());
+  }
+  std::vector<uint32_t> perm(total);
+  for (size_t i = 0; i < total; ++i) perm[i] = static_cast<uint32_t>(i);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return order_probe[a] < order_probe[b];
+  });
+  std::vector<uint32_t> build_rows(total), probe_rows(total);
+  for (size_t i = 0; i < total; ++i) {
+    build_rows[i] = order_build[perm[i]];
+    probe_rows[i] = order_probe[perm[i]];
+  }
+  if (matches_out != nullptr) *matches_out = total;
+  return AssembleJoinOutput(build, probe, build_rows, probe_rows);
+}
+
+Result<RecordBatch> ParallelAggregate(ThreadPool* pool,
+                                      const RecordBatch& input,
+                                      const std::vector<std::string>& group_by,
+                                      const std::vector<AggSpec>& aggregates,
+                                      size_t grain_rows) {
+  if (grain_rows == 0) grain_rows = 4096;
+  if (input.num_rows() <= grain_rows) {
+    return ::biglake::AggregateBatch(input, group_by, aggregates);
+  }
+
+  // Decompose AVG into SUM + COUNT partials (AVG itself is not mergeable).
+  std::vector<AggSpec> partial_specs;
+  bool has_avg = false;
+  for (const AggSpec& spec : aggregates) {
+    if (spec.op == AggOp::kAvg) {
+      has_avg = true;
+      partial_specs.push_back(
+          {AggOp::kSum, spec.input, "__avg_sum:" + spec.output});
+      partial_specs.push_back(
+          {AggOp::kCount, spec.input, "__avg_cnt:" + spec.output});
+    } else {
+      partial_specs.push_back(spec);
+    }
+  }
+
+  // Chunking depends only on grain_rows, never on the pool width, so the
+  // partial-sum tree — and thus any floating-point result — is identical
+  // for every parallel configuration.
+  size_t num_chunks = (input.num_rows() + grain_rows - 1) / grain_rows;
+  std::vector<RecordBatch> partials(num_chunks);
+  BL_RETURN_NOT_OK(pool->ParallelFor(num_chunks, [&](size_t c) -> Status {
+    size_t begin = c * grain_rows;
+    size_t count = std::min(grain_rows, input.num_rows() - begin);
+    BL_ASSIGN_OR_RETURN(
+        partials[c],
+        ::biglake::AggregateBatch(input.Slice(begin, count), group_by,
+                                  partial_specs));
+    return Status::OK();
+  }));
+
+  BL_ASSIGN_OR_RETURN(RecordBatch all, RecordBatch::Concat(partials));
+  BL_ASSIGN_OR_RETURN(RecordBatch merged,
+                      MergePartialAggregates(all, group_by, partial_specs));
+  if (!has_avg) return merged;
+
+  // Recompose AVG columns: group columns, then the specs in their original
+  // order — the same output schema AggregateBatch produces.
   std::vector<Field> fields;
-  std::vector<Column> cols;
-  std::set<std::string> used;
-  for (size_t c = 0; c < build_out.num_columns(); ++c) {
-    fields.push_back(build_out.schema()->field(c));
-    used.insert(fields.back().name);
-    cols.push_back(build_out.column(c));
+  std::vector<int> group_cols;
+  for (const auto& g : group_by) {
+    int idx = merged.schema()->FieldIndex(g);
+    if (idx < 0) return Status::Internal("merged partials lost group column");
+    group_cols.push_back(idx);
+    fields.push_back(merged.schema()->field(static_cast<size_t>(idx)));
   }
-  for (size_t c = 0; c < probe_out.num_columns(); ++c) {
-    Field f = probe_out.schema()->field(c);
-    while (used.count(f.name) > 0) f.name += "_r";
-    used.insert(f.name);
-    fields.push_back(std::move(f));
-    cols.push_back(probe_out.column(c));
+  struct SpecSource {
+    int direct = -1;  // column in `merged` for non-AVG specs
+    int sum = -1, cnt = -1;
+  };
+  std::vector<SpecSource> sources;
+  for (const AggSpec& spec : aggregates) {
+    SpecSource src;
+    if (spec.op == AggOp::kAvg) {
+      src.sum = merged.schema()->FieldIndex("__avg_sum:" + spec.output);
+      src.cnt = merged.schema()->FieldIndex("__avg_cnt:" + spec.output);
+      if (src.sum < 0 || src.cnt < 0) {
+        return Status::Internal("merged partials lost AVG components");
+      }
+      fields.push_back({spec.output, DataType::kDouble, true});
+    } else {
+      src.direct = merged.schema()->FieldIndex(spec.output);
+      if (src.direct < 0) {
+        return Status::Internal("merged partials lost aggregate column");
+      }
+      fields.push_back(
+          merged.schema()->field(static_cast<size_t>(src.direct)));
+    }
+    sources.push_back(src);
   }
-  return RecordBatch(MakeSchema(std::move(fields)), std::move(cols));
+  BatchBuilder builder(MakeSchema(std::move(fields)));
+  for (size_t r = 0; r < merged.num_rows(); ++r) {
+    std::vector<Value> row;
+    for (int g : group_cols) {
+      row.push_back(merged.GetValue(r, static_cast<size_t>(g)));
+    }
+    for (const SpecSource& src : sources) {
+      if (src.direct >= 0) {
+        row.push_back(merged.GetValue(r, static_cast<size_t>(src.direct)));
+        continue;
+      }
+      Value sum = merged.GetValue(r, static_cast<size_t>(src.sum));
+      Value cnt = merged.GetValue(r, static_cast<size_t>(src.cnt));
+      if (sum.is_null() || cnt.is_null() || cnt.int64_value() == 0) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(Value::Double(
+            sum.AsDouble() / static_cast<double>(cnt.int64_value())));
+      }
+    }
+    BL_RETURN_NOT_OK(builder.AppendRow(row));
+  }
+  return builder.Finish();
 }
 
 Result<RecordBatch> SortBatch(const RecordBatch& input,

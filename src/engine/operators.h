@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "columnar/batch.h"
+#include "common/thread_pool.h"
 #include "engine/plan.h"
 
 namespace biglake {
@@ -23,6 +24,17 @@ Result<RecordBatch> HashJoinBatches(const RecordBatch& build,
                                     const std::vector<std::string>& probe_keys,
                                     uint64_t* matches_out = nullptr);
 
+/// Radix-partitioned parallel equi-join: rows are hash-partitioned on their
+/// join key across `num_partitions` independent build+probe tasks executed
+/// on `pool`, and the per-partition match lists are merged back into probe-
+/// row order. The output is row-for-row identical to HashJoinBatches — the
+/// partitioning is purely a parallel execution strategy.
+Result<RecordBatch> PartitionedHashJoin(
+    ThreadPool* pool, const RecordBatch& build, const RecordBatch& probe,
+    const std::vector<std::string>& build_keys,
+    const std::vector<std::string>& probe_keys,
+    uint64_t* matches_out = nullptr, size_t num_partitions = 8);
+
 /// Hash group-by; forwards to the shared columnar kernel (which the Read
 /// API also uses for server-side aggregate pushdown).
 inline Result<RecordBatch> AggregateBatch(
@@ -30,6 +42,20 @@ inline Result<RecordBatch> AggregateBatch(
     const std::vector<AggSpec>& aggregates) {
   return ::biglake::AggregateBatch(input, group_by, aggregates);
 }
+
+/// Parallel hash group-by: the input is cut into fixed `grain_rows` chunks
+/// (chunking depends only on the data, not the worker count), each chunk is
+/// partially aggregated on `pool`, and the partials are merged in chunk
+/// order. AVG is decomposed into SUM+COUNT partials and recomposed after
+/// the merge. COUNT/MIN/MAX results are exactly those of AggregateBatch;
+/// SUM/AVG over doubles may differ from the serial kernel in floating-point
+/// rounding (the summation tree differs) but are identical run-to-run for
+/// any pool size > 1.
+Result<RecordBatch> ParallelAggregate(ThreadPool* pool,
+                                      const RecordBatch& input,
+                                      const std::vector<std::string>& group_by,
+                                      const std::vector<AggSpec>& aggregates,
+                                      size_t grain_rows = 4096);
 
 /// Stable multi-key sort.
 Result<RecordBatch> SortBatch(const RecordBatch& input,

@@ -1,0 +1,194 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace biglake {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeSpawnsNoThreads) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0u);
+
+  // Submit and ParallelFor both run on the calling thread.
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id submit_tid;
+  pool.Submit([&] { submit_tid = std::this_thread::get_id(); });
+  EXPECT_EQ(submit_tid, caller);
+
+  std::vector<std::thread::id> tids(16);
+  Status s = pool.ParallelFor(16, [&](size_t i) {
+    tids[i] = std::this_thread::get_id();
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  for (const auto& tid : tids) EXPECT_EQ(tid, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  Status s = pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsGrainAndOddRemainders) {
+  ThreadPool pool(3);
+  // n not divisible by grain: the last chunk is short.
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  Status s = pool.ParallelFor(
+      kN,
+      [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      },
+      /*grain=*/64);
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndTinyRanges) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.ParallelFor(0, [](size_t) { return Status::OK(); }).ok());
+  std::atomic<int> count{0};
+  EXPECT_TRUE(pool.ParallelFor(1,
+                               [&](size_t) {
+                                 ++count;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, LowestIndexedFailureWinsDeterministically) {
+  ThreadPool pool(4);
+  // Several indices fail; no matter which thread finishes first, the error
+  // reported must be the one from the lowest failing chunk (index 3).
+  for (int round = 0; round < 20; ++round) {
+    Status s = pool.ParallelFor(64, [&](size_t i) {
+      if (i == 3 || i == 40 || i == 63) {
+        return Status::Internal("fail at " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "fail at 3");
+  }
+}
+
+TEST(ThreadPoolTest, LaterIndicesStillRunAfterAFailure) {
+  ThreadPool pool(2);
+  // A failing chunk must not prevent other chunks from running: results
+  // land in index-addressed slots and every chunk runs to its own first
+  // failure.
+  std::vector<std::atomic<int>> hits(32);
+  Status s = pool.ParallelFor(32, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    if (i == 0) return Status::Internal("first chunk fails");
+    return Status::OK();
+  });
+  ASSERT_FALSE(s.ok());
+  // With grain 1 every index is its own chunk, so all of them ran.
+  for (size_t i = 0; i < 32; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      {
+        (void)pool.ParallelFor(16, [&](size_t i) -> Status {
+          if (i == 5) throw std::runtime_error("boom");
+          return Status::OK();
+        });
+      },
+      std::runtime_error);
+  // The pool survives the exception and keeps working.
+  std::atomic<int> count{0};
+  EXPECT_TRUE(pool.ParallelFor(8,
+                               [&](size_t) {
+                                 ++count;
+                                 return Status::OK();
+                               })
+                  .ok());
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, WorkIsStolenUnderSkew) {
+  ThreadPool pool(4);
+  // One long task pins whichever worker picks it up; the rest of the range
+  // must be drained by the other workers (and the helping caller), so more
+  // than one thread participates.
+  std::mutex mu;
+  std::set<std::thread::id> participants;
+  Status s = pool.ParallelFor(256, [&](size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::lock_guard<std::mutex> lock(mu);
+    participants.insert(std::this_thread::get_id());
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_GE(participants.size(), 2u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasksOnWorkers) {
+  ThreadPool pool(2);
+  constexpr int kTasks = 100;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done == kTasks; }));
+  EXPECT_EQ(done, kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> done{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool joins workers after the queues run dry.
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  // An outer chunk that itself calls ParallelFor participates in draining
+  // the inner tasks, so this completes even with few workers.
+  std::atomic<int> inner_total{0};
+  Status s = pool.ParallelFor(4, [&](size_t) {
+    return pool.ParallelFor(8, [&](size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+}  // namespace
+}  // namespace biglake
