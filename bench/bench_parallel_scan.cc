@@ -22,6 +22,7 @@
 #include "core/read_api.h"
 #include "engine/engine.h"
 #include "format/parquet_lite.h"
+#include "obs/profile.h"
 
 namespace biglake {
 namespace bench {
@@ -131,10 +132,36 @@ int Run() {
 
   std::printf("\n");
   for (const auto& [workers, ms] : rows) {
-    std::printf(
-        "{\"bench\":\"parallel_scan\",\"workers\":%d,\"real_ms\":%.3f,"
-        "\"speedup_vs_1\":%.3f}\n",
-        workers, ms, base_ms / ms);
+    // Machine-consumable result lines through the shared JSON writer.
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String("parallel_scan");
+    w.Key("workers");
+    w.Int(workers);
+    w.Key("real_ms");
+    w.Double(ms);
+    w.Key("speedup_vs_1");
+    w.Double(base_ms / ms);
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+
+  // One full query profile for the 8-worker configuration: the span tree
+  // EXPERIMENTS.md points at for the scan fan-out numbers. The simulated
+  // durations in it are deterministic (wall data excluded).
+  {
+    EngineOptions opts;
+    opts.num_workers = 8;
+    QueryEngine engine(&env.lake, &api, opts);
+    obs::QueryProfile profile;
+    auto result = engine.Execute("u", plan, &profile);
+    if (result.ok()) {
+      obs::ProfileExportOptions det;
+      det.include_wall = false;
+      det.pretty = false;
+      std::printf("%s\n", profile.ToJson(det).c_str());
+    }
   }
 
   unsigned hw = std::thread::hardware_concurrency();

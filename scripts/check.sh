@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full local CI: plain build + tests, then ASan and TSan builds of the same
+# suite, then the docs checks. Each sanitizer uses its own build dir so the
+# plain `build/` cache (and its generator choice) is never disturbed.
+#
+# Usage: scripts/check.sh [plain|asan|tsan|docs]...   (default: all)
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+run_suite() {  # run_suite <build-dir> <extra-cmake-args...>
+  local dir="$1"; shift
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  cmake --build "$ROOT/$dir" -j "$JOBS"
+  ctest --test-dir "$ROOT/$dir" --output-on-failure
+}
+
+do_plain() { run_suite build; }
+do_asan()  { run_suite build-asan -DBL_SANITIZE=address; }
+do_tsan()  { run_suite build-tsan -DBL_SANITIZE=thread; }
+do_docs()  { "$ROOT/scripts/check_metrics_doc.sh"; }
+
+stages=("$@")
+if [[ ${#stages[@]} -eq 0 ]]; then
+  stages=(plain asan tsan docs)
+fi
+
+for stage in "${stages[@]}"; do
+  echo "=== check: $stage ==="
+  "do_$stage"
+done
+echo "=== all checks passed ==="

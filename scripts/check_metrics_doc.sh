@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fails if any metric name defined in src/obs/metric_names.h is missing from
+# docs/OBSERVABILITY.md. Run from anywhere; wired into ctest as
+# `metrics_doc_check` (label: tier2) and into scripts/check.sh.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+HEADER="$ROOT/src/obs/metric_names.h"
+DOC="$ROOT/docs/OBSERVABILITY.md"
+
+if [[ ! -f "$HEADER" ]]; then
+  echo "missing $HEADER" >&2
+  exit 1
+fi
+if [[ ! -f "$DOC" ]]; then
+  echo "missing $DOC" >&2
+  exit 1
+fi
+
+# Every quoted string in the header is a metric name (the header contains
+# nothing else in quotes, by convention).
+names=$(grep -o '"biglake_[a-z0-9_]*"' "$HEADER" | tr -d '"' | sort -u)
+if [[ -z "$names" ]]; then
+  echo "no metric names found in $HEADER (pattern drift?)" >&2
+  exit 1
+fi
+
+missing=0
+for name in $names; do
+  if ! grep -q "$name" "$DOC"; then
+    echo "UNDOCUMENTED METRIC: $name (add it to docs/OBSERVABILITY.md)" >&2
+    missing=1
+  fi
+done
+
+count=$(echo "$names" | wc -l)
+if [[ $missing -eq 0 ]]; then
+  echo "metrics doc check OK: all $count metric names documented"
+fi
+exit $missing

@@ -46,9 +46,11 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> fn) {
   if (workers_.empty()) {
+    tasks_inline_.fetch_add(1, std::memory_order_relaxed);
     fn();
     return;
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   size_t target;
   const WorkerIdentity& self = CurrentWorker();
   if (self.pool == this) {
@@ -64,6 +66,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lk(wake_mu_);
     ++queued_;
+    if (queued_ > peak_queue_depth_) peak_queue_depth_ = queued_;
   }
   wake_cv_.notify_one();
 }
@@ -87,6 +90,7 @@ bool ThreadPool::TryRunOneTask(size_t home) {
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
+        tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -115,6 +119,7 @@ Status ThreadPool::ParallelFor(size_t n,
   if (n == 0) return Status::OK();
   if (grain == 0) grain = 1;
   if (workers_.empty() || n <= grain) {
+    tasks_inline_.fetch_add(n, std::memory_order_relaxed);
     for (size_t i = 0; i < n; ++i) BL_RETURN_NOT_OK(fn(i));
     return Status::OK();
   }
@@ -174,6 +179,18 @@ Status ThreadPool::ParallelFor(size_t n,
     if (!r.status.ok()) return r.status;
   }
   return Status::OK();
+}
+
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  stats.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  stats.tasks_inline = tasks_inline_.load(std::memory_order_relaxed);
+  stats.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stats.peak_queue_depth = peak_queue_depth_;
+  }
+  return stats;
 }
 
 }  // namespace biglake

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -28,6 +29,21 @@
 #include "common/status.h"
 
 namespace biglake {
+
+/// Monotonic scheduling statistics. Raw counters only — the pool cannot
+/// depend on the observability layer (bl_obs depends on bl_common), so the
+/// engine snapshots these around a query and publishes the deltas.
+/// All fields are nondeterministic (they depend on thread scheduling).
+struct ThreadPoolStats {
+  /// Tasks pushed onto worker deques (excludes inline-mode runs).
+  uint64_t tasks_submitted = 0;
+  /// Tasks run immediately on the caller because the pool is in inline mode.
+  uint64_t tasks_inline = 0;
+  /// Tasks popped FIFO from another worker's deque (or by a helping caller).
+  uint64_t tasks_stolen = 0;
+  /// High-water mark of tasks queued but not yet picked up.
+  uint64_t peak_queue_depth = 0;
+};
 
 class ThreadPool {
  public:
@@ -56,6 +72,10 @@ class ThreadPool {
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn,
                      size_t grain = 1);
 
+  /// Snapshot of lifetime scheduling counters (relaxed reads; take a
+  /// snapshot before and after a region to attribute deltas to it).
+  ThreadPoolStats Stats() const;
+
  private:
   struct Worker {
     std::mutex mu;
@@ -70,12 +90,17 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex wake_mu_;
+  mutable std::mutex wake_mu_;
   std::condition_variable wake_cv_;
   size_t queued_ = 0;  // tasks pushed but not yet popped; guarded by wake_mu_
   bool stop_ = false;  // guarded by wake_mu_
 
   std::atomic<size_t> next_worker_{0};
+
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_inline_{0};
+  std::atomic<uint64_t> tasks_stolen_{0};
+  uint64_t peak_queue_depth_ = 0;  // guarded by wake_mu_
 };
 
 }  // namespace biglake

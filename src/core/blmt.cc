@@ -7,8 +7,21 @@
 #include "common/strings.h"
 #include "format/object_source.h"
 #include "format/parquet_lite.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace biglake {
+
+namespace {
+
+void CountDml(const char* op) {
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_BLMT_DML, {{"op", op}})
+      ->Increment();
+}
+
+}  // namespace
 
 Status BlmtService::CreateTable(TableDef def,
                                 std::vector<std::string> clustering) {
@@ -83,6 +96,8 @@ Result<RecordBatch> BlmtService::ReadFile(const TableDef& table,
 Result<uint64_t> BlmtService::Insert(const Principal& principal,
                                      const std::string& table_id,
                                      const RecordBatch& rows) {
+  obs::ScopedSpan span("blmt:insert", obs::Span::kRpc);
+  CountDml("insert");
   BL_ASSIGN_OR_RETURN(const TableDef* table,
                       CheckedTable(principal, table_id, Role::kWriter));
   if (!rows.schema()->Equals(*table->schema)) {
@@ -95,6 +110,8 @@ Result<uint64_t> BlmtService::Insert(const Principal& principal,
 Result<uint64_t> BlmtService::MultiTableInsert(
     const Principal& principal,
     const std::vector<std::pair<std::string, RecordBatch>>& inserts) {
+  obs::ScopedSpan span("blmt:multi_table_insert", obs::Span::kRpc);
+  CountDml("multi_table_insert");
   MetaTransaction txn = env_->meta().BeginTransaction();
   for (const auto& [table_id, rows] : inserts) {
     BL_ASSIGN_OR_RETURN(const TableDef* table,
@@ -112,6 +129,8 @@ Result<uint64_t> BlmtService::MultiTableInsert(
 Result<uint64_t> BlmtService::Delete(const Principal& principal,
                                      const std::string& table_id,
                                      const ExprPtr& predicate) {
+  obs::ScopedSpan span("blmt:delete", obs::Span::kRpc);
+  CountDml("delete");
   BL_ASSIGN_OR_RETURN(const TableDef* table,
                       CheckedTable(principal, table_id, Role::kWriter));
   if (predicate == nullptr) {
@@ -154,6 +173,8 @@ Result<uint64_t> BlmtService::Update(
     const Principal& principal, const std::string& table_id,
     const ExprPtr& predicate,
     const std::map<std::string, Value>& assignments) {
+  obs::ScopedSpan span("blmt:update", obs::Span::kRpc);
+  CountDml("update");
   BL_ASSIGN_OR_RETURN(const TableDef* table,
                       CheckedTable(principal, table_id, Role::kWriter));
   if (predicate == nullptr) {
@@ -225,6 +246,10 @@ Result<RecordBatch> BlmtService::ReadAll(const std::string& table_id,
 
 Result<OptimizeReport> BlmtService::OptimizeStorage(
     const std::string& table_id) {
+  obs::ScopedSpan span("blmt:optimize_storage", obs::Span::kRpc);
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_BLMT_OPTIMIZE_RUNS)
+      ->Increment();
   BL_ASSIGN_OR_RETURN(const TableDef* table,
                       env_->catalog().GetTable(table_id));
   BL_ASSIGN_OR_RETURN(std::vector<CachedFileMeta> files,
@@ -328,6 +353,9 @@ Result<GcReport> BlmtService::GarbageCollect(const std::string& table_id) {
     BL_RETURN_NOT_OK(store->Delete(ctx, table->bucket, obj.name));
     ++report.objects_deleted;
   }
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_BLMT_GC_DELETED)
+      ->Add(report.objects_deleted);
   env_->sim().counters().Add("blmt.gc_runs", 1);
   return report;
 }

@@ -7,6 +7,9 @@
 #include "common/strings.h"
 #include "format/object_source.h"
 #include "format/parquet_lite.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace biglake {
 
@@ -62,11 +65,17 @@ Result<PrunedFiles> StorageReadApi::CollectFiles(const TableDef& table,
       table.kind == TableKind::kBigLakeManaged) {
     // Fast path: prune from the Big Metadata columnar cache, never touching
     // the object store (Sec 3.3).
+    obs::MetricsRegistry::Default()
+        .GetCounter(METRIC_METACACHE_LOOKUPS, {{"result", "hit"}})
+        ->Increment();
     BL_ASSIGN_OR_RETURN(PrunedFiles pruned,
                         env_->meta().PruneFiles(table.id(), predicate, txn));
     *files_total = pruned.candidates;
     return pruned;
   }
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_METACACHE_LOOKUPS, {{"result", "miss"}})
+      ->Increment();
   // Legacy path (pre-BigLake external tables): LIST the prefix, then peek at
   // every candidate file's footer to recover prunable statistics. Slow and
   // object-store-bound — this is the Figure 3/4 "before" configuration.
@@ -123,6 +132,11 @@ Result<PrunedFiles> StorageReadApi::CollectFiles(const TableDef& table,
 Result<ReadSession> StorageReadApi::CreateReadSession(
     const Principal& principal, const std::string& table_id,
     const ReadSessionOptions& options) {
+  obs::ScopedSpan span("readapi:create_session", obs::Span::kRpc);
+  span.SetAttr("table", table_id);
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_READAPI_SESSIONS, {{"kind", "create"}})
+      ->Increment();
   env_->sim().Charge("readapi.create_session", options_.create_session_latency);
   BL_ASSIGN_OR_RETURN(const TableDef* table,
                       env_->catalog().GetTable(table_id));
@@ -254,6 +268,15 @@ Result<ReadSession> StorageReadApi::CreateReadSession(
   state.access = access;
   state.read_columns.assign(scan_cols.begin(), scan_cols.end());
   sessions_[session.session_id] = std::move(state);
+
+  auto& reg = obs::MetricsRegistry::Default();
+  reg.GetHistogram(METRIC_READAPI_STREAM_FANOUT, {},
+                   &obs::DefaultFanoutBounds())
+      ->Observe(session.streams.size());
+  reg.GetCounter(METRIC_READAPI_FILES_PRUNED)->Add(session.files_pruned);
+  span.AddNum("files_total", session.files_total);
+  span.AddNum("files_pruned", session.files_pruned);
+  span.AddNum("streams", session.streams.size());
   return session;
 }
 
@@ -281,6 +304,11 @@ Result<ReadSession> StorageReadApi::RefineSession(
           StrCat("no column `", name, "` in table `", table.id(), "`"));
     }
   }
+  obs::ScopedSpan span("readapi:refine_session", obs::Span::kRpc);
+  span.SetAttr("table", table.id());
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_READAPI_SESSIONS, {{"kind", "refine"}})
+      ->Increment();
   env_->sim().Charge("readapi.refine_session",
                      options_.refine_session_latency);
 
@@ -316,6 +344,8 @@ Result<ReadSession> StorageReadApi::RefineSession(
   refined.files_pruned = session.files_pruned + pruned_count;
   refined.streams = AssignStreams(std::move(kept), base.options.max_streams,
                                   refined.session_id);
+  span.AddNum("files_pruned", pruned_count);
+  span.AddNum("streams", refined.streams.size());
 
   SessionState state = base;
   state.options.predicate =
@@ -345,6 +375,9 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
   }
   const ReadStream& stream = session.streams[stream_index];
   const TableDef& table = *state.table;
+  obs::ScopedSpan span("readapi:read_rows", obs::Span::kRpc);
+  uint64_t rows_streamed = 0;
+  uint64_t bytes_streamed = 0;
   std::vector<std::string> responses;
 
   if (state.access.deny_all_rows) {
@@ -397,6 +430,9 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
     }
     if (schema_mismatch) {
       env_->sim().counters().Add("readapi.schema_mismatch_files", 1);
+      obs::MetricsRegistry::Default()
+          .GetCounter(METRIC_READAPI_SCHEMA_MISMATCHES)
+          ->Increment();
       continue;
     }
 
@@ -518,6 +554,7 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
         continue;
       }
 
+      rows_streamed += secured.num_rows();
       // Chunk into response-sized batches and serialize (Arrow-lite).
       for (size_t off = 0; off < secured.num_rows();
            off += state.options.response_batch_rows) {
@@ -526,6 +563,7 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
                                   secured.num_rows() - off));
         std::string wire = SerializeBatch(piece);
         env_->sim().counters().Add("readapi.bytes_returned", wire.size());
+        bytes_streamed += wire.size();
         responses.push_back(std::move(wire));
       }
     }
@@ -540,8 +578,10 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
           merged, AggregateBatch(all, state.options.aggregate_group_by,
                                  state.options.partial_aggregates));
     }
+    rows_streamed += merged.num_rows();
     std::string wire = SerializeBatch(merged);
     env_->sim().counters().Add("readapi.bytes_returned", wire.size());
+    bytes_streamed += wire.size();
     env_->sim().counters().Add("readapi.pushdown_aggregates", 1);
     responses.push_back(std::move(wire));
   }
@@ -552,6 +592,15 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
       static_cast<double>(values_processed));
   env_->sim().Charge("readapi.read_rows", server_cpu);
   env_->sim().counters().Add("readapi.cpu_micros", server_cpu);
+  auto& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter(METRIC_READAPI_ROWS_RETURNED)->Add(rows_streamed);
+  reg.GetCounter(METRIC_READAPI_BYTES_RETURNED)->Add(bytes_streamed);
+  reg.GetCounter(METRIC_READAPI_SERVER_CPU_MICROS)->Add(server_cpu);
+  reg.GetHistogram(METRIC_READAPI_STREAM_ROWS, {}, &obs::DefaultRowsBounds())
+      ->Observe(rows_streamed);
+  span.AddNum("rows", rows_streamed);
+  span.AddNum("bytes", bytes_streamed);
+  span.AddNum("server_cpu_micros", server_cpu);
   if (responses.empty()) {
     responses.push_back(
         SerializeBatch(RecordBatch::Empty(session.output_schema)));

@@ -2,6 +2,9 @@
 
 #include "common/strings.h"
 #include "format/parquet_lite.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace biglake {
 
@@ -82,7 +85,11 @@ Result<uint64_t> StorageWriteApi::AppendRows(const std::string& stream_id,
   if (!batch.schema()->Equals(*stream.table->schema)) {
     return Status::InvalidArgument("append schema does not match table");
   }
+  obs::ScopedSpan span("writeapi:append", obs::Span::kRpc);
   env_->sim().Charge("writeapi.appends", options_.append_latency);
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_WRITEAPI_APPENDS)
+      ->Increment();
 
   // Exactly-once offset protocol.
   if (offset.has_value()) {
@@ -101,6 +108,10 @@ Result<uint64_t> StorageWriteApi::AppendRows(const std::string& stream_id,
   stream.buffered.push_back(batch);
   stream.buffered_rows += batch.num_rows();
   stream.info.rows_appended += batch.num_rows();
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_WRITEAPI_ROWS_APPENDED)
+      ->Add(batch.num_rows());
+  span.AddNum("rows", batch.num_rows());
 
   if (stream.info.mode == WriteMode::kCommitted &&
       stream.buffered_rows >= options_.committed_flush_rows) {
@@ -111,6 +122,10 @@ Result<uint64_t> StorageWriteApi::AppendRows(const std::string& stream_id,
 
 Status StorageWriteApi::FlushCommitted(StreamState* stream) {
   if (stream->buffered_rows == 0) return Status::OK();
+  obs::ScopedSpan span("writeapi:commit", obs::Span::kRpc);
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_WRITEAPI_COMMITS, {{"mode", "single"}})
+      ->Increment();
   BL_ASSIGN_OR_RETURN(CachedFileMeta file,
                       WriteDataFile(*stream->table, stream->buffered));
   BL_RETURN_NOT_OK(
@@ -155,6 +170,11 @@ Result<uint64_t> StorageWriteApi::BatchCommit(
     to_commit.push_back(&stream);
   }
   // Write data files, then one metadata transaction across all tables.
+  obs::ScopedSpan span("writeapi:batch_commit", obs::Span::kRpc);
+  span.AddNum("streams", to_commit.size());
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_WRITEAPI_COMMITS, {{"mode", "batch"}})
+      ->Increment();
   MetaTransaction txn = env_->meta().BeginTransaction();
   for (StreamState* stream : to_commit) {
     if (stream->buffered_rows == 0) continue;

@@ -1,11 +1,43 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/strings.h"
 #include "engine/operators.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace biglake {
+
+namespace {
+
+const char* PlanKindName(Plan::Kind kind) {
+  switch (kind) {
+    case Plan::Kind::kScan:
+      return "scan";
+    case Plan::Kind::kFilter:
+      return "filter";
+    case Plan::Kind::kProject:
+      return "project";
+    case Plan::Kind::kHashJoin:
+      return "hash_join";
+    case Plan::Kind::kAggregate:
+      return "aggregate";
+    case Plan::Kind::kOrderBy:
+      return "order_by";
+    case Plan::Kind::kLimit:
+      return "limit";
+    case Plan::Kind::kValues:
+      return "values";
+    case Plan::Kind::kMap:
+      return "map";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 void QueryEngine::ChargeCpu(uint64_t values, QueryStats* stats) {
   // Accumulate in double and convert to integral micros once per operator,
@@ -15,6 +47,10 @@ void QueryEngine::ChargeCpu(uint64_t values, QueryStats* stats) {
   auto micros = static_cast<SimMicros>(cpu_carry_);
   cpu_carry_ -= static_cast<double>(micros);
   env_->sim().Charge("engine.cpu", micros);
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_ENGINE_CPU_MICROS)
+      ->Add(micros);
+  obs::AddCurrentSpanNum("cpu_micros", micros);
   stats->total_micros += micros;
   stats->wall_micros += micros / std::max<uint32_t>(1, options_.num_workers);
 }
@@ -54,21 +90,100 @@ uint64_t QueryEngine::EstimateRows(const PlanPtr& plan) {
 }
 
 Result<QueryResult> QueryEngine::Execute(const Principal& principal,
-                                         const PlanPtr& plan) {
+                                         const PlanPtr& plan,
+                                         obs::QueryProfile* profile) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
+  // A fresh query must not inherit fractional CPU micros carried over from a
+  // previous query on a reused engine — that made repeated identical queries
+  // charge slightly different amounts depending on session history.
+  cpu_carry_ = 0.0;
+  ThreadPoolStats pool_before;
+  if (pool_ != nullptr) pool_before = pool_->Stats();
+
+  obs::Span* root = nullptr;
+  if (profile != nullptr) {
+    root = profile->Begin(&env_->sim(), "query");
+  }
+  // Only install a context when profiling; otherwise leave any caller's
+  // context (e.g. an Omni job trace) in place.
+  std::optional<obs::ScopedTraceContext> trace_scope;
+  if (root != nullptr) trace_scope.emplace(profile->tracer(), root);
+
   QueryResult result;
   SimTimer timer(env_->sim());
-  BL_ASSIGN_OR_RETURN(result.batch,
-                      ExecuteNode(principal, plan, &result.stats));
+  Status exec_status = Status::OK();
+  {
+    obs::ScopedSpan stage("execute", obs::Span::kStage);
+    auto batch = ExecuteNode(principal, plan, &result.stats);
+    exec_status = batch.status();
+    if (batch.ok()) result.batch = std::move(*batch);
+  }
   result.stats.rows_returned = result.batch.num_rows();
   result.stats.total_micros = timer.ElapsedMicros();
   env_->sim().counters().Add("engine.queries", 1);
+
+  auto& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter(METRIC_ENGINE_QUERIES)->Increment();
+  reg.GetHistogram(METRIC_ENGINE_QUERY_SIM_MICROS, {},
+                   &obs::DefaultSimMicrosBounds())
+      ->Observe(result.stats.total_micros);
+  reg.GetCounter(METRIC_ENGINE_FILES_SCANNED)->Add(result.stats.files_scanned);
+  if (pool_ != nullptr) {
+    // Publish pool activity as registry deltas; the pool itself only keeps
+    // raw counters because bl_common cannot depend on bl_obs.
+    ThreadPoolStats pool_after = pool_->Stats();
+    reg.GetCounter(METRIC_THREADPOOL_TASKS)
+        ->Add(pool_after.tasks_submitted - pool_before.tasks_submitted);
+    reg.GetCounter(METRIC_THREADPOOL_STEALS)
+        ->Add(pool_after.tasks_stolen - pool_before.tasks_stolen);
+    reg.GetCounter(METRIC_THREADPOOL_INLINE_RUNS)
+        ->Add(pool_after.tasks_inline - pool_before.tasks_inline);
+    reg.GetGauge(METRIC_THREADPOOL_QUEUE_DEPTH_PEAK)
+        ->SetMax(pool_after.peak_queue_depth);
+    if (root != nullptr) {
+      // Scheduling details are nondeterministic, so they go in the wall-side
+      // annotations ("sched" in JSON) excluded from deterministic exports.
+      root->AddWallNum("pool_tasks",
+                       pool_after.tasks_submitted - pool_before.tasks_submitted);
+      root->AddWallNum("pool_steals",
+                       pool_after.tasks_stolen - pool_before.tasks_stolen);
+      root->AddWallNum("pool_inline_runs",
+                       pool_after.tasks_inline - pool_before.tasks_inline);
+    }
+  }
+  if (root != nullptr) {
+    root->AddNum("rows_returned", result.stats.rows_returned);
+    root->AddNum("files_scanned", result.stats.files_scanned);
+    root->AddNum("files_pruned", result.stats.files_pruned);
+    root->AddNum("read_streams", result.stats.read_streams);
+    root->AddNum("total_sim_micros", result.stats.total_micros);
+    root->AddNum("wall_sim_micros", result.stats.wall_micros);
+    if (!exec_status.ok()) root->SetAttr("error", exec_status.message());
+    profile->End();
+  }
+  BL_RETURN_NOT_OK(exec_status);
   return result;
 }
 
 Result<RecordBatch> QueryEngine::ExecuteNode(const Principal& principal,
                                              const PlanPtr& plan,
                                              QueryStats* stats) {
+  obs::ScopedSpan span(StrCat("op:", PlanKindName(plan->kind)),
+                       obs::Span::kOperator);
+  auto out = ExecuteNodeInner(principal, plan, stats);
+  if (out.ok()) {
+    span.AddNum("rows_out", out->num_rows());
+    obs::MetricsRegistry::Default()
+        .GetCounter(METRIC_ENGINE_OPERATOR_ROWS,
+                    {{"op", PlanKindName(plan->kind)}})
+        ->Add(out->num_rows());
+  }
+  return out;
+}
+
+Result<RecordBatch> QueryEngine::ExecuteNodeInner(const Principal& principal,
+                                                  const PlanPtr& plan,
+                                                  QueryStats* stats) {
   switch (plan->kind) {
     case Plan::Kind::kScan:
       return ExecuteScan(principal, *plan, stats);
@@ -161,16 +276,38 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
   const size_t num_streams = session.streams.size();
   std::vector<RecordBatch> batches(num_streams);
   std::vector<SimMicros> stream_elapsed(num_streams, 0);
+  // Pre-create one `stream:<i>` span per slot in slot order (see trace.h);
+  // worker tasks activate their slot's span, so the tree shape and all
+  // simulated durations are scheduling-independent.
+  obs::TraceContext trace = obs::CurrentTraceContext();
+  std::vector<obs::Span*> stream_spans(num_streams, nullptr);
+  if (trace.span != nullptr) {
+    for (size_t s = 0; s < num_streams; ++s) {
+      stream_spans[s] =
+          trace.span->NewChild(StrCat("stream:", s), obs::Span::kStream);
+    }
+  }
   if (num_streams > 1 && options_.num_workers > 1) {
     std::vector<ChargeShard> shards = env_->sim().MakeShards(num_streams);
+    std::vector<obs::MetricsDelta> deltas(num_streams);
     Status read_status =
         pool()->ParallelFor(num_streams, [&](size_t s) -> Status {
+          // Order matters: the span activation must end while the shard is
+          // still installed so its end stamp reads the shard-local clock,
+          // and metric increments must land in this slot's delta.
           ScopedChargeShard scope(&shards[s]);
+          std::optional<obs::ScopedSpanActivation> span_scope;
+          if (stream_spans[s] != nullptr) {
+            span_scope.emplace(trace.tracer, stream_spans[s]);
+          }
+          obs::ScopedMetricsDelta delta_scope(&deltas[s]);
           BL_ASSIGN_OR_RETURN(batches[s],
                               read_api_->ReadStreamBatch(session, s));
+          obs::AddCurrentSpanNum("rows", batches[s].num_rows());
           return Status::OK();
         });
     env_->sim().MergeShards(&shards);  // charge even partial failures
+    obs::FoldDeltas(&deltas);          // fold metrics in slot order too
     BL_RETURN_NOT_OK(read_status);
     for (size_t s = 0; s < num_streams; ++s) {
       stream_elapsed[s] = shards[s].advanced;
@@ -180,7 +317,13 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
     // Pool-size-1 compatibility mode: inline, no threads, direct charges.
     for (size_t s = 0; s < num_streams; ++s) {
       SimTimer t(env_->sim());
+      std::optional<obs::ScopedSpanActivation> span_scope;
+      if (stream_spans[s] != nullptr) {
+        span_scope.emplace(trace.tracer, stream_spans[s]);
+      }
       BL_ASSIGN_OR_RETURN(batches[s], read_api_->ReadStreamBatch(session, s));
+      obs::AddCurrentSpanNum("rows", batches[s].num_rows());
+      span_scope.reset();
       stream_elapsed[s] = t.ElapsedMicros();
       stats->total_micros += stream_elapsed[s];
     }
@@ -213,6 +356,9 @@ Result<RecordBatch> QueryEngine::ExecuteJoin(const Principal& principal,
     std::swap(build_keys, probe_keys);
     ++stats->build_side_swaps;
     env_->sim().counters().Add("engine.build_side_swaps", 1);
+    obs::MetricsRegistry::Default()
+        .GetCounter(METRIC_ENGINE_BUILD_SIDE_SWAPS)
+        ->Increment();
   }
 
   // Scan children must surface their join keys even when a key is a hive
@@ -266,11 +412,16 @@ Result<RecordBatch> QueryEngine::ExecuteJoin(const Principal& principal,
               : Expr::And(probe_plan->scan_predicate, dpp));
       ++stats->dpp_scans;
       env_->sim().counters().Add("engine.dpp_scans", 1);
+      obs::MetricsRegistry::Default()
+          .GetCounter(METRIC_ENGINE_DPP_SCANS)
+          ->Increment();
     }
   }
 
   BL_ASSIGN_OR_RETURN(RecordBatch probe,
                       ExecuteNode(principal, probe_plan, stats));
+  obs::AddCurrentSpanNum("build_rows", build.num_rows());
+  obs::AddCurrentSpanNum("probe_rows", probe.num_rows());
   uint64_t matches = 0;
   RecordBatch joined;
   if (options_.num_workers > 1 &&

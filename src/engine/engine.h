@@ -34,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "core/read_api.h"
 #include "engine/plan.h"
+#include "obs/profile.h"
 
 namespace biglake {
 
@@ -84,11 +85,24 @@ class QueryEngine {
   const EngineOptions& options() const { return options_; }
 
   /// Executes `plan` as `principal`. All scans are governed reads.
-  Result<QueryResult> Execute(const Principal& principal, const PlanPtr& plan);
+  ///
+  /// When `profile` is non-null a trace is collected into it: a `query` root
+  /// span, an `execute` stage span, one `operator` span per plan node, one
+  /// `stream` span per read stream, and `rpc`/`objstore` spans from the
+  /// layers below. Simulated durations in the profile are deterministic
+  /// (byte-identical JSON across runs via include_wall=false); tracing does
+  /// not change query results, counters, or the virtual clock.
+  Result<QueryResult> Execute(const Principal& principal, const PlanPtr& plan,
+                              obs::QueryProfile* profile = nullptr);
 
  private:
+  /// Wraps ExecuteNodeInner in an `operator` span annotated with the node's
+  /// output rows; all recursion goes through here so nested operators nest
+  /// in the trace too.
   Result<RecordBatch> ExecuteNode(const Principal& principal,
                                   const PlanPtr& plan, QueryStats* stats);
+  Result<RecordBatch> ExecuteNodeInner(const Principal& principal,
+                                       const PlanPtr& plan, QueryStats* stats);
   Result<RecordBatch> ExecuteScan(const Principal& principal, const Plan& scan,
                                   QueryStats* stats);
   Result<RecordBatch> ExecuteJoin(const Principal& principal, const Plan& join,

@@ -5,6 +5,9 @@
 #include "common/strings.h"
 #include "format/object_source.h"
 #include "format/parquet_lite.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace biglake {
 
@@ -34,6 +37,8 @@ Result<CacheRefreshReport> MetadataCacheManager::Refresh(
     const CallerContext& caller, const std::string& bucket,
     const std::string& prefix, const CacheRefreshOptions& options) {
   SimTimer timer(*env_);
+  obs::ScopedSpan span("metacache:refresh", obs::Span::kRpc);
+  span.SetAttr("table", table_id);
   CacheRefreshReport report;
   meta_->EnsureTable(table_id);
 
@@ -58,7 +63,11 @@ Result<CacheRefreshReport> MetadataCacheManager::Refresh(
         it->second->generation == obj.generation) {
       continue;  // unchanged
     }
-    if (it != cached_by_path.end()) removes.push_back(obj.name);
+    if (it != cached_by_path.end()) {
+      // A known path whose generation changed: a stale entry re-read.
+      removes.push_back(obj.name);
+      ++report.stale_entries_refreshed;
+    }
 
     CachedFileMeta entry;
     entry.file.path = obj.name;
@@ -98,6 +107,19 @@ Result<CacheRefreshReport> MetadataCacheManager::Refresh(
   }
   env_->counters().Add("metacache.refreshes", 1);
   report.refresh_micros = timer.ElapsedMicros();
+
+  auto& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter(METRIC_METACACHE_REFRESHES)->Increment();
+  reg.GetCounter(METRIC_METACACHE_STALE_REFRESHED)
+      ->Add(report.stale_entries_refreshed);
+  reg.GetCounter(METRIC_METACACHE_FOOTERS_READ)->Add(report.footers_read);
+  reg.GetHistogram(METRIC_METACACHE_REFRESH_SIM_MICROS)
+      ->Observe(report.refresh_micros);
+  span.AddNum("listed_objects", report.listed_objects);
+  span.AddNum("added_files", report.added_files);
+  span.AddNum("removed_files", report.removed_files);
+  span.AddNum("footers_read", report.footers_read);
+  span.AddNum("stale_entries_refreshed", report.stale_entries_refreshed);
   return report;
 }
 

@@ -40,6 +40,9 @@ struct CacheRefreshReport {
   uint64_t added_files = 0;
   uint64_t removed_files = 0;
   uint64_t footers_read = 0;
+  /// Previously cached paths whose object generation changed and were
+  /// re-read (a staleness repair, as opposed to a brand-new file).
+  uint64_t stale_entries_refreshed = 0;
   SimMicros refresh_micros = 0;
 };
 

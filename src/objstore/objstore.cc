@@ -4,8 +4,58 @@
 
 #include "common/coding.h"
 #include "common/strings.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace biglake {
+
+/// Per-store cached handles into the default metrics registry. All series
+/// are labeled with this store's cloud personality.
+struct ObjectStore::Metrics {
+  explicit Metrics(const char* cloud) {
+    auto& reg = obs::MetricsRegistry::Default();
+    auto op_counter = [&](const char* op) {
+      return reg.GetCounter(METRIC_OBJSTORE_REQUESTS,
+                            {{"cloud", cloud}, {"op", op}});
+    };
+    put = op_counter("put");
+    get = op_counter("get");
+    get_range = op_counter("get_range");
+    stat = op_counter("stat");
+    del = op_counter("delete");
+    list = op_counter("list");
+    read_bytes = reg.GetCounter(METRIC_OBJSTORE_READ_BYTES, {{"cloud", cloud}});
+    write_bytes =
+        reg.GetCounter(METRIC_OBJSTORE_WRITE_BYTES, {{"cloud", cloud}});
+    request_sim_micros = reg.GetHistogram(METRIC_OBJSTORE_REQUEST_SIM_MICROS,
+                                          {{"cloud", cloud}});
+    rate_limited =
+        reg.GetCounter(METRIC_OBJSTORE_RATE_LIMITED, {{"cloud", cloud}});
+    injected_put_failures = reg.GetCounter(
+        METRIC_OBJSTORE_INJECTED_FAILURES, {{"cloud", cloud}, {"op", "put"}});
+    const CloudProvider clouds[] = {CloudProvider::kGCP, CloudProvider::kAWS,
+                                    CloudProvider::kAzure};
+    for (CloudProvider dst : clouds) {
+      egress_to[static_cast<size_t>(dst)] =
+          reg.GetCounter(METRIC_OBJSTORE_EGRESS_BYTES,
+                         {{"src", cloud}, {"dst", CloudProviderName(dst)}});
+    }
+  }
+
+  obs::Counter* put;
+  obs::Counter* get;
+  obs::Counter* get_range;
+  obs::Counter* stat;
+  obs::Counter* del;
+  obs::Counter* list;
+  obs::Counter* read_bytes;
+  obs::Counter* write_bytes;
+  obs::Histogram* request_sim_micros;
+  obs::Counter* rate_limited;
+  obs::Counter* injected_put_failures;
+  obs::Counter* egress_to[3];
+};
 
 const char* CloudProviderName(CloudProvider p) {
   switch (p) {
@@ -24,7 +74,12 @@ std::string CloudLocation::ToString() const {
 }
 
 ObjectStore::ObjectStore(SimEnv* env, ObjectStoreOptions options)
-    : env_(env), options_(std::move(options)) {}
+    : env_(env),
+      metrics_(std::make_unique<Metrics>(
+          CloudProviderName(options.location.provider))),
+      options_(std::move(options)) {}
+
+ObjectStore::~ObjectStore() = default;
 
 Status ObjectStore::CreateBucket(const std::string& bucket) {
   if (buckets_.count(bucket) > 0) {
@@ -50,16 +105,22 @@ void ObjectStore::ChargeTransfer(const CallerContext& caller,
   } else if (!caller.location.SameRegion(options_.location)) {
     wan_penalty = 20'000;  // 20 ms cross-region RTT
   }
-  env_->clock().Advance(base_latency + transfer + wan_penalty);
+  SimMicros total = base_latency + transfer + wan_penalty;
+  env_->clock().Advance(total);
+  metrics_->request_sim_micros->Observe(total);
   const char* store_cloud = CloudProviderName(options_.location.provider);
   env_->counters().Add(StrCat("objstore.", store_cloud,
                               is_read ? ".read_bytes" : ".write_bytes"),
                        bytes);
+  (is_read ? metrics_->read_bytes : metrics_->write_bytes)->Add(bytes);
+  obs::AddCurrentSpanNum("bytes", bytes);
   if (!caller.location.SameCloud(options_.location) && is_read) {
     // Egress: bytes leave the store's cloud toward the caller's cloud.
     env_->counters().Add(
         StrCat("egress.", store_cloud, ".",
                CloudProviderName(caller.location.provider)),
+        bytes);
+    metrics_->egress_to[static_cast<size_t>(caller.location.provider)]->Add(
         bytes);
   }
 }
@@ -68,6 +129,8 @@ Result<uint64_t> ObjectStore::Put(const CallerContext& caller,
                                   const std::string& bucket,
                                   const std::string& name, std::string data,
                                   const PutOptions& opts) {
+  obs::ScopedSpan span("objstore:put", obs::Span::kObjstore);
+  metrics_->put->Increment();
   if (injected_put_failures_ > 0) {
     if (injected_put_skip_ > 0) {
       --injected_put_skip_;
@@ -75,6 +138,7 @@ Result<uint64_t> ObjectStore::Put(const CallerContext& caller,
       --injected_put_failures_;
       env_->clock().Advance(options_.write_base_latency);
       env_->counters().Add("objstore.injected_put_failures", 1);
+      metrics_->injected_put_failures->Increment();
       return Status::DeadlineExceeded("injected transient storage fault");
     }
   }
@@ -105,6 +169,7 @@ Result<uint64_t> ObjectStore::Put(const CallerContext& caller,
     if (existing.recent_mutations.size() >=
         options_.max_mutations_per_object_per_sec) {
       env_->counters().Add("objstore.rate_limited_puts", 1);
+      metrics_->rate_limited->Increment();
       // The request still burns a round trip before being rejected.
       env_->clock().Advance(options_.write_base_latency);
       return Status::ResourceExhausted(
@@ -150,6 +215,8 @@ Result<const ObjectStore::StoredObject*> ObjectStore::Find(
 Result<std::string> ObjectStore::Get(const CallerContext& caller,
                                      const std::string& bucket,
                                      const std::string& name) const {
+  obs::ScopedSpan span("objstore:get", obs::Span::kObjstore);
+  metrics_->get->Increment();
   BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
   ChargeTransfer(caller, options_.read_base_latency, obj->data.size(),
                  options_.read_bytes_per_sec, /*is_read=*/true);
@@ -162,6 +229,8 @@ Result<std::string> ObjectStore::GetRange(const CallerContext& caller,
                                           const std::string& name,
                                           uint64_t offset,
                                           uint64_t length) const {
+  obs::ScopedSpan span("objstore:get_range", obs::Span::kObjstore);
+  metrics_->get_range->Increment();
   BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
   if (offset > obj->data.size()) {
     return Status::OutOfRange(StrCat("offset ", offset, " beyond object size ",
@@ -177,6 +246,8 @@ Result<std::string> ObjectStore::GetRange(const CallerContext& caller,
 Result<ObjectMetadata> ObjectStore::Stat(const CallerContext& caller,
                                          const std::string& bucket,
                                          const std::string& name) const {
+  obs::ScopedSpan span("objstore:stat", obs::Span::kObjstore);
+  metrics_->stat->Increment();
   BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
   ChargeTransfer(caller, options_.read_base_latency, 0,
                  options_.read_bytes_per_sec, /*is_read=*/true);
@@ -187,6 +258,8 @@ Result<ObjectMetadata> ObjectStore::Stat(const CallerContext& caller,
 Status ObjectStore::Delete(const CallerContext& caller,
                            const std::string& bucket,
                            const std::string& name) {
+  obs::ScopedSpan span("objstore:delete", obs::Span::kObjstore);
+  metrics_->del->Increment();
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) {
     return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));
@@ -197,6 +270,7 @@ Status ObjectStore::Delete(const CallerContext& caller,
         StrCat("object `", bucket, "/", name, "` does not exist"));
   }
   env_->clock().Advance(options_.write_base_latency);
+  metrics_->request_sim_micros->Observe(options_.write_base_latency);
   env_->counters().Add("objstore.delete_calls", 1);
   bit->second.erase(oit);
   return Status::OK();
@@ -205,6 +279,8 @@ Status ObjectStore::Delete(const CallerContext& caller,
 Result<ListResult> ObjectStore::List(const CallerContext& caller,
                                      const std::string& bucket,
                                      const ListOptions& opts) const {
+  obs::ScopedSpan span("objstore:list", obs::Span::kObjstore);
+  metrics_->list->Increment();
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) {
     return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));
@@ -215,10 +291,12 @@ Result<ListResult> ObjectStore::List(const CallerContext& caller,
   // Every page costs a round trip; listing N objects costs
   // ceil(N/page) * list_page_latency of virtual time. This is the "listing
   // millions of files is inherently slow" property from Sec 3.3.
-  env_->clock().Advance(options_.list_page_latency);
+  SimMicros list_latency = options_.list_page_latency;
   if (!caller.location.SameCloud(options_.location)) {
-    env_->clock().Advance(60'000);
+    list_latency += 60'000;
   }
+  env_->clock().Advance(list_latency);
+  metrics_->request_sim_micros->Observe(list_latency);
   env_->counters().Add("objstore.list_calls", 1);
 
   ListResult result;

@@ -118,6 +118,7 @@ struct CallerContext {
 class ObjectStore {
  public:
   ObjectStore(SimEnv* env, ObjectStoreOptions options);
+  ~ObjectStore();
 
   const ObjectStoreOptions& options() const { return options_; }
   const CloudLocation& location() const { return options_.location; }
@@ -198,7 +199,12 @@ class ObjectStore {
   Result<const StoredObject*> Find(const std::string& bucket,
                                    const std::string& name) const;
 
+  /// Metric handles resolved once per store against the default registry
+  /// (src/obs/metrics.h); updates on the hot path are single atomic adds.
+  struct Metrics;
+
   SimEnv* env_;
+  std::unique_ptr<Metrics> metrics_;
   ObjectStoreOptions options_;
   std::map<std::string, Bucket> buckets_;
   int injected_put_failures_ = 0;

@@ -1,0 +1,96 @@
+// Canonical metric names emitted by biglake-lite.
+//
+// Every metric registered anywhere in the codebase MUST be named through one
+// of these macros. scripts/check_metrics_doc.sh greps the string literals in
+// this file and fails if any of them is missing from docs/OBSERVABILITY.md,
+// so adding a macro here without documenting it breaks the `docs` CI check.
+//
+// Naming follows Prometheus conventions: `biglake_<subsystem>_<what>[_total]`
+// with `_total` reserved for monotonic counters. Label keys are listed next
+// to each name; see docs/OBSERVABILITY.md for units and call sites.
+
+#ifndef BIGLAKE_OBS_METRIC_NAMES_H_
+#define BIGLAKE_OBS_METRIC_NAMES_H_
+
+// --- Object store simulator (src/objstore/objstore.cc) ---
+// labels: cloud, op
+#define METRIC_OBJSTORE_REQUESTS "biglake_objstore_requests_total"
+// labels: cloud
+#define METRIC_OBJSTORE_READ_BYTES "biglake_objstore_read_bytes_total"
+// labels: cloud
+#define METRIC_OBJSTORE_WRITE_BYTES "biglake_objstore_write_bytes_total"
+// labels: src, dst
+#define METRIC_OBJSTORE_EGRESS_BYTES "biglake_objstore_egress_bytes_total"
+// labels: cloud  (simulated micros per request)
+#define METRIC_OBJSTORE_REQUEST_SIM_MICROS "biglake_objstore_request_sim_micros"
+// labels: cloud
+#define METRIC_OBJSTORE_RATE_LIMITED "biglake_objstore_rate_limited_total"
+// labels: cloud, op
+#define METRIC_OBJSTORE_INJECTED_FAILURES \
+  "biglake_objstore_injected_failures_total"
+
+// --- Metadata cache (src/meta/metadata_cache.cc, src/core/read_api.cc) ---
+// labels: result ("hit" | "miss")
+#define METRIC_METACACHE_LOOKUPS "biglake_metacache_lookups_total"
+#define METRIC_METACACHE_REFRESHES "biglake_metacache_refreshes_total"
+// files whose generation changed and were re-read during a refresh
+#define METRIC_METACACHE_STALE_REFRESHED \
+  "biglake_metacache_stale_entries_refreshed_total"
+#define METRIC_METACACHE_FOOTERS_READ "biglake_metacache_footers_read_total"
+#define METRIC_METACACHE_REFRESH_SIM_MICROS \
+  "biglake_metacache_refresh_sim_micros"
+
+// --- Storage Read API (src/core/read_api.cc) ---
+// labels: kind ("create" | "refine")
+#define METRIC_READAPI_SESSIONS "biglake_readapi_sessions_total"
+// histogram of streams handed out per created session
+#define METRIC_READAPI_STREAM_FANOUT "biglake_readapi_stream_fanout"
+// histogram of rows returned per ReadRows call (one call per stream read)
+#define METRIC_READAPI_STREAM_ROWS "biglake_readapi_stream_rows"
+#define METRIC_READAPI_ROWS_RETURNED "biglake_readapi_rows_returned_total"
+#define METRIC_READAPI_BYTES_RETURNED "biglake_readapi_bytes_returned_total"
+#define METRIC_READAPI_SERVER_CPU_MICROS \
+  "biglake_readapi_server_cpu_micros_total"
+#define METRIC_READAPI_FILES_PRUNED "biglake_readapi_files_pruned_total"
+#define METRIC_READAPI_SCHEMA_MISMATCHES \
+  "biglake_readapi_schema_mismatch_files_total"
+
+// --- Storage Write API (src/core/write_api.cc) ---
+#define METRIC_WRITEAPI_APPENDS "biglake_writeapi_appends_total"
+#define METRIC_WRITEAPI_ROWS_APPENDED "biglake_writeapi_rows_appended_total"
+// labels: mode ("single" | "batch")
+#define METRIC_WRITEAPI_COMMITS "biglake_writeapi_commits_total"
+
+// --- BLMT (src/core/blmt.cc) ---
+// labels: op ("insert" | "delete" | "update" | "multi_table_insert")
+#define METRIC_BLMT_DML "biglake_blmt_dml_total"
+#define METRIC_BLMT_OPTIMIZE_RUNS "biglake_blmt_optimize_runs_total"
+#define METRIC_BLMT_GC_DELETED "biglake_blmt_gc_files_deleted_total"
+
+// --- Query engine (src/engine/engine.cc) ---
+#define METRIC_ENGINE_QUERIES "biglake_engine_queries_total"
+// labels: op (plan-node kind: "scan", "hash_join", "aggregate", ...)
+#define METRIC_ENGINE_OPERATOR_ROWS "biglake_engine_operator_rows_total"
+#define METRIC_ENGINE_CPU_MICROS "biglake_engine_cpu_micros_total"
+#define METRIC_ENGINE_QUERY_SIM_MICROS "biglake_engine_query_sim_micros"
+#define METRIC_ENGINE_FILES_SCANNED "biglake_engine_files_scanned_total"
+#define METRIC_ENGINE_BUILD_SIDE_SWAPS "biglake_engine_build_side_swaps_total"
+#define METRIC_ENGINE_DPP_SCANS "biglake_engine_dpp_scans_total"
+
+// --- Thread pool (published by the engine from ThreadPool::Stats()) ---
+#define METRIC_THREADPOOL_TASKS "biglake_threadpool_tasks_total"
+#define METRIC_THREADPOOL_STEALS "biglake_threadpool_steals_total"
+#define METRIC_THREADPOOL_INLINE_RUNS "biglake_threadpool_inline_runs_total"
+// gauge: high-water mark of queued (not yet running) tasks
+#define METRIC_THREADPOOL_QUEUE_DEPTH_PEAK \
+  "biglake_threadpool_queue_depth_peak"
+
+// --- Omni (src/omni/omni.cc) ---
+#define METRIC_OMNI_SUBQUERIES "biglake_omni_subqueries_total"
+#define METRIC_OMNI_CROSS_CLOUD_BYTES "biglake_omni_cross_cloud_bytes_total"
+// labels: from, to
+#define METRIC_VPN_TRANSFERS "biglake_vpn_transfers_total"
+// labels: from, to
+#define METRIC_VPN_BYTES "biglake_vpn_bytes_total"
+
+#endif  // BIGLAKE_OBS_METRIC_NAMES_H_

@@ -1,0 +1,217 @@
+// Lock-sharded metrics registry: named counters, gauges and fixed-bucket
+// histograms, cheap enough to sit on hot paths.
+//
+// Two properties matter here:
+//
+//  1. *Hot-path cost.* Metric handles (`Counter*`, `Gauge*`, `Histogram*`)
+//     are resolved once (one sharded-map lookup under a shard mutex) and are
+//     stable for the registry's lifetime; updates through a handle are single
+//     relaxed atomic RMWs with no locking.
+//
+//  2. *Determinism under parallelism.* A worker task can install a
+//     `MetricsDelta` via `ScopedMetricsDelta` (mirroring `ScopedChargeShard`
+//     in common/sim_env.h): counter adds and histogram observations made by
+//     that task are buffered locally and folded back in slot order by
+//     `FoldDeltas`. Since counter addition is commutative the *values* would
+//     be identical either way — the buffering exists so hot parallel regions
+//     touch no shared cache lines, and so folding happens at a deterministic
+//     program point.
+//
+// Gauges are control-plane only (queue depths, high-water marks) and bypass
+// the delta mechanism.
+
+#ifndef BIGLAKE_OBS_METRICS_H_
+#define BIGLAKE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace biglake {
+namespace obs {
+
+/// Label key/value pairs attached to one series of a metric family.
+/// Order does not matter; the registry canonicalizes by sorting on key.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsDelta;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  /// Adds `delta`. Routed through the thread's installed MetricsDelta when
+  /// one is present, otherwise applied directly (relaxed atomic).
+  void Add(uint64_t delta);
+  void Increment() { Add(1); }
+
+  /// Folded global value. Do not call from inside a parallel region that has
+  /// deltas installed — pending buffered adds are not visible here.
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsDelta;
+  void AddDirect(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value. Not routed through deltas.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` is larger (high-water-mark semantics).
+  void SetMax(int64_t v);
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Inclusive upper bounds for histogram buckets, ascending. A final +Inf
+/// bucket is implicit. Bounds are fixed at family creation.
+struct HistogramBounds {
+  std::vector<uint64_t> upper;
+
+  /// {start, start*factor, ...} for `count` bounds.
+  static HistogramBounds Exponential(uint64_t start, double factor,
+                                     size_t count);
+};
+
+/// Default bounds for simulated-latency histograms (micros): 100µs .. 100s.
+const HistogramBounds& DefaultSimMicrosBounds();
+/// Default bounds for small-cardinality histograms (fan-out counts).
+const HistogramBounds& DefaultFanoutBounds();
+/// Default bounds for per-call row counts.
+const HistogramBounds& DefaultRowsBounds();
+
+/// Fixed-bucket histogram of uint64 samples.
+class Histogram {
+ public:
+  explicit Histogram(HistogramBounds bounds);
+
+  /// Records one sample. Routed through the installed MetricsDelta when one
+  /// is present, otherwise three relaxed atomic RMWs.
+  void Observe(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Non-cumulative count for bucket `i`; index `upper().size()` is +Inf.
+  uint64_t BucketCount(size_t i) const;
+  const std::vector<uint64_t>& upper() const { return upper_; }
+  /// Index of the bucket a sample of `value` lands in (bounds inclusive).
+  size_t BucketIndexFor(uint64_t value) const;
+
+ private:
+  friend class MetricsDelta;
+  void ObserveDirect(uint64_t value);
+
+  std::vector<uint64_t> upper_;
+  // upper_.size() + 1 buckets; the last catches values above every bound.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Per-task buffer of metric updates, folded back at a deterministic program
+/// point. Mirrors ChargeShard: the launcher owns one delta per task slot and
+/// calls FoldDeltas after joining the parallel region.
+class MetricsDelta {
+ public:
+  bool empty() const {
+    return counter_deltas_.empty() && observations_.empty();
+  }
+  /// Applies all buffered updates to their metrics and clears the buffer.
+  void Fold();
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+  std::map<Counter*, uint64_t> counter_deltas_;
+  std::vector<std::pair<Histogram*, uint64_t>> observations_;
+};
+
+/// Folds every delta in slot order. Call once after joining a ParallelFor.
+void FoldDeltas(std::vector<MetricsDelta>* deltas);
+
+/// Installs `delta` as the calling thread's metric-update sink for the
+/// current scope. Nesting restores the previous sink on destruction.
+class ScopedMetricsDelta {
+ public:
+  explicit ScopedMetricsDelta(MetricsDelta* delta);
+  ~ScopedMetricsDelta();
+  ScopedMetricsDelta(const ScopedMetricsDelta&) = delete;
+  ScopedMetricsDelta& operator=(const ScopedMetricsDelta&) = delete;
+
+ private:
+  MetricsDelta* prev_;
+};
+
+/// Registry of metric families, lock-sharded by family name so concurrent
+/// handle resolution for unrelated metrics never contends.
+class MetricsRegistry {
+ public:
+  // Out-of-line: the nested Family type is incomplete here, and the inline
+  // defaulted special members would need its destructor.
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Default();
+
+  /// Returns the (stable) handle for the series `name{labels}`, creating the
+  /// family and/or series on first use. A name must keep one type for the
+  /// registry's lifetime; a type-mismatched lookup returns a detached sink
+  /// metric so callers never crash (it is a programming error, and the
+  /// series will be absent from DumpMetrics()).
+  Counter* GetCounter(std::string_view name, const LabelSet& labels = {});
+  Gauge* GetGauge(std::string_view name, const LabelSet& labels = {});
+  /// `bounds` is consulted only when the family is created; pass nullptr for
+  /// DefaultSimMicrosBounds().
+  Histogram* GetHistogram(std::string_view name, const LabelSet& labels = {},
+                          const HistogramBounds* bounds = nullptr);
+
+  /// Attaches HELP text (and optional unit, appended to the help line) shown
+  /// in DumpMetrics().
+  void Describe(std::string_view name, std::string_view help,
+                std::string_view unit = "");
+
+  /// Prometheus text exposition format. Families sorted by name, series by
+  /// canonical label string, so output is deterministic.
+  std::string DumpMetrics() const;
+
+  /// Test helper: folded value of `name{labels}`, or 0 if absent.
+  uint64_t CounterValue(std::string_view name,
+                        const LabelSet& labels = {}) const;
+
+ private:
+  struct Family;
+  struct Shard;
+  static constexpr size_t kShards = 16;
+
+  Shard& ShardFor(std::string_view name);
+  const Shard& ShardFor(std::string_view name) const;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Family>, std::less<>> families;
+  };
+  Shard shards_[kShards];
+
+  mutable std::mutex describe_mu_;
+  std::map<std::string, std::string, std::less<>> help_;
+};
+
+}  // namespace obs
+}  // namespace biglake
+
+#endif  // BIGLAKE_OBS_METRICS_H_

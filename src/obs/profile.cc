@@ -1,0 +1,304 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace biglake {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+void JsonWriter::MaybeComma() {
+  if (need_comma_) out_.push_back(',');
+  need_comma_ = false;
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  need_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  need_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  out_.push_back('"');
+  out_.append(JsonEscape(key));
+  out_.append("\":");
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  out_.push_back('"');
+  out_.append(JsonEscape(value));
+  out_.push_back('"');
+  need_comma_ = true;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  MaybeComma();
+  out_.append(std::to_string(value));
+  need_comma_ = true;
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_.append(std::to_string(value));
+  need_comma_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out_.append(buf);
+  need_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_.append(value ? "true" : "false");
+  need_comma_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// QueryProfile
+
+Span* QueryProfile::Begin(const SimEnv* sim, std::string name) {
+  tracer_ = std::make_unique<Tracer>(sim);
+  finished_ = false;
+  return tracer_->StartRoot(std::move(name), Span::kQuery);
+}
+
+void QueryProfile::End() {
+  if (tracer_ == nullptr || finished_) return;
+  tracer_->root()->End(tracer_->sim());
+  finished_ = true;
+}
+
+namespace {
+
+SimMicros ChildrenSimTotal(const Span& span) {
+  SimMicros total = 0;
+  for (const auto& child : span.children()) total += child->sim_micros();
+  return total;
+}
+
+/// `sim_micros - sum(children)`, clamped at zero. A negative raw value would
+/// mean child costs exceed the parent's — the determinism test guards that
+/// invariant by checking the sums directly.
+SimMicros SelfSimMicros(const Span& span) {
+  SimMicros children = ChildrenSimTotal(span);
+  SimMicros total = span.sim_micros();
+  return children > total ? 0 : total - children;
+}
+
+void EmitIndent(std::string* out, int depth, bool pretty) {
+  if (!pretty) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void SpanToJson(const Span& span, const ProfileExportOptions& opts,
+                JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(span.name());
+  w->Key("kind");
+  w->String(span.kind());
+  w->Key("sim_micros");
+  w->Uint(span.sim_micros());
+  w->Key("self_sim_micros");
+  w->Uint(SelfSimMicros(span));
+  if (opts.include_wall) {
+    w->Key("wall_micros");
+    w->Double(static_cast<double>(span.wall_nanos()) / 1000.0);
+  }
+  if (!span.attrs().empty()) {
+    w->Key("attrs");
+    w->BeginObject();
+    for (const auto& [k, v] : span.attrs()) {
+      w->Key(k);
+      w->String(v);
+    }
+    w->EndObject();
+  }
+  if (!span.nums().empty()) {
+    w->Key("counters");
+    w->BeginObject();
+    for (const auto& [k, v] : span.nums()) {
+      w->Key(k);
+      w->Uint(v);
+    }
+    w->EndObject();
+  }
+  if (opts.include_wall && !span.wall_nums().empty()) {
+    w->Key("sched");
+    w->BeginObject();
+    for (const auto& [k, v] : span.wall_nums()) {
+      w->Key(k);
+      w->Uint(v);
+    }
+    w->EndObject();
+  }
+  if (!span.children().empty()) {
+    w->Key("children");
+    w->BeginArray();
+    for (const auto& child : span.children()) {
+      SpanToJson(*child, opts, w);
+    }
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+/// Re-indents a compact JSON string with two-space indentation. Operating on
+/// writer output (no raw newlines outside strings) keeps the writer simple.
+std::string Prettify(const std::string& compact) {
+  std::string out;
+  out.reserve(compact.size() * 2);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : compact) {
+    if (in_string) {
+      out.push_back(c);
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        out.push_back(c);
+        break;
+      case '{':
+      case '[':
+        out.push_back(c);
+        ++depth;
+        EmitIndent(&out, depth, true);
+        break;
+      case '}':
+      case ']':
+        --depth;
+        EmitIndent(&out, depth, true);
+        out.push_back(c);
+        break;
+      case ',':
+        out.push_back(c);
+        EmitIndent(&out, depth, true);
+        break;
+      case ':':
+        out.append(": ");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('\n');
+  return out;
+}
+
+void SpanToText(const Span& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(span.name());
+  out->append(" [");
+  out->append(span.kind());
+  out->append("]  sim=");
+  out->append(std::to_string(span.sim_micros()));
+  out->append("us self=");
+  out->append(std::to_string(SelfSimMicros(span)));
+  out->append("us wall=");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(span.wall_nanos()) / 1000.0);
+  out->append(buf);
+  out->append("us");
+  for (const auto& [k, v] : span.attrs()) {
+    out->append("  ");
+    out->append(k);
+    out->push_back('=');
+    out->append(v);
+  }
+  for (const auto& [k, v] : span.nums()) {
+    out->append("  ");
+    out->append(k);
+    out->push_back('=');
+    out->append(std::to_string(v));
+  }
+  out->push_back('\n');
+  for (const auto& child : span.children()) {
+    SpanToText(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJson(const ProfileExportOptions& opts) const {
+  if (root() == nullptr) return "{}";
+  JsonWriter w;
+  SpanToJson(*root(), opts, &w);
+  if (!opts.pretty) return w.str();
+  return Prettify(w.str());
+}
+
+std::string QueryProfile::ToText() const {
+  if (root() == nullptr) return "";
+  std::string out;
+  SpanToText(*root(), 0, &out);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace biglake

@@ -1,0 +1,93 @@
+// Per-query profiles: a finished trace rendered as machine-readable JSON
+// (consumed by bench harnesses) or as an indented human-readable tree, plus
+// a minimal JSON writer shared with the benches.
+
+#ifndef BIGLAKE_OBS_PROFILE_H_
+#define BIGLAKE_OBS_PROFILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/sim_env.h"
+#include "obs/trace.h"
+
+namespace biglake {
+namespace obs {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// Tiny streaming JSON writer: objects, arrays, string/uint/double/bool
+/// values. The caller is responsible for well-formed nesting.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+struct ProfileExportOptions {
+  /// Include wall-clock durations and scheduler annotations (`wall_micros`,
+  /// the `sched` object). These are nondeterministic; export with
+  /// include_wall=false to get byte-identical output across independently
+  /// scheduled runs.
+  bool include_wall = true;
+  /// Two-space indentation; false emits one compact line.
+  bool pretty = true;
+};
+
+/// Collects one query's trace. Typical use:
+///
+///   QueryProfile profile;
+///   engine.Execute(principal, plan, &profile);   // Begin/End driven inside
+///   std::cout << profile.ToText();
+///   WriteFile("q1.json", profile.ToJson({.include_wall = false}));
+class QueryProfile {
+ public:
+  QueryProfile() = default;
+
+  /// Starts a new trace rooted at a `query`-kind span named `name`,
+  /// discarding any previous contents. Returns the root span.
+  Span* Begin(const SimEnv* sim, std::string name);
+  /// Stamps the root span's end. Idempotent.
+  void End();
+
+  bool active() const { return tracer_ != nullptr && !finished_; }
+  Tracer* tracer() { return tracer_.get(); }
+  const Span* root() const {
+    return tracer_ == nullptr ? nullptr : tracer_->root();
+  }
+
+  /// JSON document for the whole trace. Every span object carries
+  /// `sim_micros` (total simulated duration) and `self_sim_micros`
+  /// (sim_micros minus the sum of its children's sim_micros), so totals can
+  /// be checked for consistency at every level. Returns "{}" if no trace
+  /// was collected.
+  std::string ToJson(const ProfileExportOptions& opts = {}) const;
+
+  /// Indented text tree (always includes wall time — it is for humans).
+  std::string ToText() const;
+
+ private:
+  std::unique_ptr<Tracer> tracer_;
+  bool finished_ = false;
+};
+
+}  // namespace obs
+}  // namespace biglake
+
+#endif  // BIGLAKE_OBS_PROFILE_H_

@@ -1,0 +1,110 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace biglake {
+namespace obs {
+
+namespace {
+
+thread_local TraceContext tls_context;
+
+uint64_t WallNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Span
+
+Span* Span::NewChild(std::string name, std::string kind) {
+  auto child = std::make_unique<Span>(std::move(name), std::move(kind));
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+void Span::AddNum(std::string_view key, uint64_t delta) {
+  nums_[std::string(key)] += delta;
+}
+
+void Span::AddWallNum(std::string_view key, uint64_t delta) {
+  wall_nums_[std::string(key)] += delta;
+}
+
+void Span::SetAttr(std::string_view key, std::string value) {
+  attrs_[std::string(key)] = std::move(value);
+}
+
+void Span::Start(const SimEnv* sim) {
+  started_ = true;
+  // Reads through the installed ChargeShard when one is present, so a span
+  // started inside a worker task is stamped on the task-local clock.
+  sim_start_ = sim->clock().Now();
+  wall_start_ns_ = WallNanos();
+}
+
+void Span::End(const SimEnv* sim) {
+  finished_ = true;
+  sim_end_ = sim->clock().Now();
+  wall_end_ns_ = WallNanos();
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Span* Tracer::StartRoot(std::string name, std::string kind) {
+  root_ = std::make_unique<Span>(std::move(name), std::move(kind));
+  root_->Start(sim_);
+  return root_.get();
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context
+
+TraceContext& CurrentTraceContext() { return tls_context; }
+
+Span* CurrentSpan() { return tls_context.span; }
+
+void AddCurrentSpanNum(std::string_view key, uint64_t delta) {
+  if (tls_context.span != nullptr) tls_context.span->AddNum(key, delta);
+}
+
+ScopedTraceContext::ScopedTraceContext(Tracer* tracer, Span* span)
+    : prev_(tls_context) {
+  tls_context.tracer = tracer;
+  tls_context.span = span;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_context = prev_; }
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view kind)
+    : prev_(tls_context) {
+  if (tls_context.tracer == nullptr || tls_context.span == nullptr) return;
+  span_ = tls_context.span->NewChild(std::string(name), std::string(kind));
+  span_->Start(tls_context.tracer->sim());
+  tls_context.span = span_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (span_ == nullptr) return;
+  span_->End(tls_context.tracer->sim());
+  tls_context = prev_;
+}
+
+ScopedSpanActivation::ScopedSpanActivation(Tracer* tracer, Span* span)
+    : tracer_(tracer), span_(span), prev_(tls_context) {
+  span_->Start(tracer_->sim());
+  tls_context.tracer = tracer_;
+  tls_context.span = span_;
+}
+
+ScopedSpanActivation::~ScopedSpanActivation() {
+  span_->End(tracer_->sim());
+  tls_context = prev_;
+}
+
+}  // namespace obs
+}  // namespace biglake

@@ -1,0 +1,209 @@
+// Hierarchical query tracing.
+//
+// A `Tracer` owns a tree of `Span`s rooted at one query (or other top-level
+// operation). Each span carries both wall-clock time (nondeterministic,
+// scheduling-dependent) and simulated time read from the SimEnv virtual
+// clock (deterministic: identical across runs and across worker counts,
+// because all simulated costs are charged through ChargeShards folded in
+// slot order — see common/sim_env.h).
+//
+// The active span is tracked per thread in a `TraceContext`
+// (tracer + current span), mirroring how `ScopedChargeShard` installs the
+// cost-accounting shard. Instrumented layers (objstore, read API, ...) open
+// `ScopedSpan`s unconditionally: when no context is installed the span is a
+// no-op costing one thread-local read, so untraced hot paths stay hot.
+//
+// Parallel regions must keep the tree deterministic. The pattern (used by
+// the engine's stream fan-out) is: the launcher pre-creates one child span
+// per task slot *in slot order* with `Span::NewChild`, then each task
+// installs its slot's span via `ScopedSpanActivation`. Every span's
+// `children` vector is only ever touched by the single thread that has the
+// span active, so the tree needs no locks, and its shape depends only on
+// slot order — never on scheduling.
+
+#ifndef BIGLAKE_OBS_TRACE_H_
+#define BIGLAKE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_env.h"
+
+namespace biglake {
+namespace obs {
+
+class Tracer;
+
+/// One node in a trace tree.
+class Span {
+ public:
+  // Span kinds, matching the hierarchy documented in docs/OBSERVABILITY.md.
+  static constexpr const char* kQuery = "query";
+  static constexpr const char* kStage = "stage";
+  static constexpr const char* kOperator = "operator";
+  static constexpr const char* kStream = "stream";
+  static constexpr const char* kRpc = "rpc";
+  static constexpr const char* kObjstore = "objstore";
+
+  Span(std::string name, std::string kind)
+      : name_(std::move(name)), kind_(std::move(kind)) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Appends an unstarted child. Must be called by the thread that currently
+  /// has this span active (or, for fan-out, by the launcher before tasks
+  /// run) — children vectors are not synchronized.
+  Span* NewChild(std::string name, std::string kind);
+
+  /// Deterministic numeric annotation (rows, bytes, simulated micros).
+  /// Accumulates on repeat keys. Included in deterministic exports.
+  void AddNum(std::string_view key, uint64_t delta);
+  /// Nondeterministic numeric annotation (wall time, steals, retries).
+  /// Excluded when exporting with include_wall=false.
+  void AddWallNum(std::string_view key, uint64_t delta);
+  /// String annotation (table name, cloud). Must be deterministic.
+  void SetAttr(std::string_view key, std::string value);
+
+  const std::string& name() const { return name_; }
+  const std::string& kind() const { return kind_; }
+  Span* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Span>>& children() const {
+    return children_;
+  }
+  const std::map<std::string, std::string, std::less<>>& attrs() const {
+    return attrs_;
+  }
+  const std::map<std::string, uint64_t, std::less<>>& nums() const {
+    return nums_;
+  }
+  const std::map<std::string, uint64_t, std::less<>>& wall_nums() const {
+    return wall_nums_;
+  }
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  /// Simulated duration in micros. Valid once finished.
+  SimMicros sim_micros() const { return sim_end_ - sim_start_; }
+  /// Wall-clock duration in nanoseconds. Valid once finished.
+  uint64_t wall_nanos() const { return wall_end_ns_ - wall_start_ns_; }
+  SimMicros sim_start() const { return sim_start_; }
+
+  /// Stamps start/end times. Normally driven by ScopedSpan /
+  /// ScopedSpanActivation; exposed for launchers that stamp slot spans.
+  void Start(const SimEnv* sim);
+  void End(const SimEnv* sim);
+
+ private:
+  std::string name_;
+  std::string kind_;
+  Span* parent_ = nullptr;
+  bool started_ = false;
+  bool finished_ = false;
+  SimMicros sim_start_ = 0;
+  SimMicros sim_end_ = 0;
+  uint64_t wall_start_ns_ = 0;
+  uint64_t wall_end_ns_ = 0;
+  std::map<std::string, std::string, std::less<>> attrs_;
+  std::map<std::string, uint64_t, std::less<>> nums_;
+  std::map<std::string, uint64_t, std::less<>> wall_nums_;
+  std::vector<std::unique_ptr<Span>> children_;
+};
+
+/// Owns one trace tree and the SimEnv whose clock stamps its spans.
+class Tracer {
+ public:
+  explicit Tracer(const SimEnv* sim) : sim_(sim) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Creates and starts the root span. Call once per tracer.
+  Span* StartRoot(std::string name, std::string kind);
+
+  Span* root() { return root_.get(); }
+  const Span* root() const { return root_.get(); }
+  const SimEnv* sim() const { return sim_; }
+
+ private:
+  const SimEnv* sim_;
+  std::unique_ptr<Span> root_;
+};
+
+/// The calling thread's active tracer + span; both null when untraced.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  Span* span = nullptr;
+};
+
+/// Returns the calling thread's context (mutable).
+TraceContext& CurrentTraceContext();
+/// The active span, or nullptr when the thread is untraced.
+Span* CurrentSpan();
+
+/// Adds to a deterministic numeric on the current span; no-op when untraced.
+void AddCurrentSpanNum(std::string_view key, uint64_t delta);
+
+/// Installs a trace context for the current scope without stamping any span
+/// (the span is assumed already started — e.g. a query root, or a parent
+/// span adopted by a worker task). Restores the previous context on exit.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(Tracer* tracer, Span* span);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// Opens a child of the current span, makes it current, and closes it on
+/// scope exit. When the thread is untraced every operation is a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, std::string_view kind);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// nullptr when the thread was untraced at construction.
+  Span* get() const { return span_; }
+  void AddNum(std::string_view key, uint64_t delta) {
+    if (span_ != nullptr) span_->AddNum(key, delta);
+  }
+  void AddWallNum(std::string_view key, uint64_t delta) {
+    if (span_ != nullptr) span_->AddWallNum(key, delta);
+  }
+  void SetAttr(std::string_view key, std::string value) {
+    if (span_ != nullptr) span_->SetAttr(key, std::move(value));
+  }
+
+ private:
+  Span* span_ = nullptr;
+  TraceContext prev_;
+};
+
+/// Starts a pre-created span (a fan-out slot span), installs it as current,
+/// and ends it on scope exit. Used inside worker tasks: the span was created
+/// in slot order by the launcher; its sim start/end read the task's
+/// ChargeShard-local clock, so its sim duration equals the shard's advance.
+class ScopedSpanActivation {
+ public:
+  ScopedSpanActivation(Tracer* tracer, Span* span);
+  ~ScopedSpanActivation();
+  ScopedSpanActivation(const ScopedSpanActivation&) = delete;
+  ScopedSpanActivation& operator=(const ScopedSpanActivation&) = delete;
+
+ private:
+  Tracer* tracer_;
+  Span* span_;
+  TraceContext prev_;
+};
+
+}  // namespace obs
+}  // namespace biglake
+
+#endif  // BIGLAKE_OBS_TRACE_H_

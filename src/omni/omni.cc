@@ -1,9 +1,13 @@
 #include "omni/omni.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "columnar/ipc.h"
 #include "common/strings.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace biglake {
 
@@ -25,6 +29,10 @@ Status VpnChannel::Transfer(const std::string& from_realm,
   }
   // Policy engine: realm-to-realm RPC policy.
   BL_RETURN_NOT_OK(realms_->CheckRpc(from_realm, to_realm));
+  obs::ScopedSpan span("vpn:transfer", obs::Span::kRpc);
+  span.SetAttr("from", from_realm);
+  span.SetAttr("to", to_realm);
+  span.AddNum("bytes", bytes);
   SimMicros transfer = options_.throughput_bytes_per_sec == 0
                            ? 0
                            : (bytes * 1'000'000ull) /
@@ -34,6 +42,12 @@ Status VpnChannel::Transfer(const std::string& from_realm,
   env_->clock().Advance(options_.connection_latency + transfer + encrypt);
   env_->counters().Add(StrCat("vpn.bytes.", from_realm, ".", to_realm),
                        bytes);
+  auto& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter(METRIC_VPN_TRANSFERS,
+                 {{"from", from_realm}, {"to", to_realm}})
+      ->Increment();
+  reg.GetCounter(METRIC_VPN_BYTES, {{"from", from_realm}, {"to", to_realm}})
+      ->Add(bytes);
   return Status::OK();
 }
 
@@ -79,6 +93,11 @@ Result<QueryResult> OmniRegion::RunSubquery(const SessionToken& token,
                                      (*table)->prefix, now));
   }
   env_->sim().counters().Add("omni.proxy_validations", 1);
+  obs::ScopedSpan span(StrCat("subquery:", config_.name), obs::Span::kStage);
+  span.SetAttr("realm", realm());
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_OMNI_SUBQUERIES)
+      ->Increment();
   return engine_.Execute(principal, plan);
 }
 
@@ -203,6 +222,9 @@ Result<PlanPtr> OmniJobServer::PushDownRemoteScans(
     BL_RETURN_NOT_OK(vpn_.Transfer(region->realm(), to_realm, wire.size()));
     stats->cross_cloud_bytes += wire.size();
     env_->sim().counters().Add("omni.cross_cloud_result_bytes", wire.size());
+    obs::MetricsRegistry::Default()
+        .GetCounter(METRIC_OMNI_CROSS_CLOUD_BYTES)
+        ->Add(wire.size());
     return Plan::Values(std::move(sub.batch));
   }
   // Recurse; rebuild only when a child changed.
@@ -222,7 +244,8 @@ Result<PlanPtr> OmniJobServer::PushDownRemoteScans(
 }
 
 Result<CrossCloudResult> OmniJobServer::ExecuteQuery(
-    const Principal& principal, const PlanPtr& plan) {
+    const Principal& principal, const PlanPtr& plan,
+    obs::QueryProfile* profile) {
   if (regions_.count(primary_region_) == 0) {
     return Status::FailedPrecondition(
         StrCat("primary region `", primary_region_, "` is not registered"));
@@ -230,6 +253,14 @@ Result<CrossCloudResult> OmniJobServer::ExecuteQuery(
   std::string query_id = StrCat("q-", next_query_++);
   CrossCloudResult result;
   SimTimer timer(env_->sim());
+
+  obs::Span* root = nullptr;
+  if (profile != nullptr) {
+    root = profile->Begin(&env_->sim(), "omni");
+    root->SetAttr("primary_region", primary_region_);
+  }
+  std::optional<obs::ScopedTraceContext> trace_scope;
+  if (root != nullptr) trace_scope.emplace(profile->tracer(), root);
 
   // Pre-processing on the control plane: validation, authz (delegated to
   // the Read API at scan time), metadata lookups, then regional dispatch.
@@ -253,6 +284,12 @@ Result<CrossCloudResult> OmniJobServer::ExecuteQuery(
   result.batch = std::move(final_result.batch);
   result.stats.final_stats = final_result.stats;
   result.stats.wall_micros = timer.ElapsedMicros();
+  if (root != nullptr) {
+    root->AddNum("regional_subqueries", result.stats.regional_subqueries);
+    root->AddNum("cross_cloud_bytes", result.stats.cross_cloud_bytes);
+    root->AddNum("rows_returned", result.batch.num_rows());
+    profile->End();
+  }
   return result;
 }
 

@@ -131,8 +131,13 @@ class OmniJobServer {
   /// subqueries, streams their (filtered) results into the primary region,
   /// and runs the rewritten plan locally. Single-region queries dispatch
   /// directly to that region.
+  ///
+  /// When `profile` is non-null a trace rooted at an `omni` query span is
+  /// collected: one `stage` span per regional subquery plus the primary
+  /// stage, with engine/read-API/objstore/VPN spans nested beneath.
   Result<CrossCloudResult> ExecuteQuery(const Principal& principal,
-                                        const PlanPtr& plan);
+                                        const PlanPtr& plan,
+                                        obs::QueryProfile* profile = nullptr);
 
  private:
   /// Rewrites remote scans into Values nodes, executing them remotely.

@@ -122,7 +122,9 @@ TEST(CodingTest, LengthPrefixedRoundTrip) {
 TEST(CodingTest, TruncatedInputReturnsOutOfRange) {
   std::string buf;
   PutFixed64(&buf, 42);
-  Decoder dec(buf.substr(0, 3));
+  // Keep the truncated copy alive: Decoder holds a view into it.
+  std::string truncated = buf.substr(0, 3);
+  Decoder dec(truncated);
   uint64_t v;
   EXPECT_EQ(dec.GetFixed64(&v).code(), StatusCode::kOutOfRange);
 }
@@ -130,7 +132,8 @@ TEST(CodingTest, TruncatedInputReturnsOutOfRange) {
 TEST(CodingTest, TruncatedVarint) {
   std::string buf;
   PutVarint64(&buf, 1ull << 40);
-  Decoder dec(buf.substr(0, 2));
+  std::string truncated = buf.substr(0, 2);
+  Decoder dec(truncated);
   uint64_t v;
   EXPECT_FALSE(dec.GetVarint64(&v).ok());
 }

@@ -1,0 +1,226 @@
+// Determinism of query profiles under real multi-threaded execution, plus
+// the acceptance properties of PR 2: a TPC-DS-style query yields a profile
+// with >= 4 span levels (query/stage/operator/objstore) whose simulated-cost
+// totals sum consistently, two independently scheduled 8-worker runs produce
+// byte-identical deterministic exports, and a reused engine charges repeated
+// queries identically (no cpu_carry_ leakage between queries).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "columnar/ipc.h"
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "core/environment.h"
+#include "engine/engine.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "workload/tpcds_lite.h"
+
+namespace biglake {
+namespace {
+
+// Same self-contained world as parallel_determinism_test.cc: two identical
+// lakehouses let a test compare independent runs.
+struct World {
+  LakehouseEnv lake;
+  CloudLocation gcp{CloudProvider::kGCP, "us-central1"};
+  ObjectStore* store = nullptr;
+  StorageReadApi api;
+  BigLakeTableService biglake;
+  BlmtService blmt;
+  TpcdsTables tables;
+
+  explicit World(const TpcdsScale& scale)
+      : api(&lake), biglake(&lake), blmt(&lake) {
+    store = lake.AddStore(gcp);
+    EXPECT_TRUE(store->CreateBucket("lake").ok());
+    EXPECT_TRUE(lake.catalog().CreateDataset("ds").ok());
+    Connection conn;
+    conn.name = "us.lake-conn";
+    conn.service_account.principal = "sa:lake-conn";
+    EXPECT_TRUE(lake.catalog().CreateConnection(conn).ok());
+    auto t = SetupTpcds(&lake, &biglake, &blmt, store, "lake", "tpcds/", "ds",
+                        scale, /*cached=*/true, "us.lake-conn");
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    if (t.ok()) tables = *t;
+  }
+};
+
+TpcdsScale BigScale() {
+  TpcdsScale scale;
+  scale.days = 6;
+  scale.rows_per_day = 2000;  // crosses the parallel_row_threshold
+  return scale;
+}
+
+// A TPC-DS-style star query: dimension-filtered join into an aggregation.
+PlanPtr StarQuery(const TpcdsTables& t) {
+  return Plan::Aggregate(
+      Plan::HashJoin(Plan::Scan(t.item), Plan::Scan(t.store_sales),
+                     {"i_item_id"}, {"ss_item_id"}),
+      {"ss_store_id"},
+      {{AggOp::kCount, "ss_item_id", "n"},
+       {AggOp::kMin, "ss_sales_price", "lo"}});
+}
+
+obs::ProfileExportOptions Deterministic() {
+  obs::ProfileExportOptions o;
+  o.include_wall = false;
+  o.pretty = false;
+  return o;
+}
+
+int MaxDepth(const obs::Span* span) {
+  int deepest = 0;
+  for (const auto& child : span->children()) {
+    deepest = std::max(deepest, MaxDepth(child.get()));
+  }
+  return 1 + deepest;
+}
+
+void CollectKinds(const obs::Span* span, std::set<std::string>* kinds) {
+  kinds->insert(span->kind());
+  for (const auto& child : span->children()) {
+    CollectKinds(child.get(), kinds);
+  }
+}
+
+// Simulated costs must sum consistently: every span's children fit inside
+// it (the fold charges each task's advance back into the launcher's clock,
+// so even fan-out children sum to at most the parent's duration).
+void CheckSimSums(const obs::Span* span) {
+  ASSERT_TRUE(span->finished()) << span->name();
+  SimMicros child_total = 0;
+  for (const auto& child : span->children()) {
+    child_total += child->sim_micros();
+  }
+  EXPECT_LE(child_total, span->sim_micros()) << span->name();
+  for (const auto& child : span->children()) {
+    CheckSimSums(child.get());
+  }
+}
+
+TEST(ObsProfileDeterminismTest, TpcdsProfileHasFourLevelsAndConsistentSums) {
+  TpcdsScale scale = BigScale();
+  World w(scale);
+  EngineOptions opts;
+  opts.num_workers = 8;
+  QueryEngine engine(&w.lake, &w.api, opts);
+
+  obs::QueryProfile profile;
+  auto result = engine.Execute("u", StarQuery(w.tables), &profile);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->batch.num_rows(), 0u);
+  ASSERT_NE(profile.root(), nullptr);
+
+  // >= 4 levels spanning query / stage / operator / objstore.
+  EXPECT_GE(MaxDepth(profile.root()), 4);
+  std::set<std::string> kinds;
+  CollectKinds(profile.root(), &kinds);
+  EXPECT_TRUE(kinds.count(obs::Span::kQuery));
+  EXPECT_TRUE(kinds.count(obs::Span::kStage));
+  EXPECT_TRUE(kinds.count(obs::Span::kOperator));
+  EXPECT_TRUE(kinds.count(obs::Span::kStream));
+  EXPECT_TRUE(kinds.count(obs::Span::kRpc));
+  EXPECT_TRUE(kinds.count(obs::Span::kObjstore));
+
+  CheckSimSums(profile.root());
+  // The root span covers exactly the engine's accounted total cost.
+  EXPECT_EQ(profile.root()->sim_micros(), result->stats.total_micros);
+  EXPECT_EQ(profile.root()->nums().at("rows_returned"),
+            result->stats.rows_returned);
+
+  // Exports render without error and agree on shape.
+  std::string text = profile.ToText();
+  EXPECT_NE(text.find("query [query]"), std::string::npos);
+  EXPECT_NE(text.find("op:aggregate [operator]"), std::string::npos);
+  std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"kind\": \"objstore\""), std::string::npos);
+}
+
+TEST(ObsProfileDeterminismTest, TwoEightWorkerRunsProduceIdenticalProfiles) {
+  TpcdsScale scale = BigScale();
+  World w1(scale);
+  World w2(scale);
+  EngineOptions opts;
+  opts.num_workers = 8;
+  QueryEngine e1(&w1.lake, &w1.api, opts);
+  QueryEngine e2(&w2.lake, &w2.api, opts);
+
+  // Several rounds: later rounds run against warmed metadata caches, so the
+  // comparison covers both the miss and hit shapes of the trace.
+  for (int round = 0; round < 3; ++round) {
+    obs::QueryProfile p1, p2;
+    auto a = e1.Execute("u", StarQuery(w1.tables), &p1);
+    auto b = e2.Execute("u", StarQuery(w2.tables), &p2);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(SerializeBatch(a->batch), SerializeBatch(b->batch)) << round;
+    // Byte-identical simulated-cost profiles (wall-clock data excluded).
+    std::string j1 = p1.ToJson(Deterministic());
+    std::string j2 = p2.ToJson(Deterministic());
+    EXPECT_EQ(j1, j2) << "round " << round;
+    ASSERT_GT(j1.size(), 2u) << "profile must not be empty";
+    // The full export differs only by wall data; the trees stay congruent.
+    EXPECT_EQ(p1.ToText().length() > 0, p2.ToText().length() > 0);
+  }
+}
+
+TEST(ObsProfileDeterminismTest, ProfilingDoesNotPerturbTheSimulation) {
+  TpcdsScale scale = BigScale();
+  World w1(scale);
+  World w2(scale);
+  EngineOptions opts;
+  opts.num_workers = 8;
+  QueryEngine e1(&w1.lake, &w1.api, opts);
+  QueryEngine e2(&w2.lake, &w2.api, opts);
+
+  obs::QueryProfile profile;
+  auto a = e1.Execute("u", StarQuery(w1.tables), &profile);  // traced
+  auto b = e2.Execute("u", StarQuery(w2.tables));            // untraced
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(SerializeBatch(a->batch), SerializeBatch(b->batch));
+  EXPECT_EQ(a->stats.total_micros, b->stats.total_micros);
+  EXPECT_EQ(a->stats.wall_micros, b->stats.wall_micros);
+  EXPECT_EQ(w1.lake.sim().clock().Now(), w2.lake.sim().clock().Now());
+  EXPECT_EQ(w1.lake.sim().counters().all(), w2.lake.sim().counters().all());
+}
+
+TEST(ObsProfileDeterminismTest, ReusedEngineChargesRepeatQueriesIdentically) {
+  TpcdsScale scale = BigScale();
+  World w1(scale);
+  World w2(scale);
+  EngineOptions opts;
+  opts.num_workers = 8;
+
+  // w1: one engine reused across a priming query and the target query. The
+  // primer's row counts leave a fractional cpu_carry_ behind; without the
+  // per-query reset that residue leaks into the target query's charges.
+  QueryEngine reused(&w1.lake, &w1.api, opts);
+  auto primer = Plan::Limit(Plan::Scan(w1.tables.store_sales), 777);
+  ASSERT_TRUE(reused.Execute("u", primer).ok());
+  auto a = reused.Execute("u", StarQuery(w1.tables));
+
+  // w2: the same priming query runs on a *different* engine, so the target
+  // engine starts fresh. World state evolves identically either way.
+  QueryEngine primer_engine(&w2.lake, &w2.api, opts);
+  auto primer2 = Plan::Limit(Plan::Scan(w2.tables.store_sales), 777);
+  ASSERT_TRUE(primer_engine.Execute("u", primer2).ok());
+  QueryEngine fresh(&w2.lake, &w2.api, opts);
+  auto b = fresh.Execute("u", StarQuery(w2.tables));
+
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(SerializeBatch(a->batch), SerializeBatch(b->batch));
+  EXPECT_EQ(a->stats.total_micros, b->stats.total_micros);
+  EXPECT_EQ(a->stats.wall_micros, b->stats.wall_micros);
+}
+
+}  // namespace
+}  // namespace biglake
