@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full local CI: plain build + tests, then ASan and TSan builds of the same
-# suite, then the docs checks. Each sanitizer uses its own build dir so the
-# plain `build/` cache (and its generator choice) is never disturbed.
+# suite, then the seeded chaos sweep (plain + TSan) and the docs checks.
+# Each sanitizer uses its own build dir so the plain `build/` cache (and its
+# generator choice) is never disturbed.
 #
-# Usage: scripts/check.sh [plain|asan|tsan|docs]...   (default: all)
+# Usage: scripts/check.sh [plain|asan|tsan|chaos|docs]...   (default: all)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,9 +22,22 @@ do_asan()  { run_suite build-asan -DBL_SANITIZE=address; }
 do_tsan()  { run_suite build-tsan -DBL_SANITIZE=thread; }
 do_docs()  { "$ROOT/scripts/check_metrics_doc.sh"; }
 
+# Seeded chaos sweep (`ctest -L chaos`), plain and under TSan: the sweep
+# asserts seed-reproducible outcomes at every worker count, so racy retry
+# or fault-accounting code shows up as a determinism diff here.
+do_chaos() {
+  for dir in build build-tsan; do
+    if [[ ! -d "$ROOT/$dir" ]]; then
+      echo "chaos: $dir/ missing — run the plain/tsan stage first" >&2
+      exit 1
+    fi
+    ctest --test-dir "$ROOT/$dir" -L chaos --output-on-failure
+  done
+}
+
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(plain asan tsan docs)
+  stages=(plain asan tsan chaos docs)
 fi
 
 for stage in "${stages[@]}"; do

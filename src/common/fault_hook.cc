@@ -1,0 +1,50 @@
+#include "common/fault_hook.h"
+
+#include "common/sim_env.h"
+#include "common/strings.h"
+
+namespace biglake {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kObjGet:
+      return "obj_get";
+    case FaultSite::kObjPut:
+      return "obj_put";
+    case FaultSite::kObjCas:
+      return "obj_cas";
+    case FaultSite::kObjList:
+      return "obj_list";
+    case FaultSite::kObjStat:
+      return "obj_stat";
+    case FaultSite::kObjDelete:
+      return "obj_delete";
+    case FaultSite::kMetaRefresh:
+      return "meta_refresh";
+    case FaultSite::kReadRows:
+      return "read_rows";
+    case FaultSite::kWriteCommit:
+      return "write_commit";
+    case FaultSite::kVpnTransfer:
+      return "vpn_transfer";
+    case FaultSite::kNumFaultSites:
+      break;
+  }
+  return "unknown";
+}
+
+Status CheckFault(SimEnv* env, FaultSite site, const char* cloud,
+                  const std::string& key, SimMicros burn_latency) {
+  if (env == nullptr) return Status::OK();
+  FaultHook* hook = env->fault_hook();
+  if (hook == nullptr) return Status::OK();
+  FaultOutcome out = hook->OnCall(site, cloud, key);
+  if (out.extra_latency > 0) env->clock().Advance(out.extra_latency);
+  if (out.status.ok()) return Status::OK();
+  // A failed call still burns the wire latency the verb would have charged.
+  if (burn_latency > 0) env->clock().Advance(burn_latency);
+  env->counters().Add(StrCat("fault.injected.", FaultSiteName(site)), 1);
+  return out.status;
+}
+
+}  // namespace biglake

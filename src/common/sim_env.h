@@ -22,10 +22,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace biglake {
+
+class FaultHook;  // common/fault_hook.h — the fault-injection seam.
 
 /// Virtual microseconds.
 using SimMicros = uint64_t;
@@ -138,6 +141,14 @@ class SimEnv {
     counters_.Add(key, count);
   }
 
+  /// The installed fault hook, or nullptr (the default: no faults). Install
+  /// and clear from the launching thread only, never inside a parallel
+  /// region; the hook itself must be thread-safe (pool workers call it).
+  FaultHook* fault_hook() const { return fault_hook_.get(); }
+  void set_fault_hook(std::shared_ptr<FaultHook> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
   /// Prepares one shard per parallel task, pinned at the current virtual
   /// time. Call from the launching thread before fanning out.
   std::vector<ChargeShard> MakeShards(size_t n) const {
@@ -165,6 +176,7 @@ class SimEnv {
  private:
   SimClock clock_;
   CostCounters counters_;
+  std::shared_ptr<FaultHook> fault_hook_;
 };
 
 /// RAII scope that measures virtual elapsed time.

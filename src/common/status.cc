@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DataLoss";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -36,6 +36,7 @@ enum class StatusCode {
   kInternal,
   kDataLoss,           // checksum / corruption failures
   kDeadlineExceeded,
+  kUnavailable,        // transient substrate failures; safe to retry
 };
 
 /// Human-readable name of a StatusCode ("NotFound", "Ok", ...).
@@ -89,6 +90,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -109,6 +113,10 @@ class Status {
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "Ok" or "NotFound: table `x` does not exist".
   std::string ToString() const;
@@ -121,6 +129,17 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// True when an operation that failed with `s` may be retried verbatim and
+/// could plausibly succeed: transient substrate failures (kUnavailable),
+/// throttling (kResourceExhausted) and optimistic-concurrency conflicts
+/// (kAborted). kDeadlineExceeded is deliberately NOT retryable — it means a
+/// caller-imposed deadline expired, so retrying would only exceed it further.
+inline bool IsRetryable(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kResourceExhausted ||
+         s.code() == StatusCode::kAborted;
+}
 
 /// A value-or-error. Holds exactly one of T or a non-OK Status.
 template <typename T>

@@ -59,9 +59,15 @@ Result<CachedFileMeta> BlmtService::WriteDataFile(const TableDef& table,
   PutOptions po;
   po.content_type = "application/x-parquet-lite";
   uint64_t size = bytes.size();
-  BL_ASSIGN_OR_RETURN(uint64_t gen,
-                      store->Put(ctx, table.bucket, name, std::move(bytes),
-                                 po));
+  // The name is fixed before the (retried) put so a transient fault never
+  // perturbs file naming or leaves half-written orphans.
+  BL_ASSIGN_OR_RETURN(
+      uint64_t gen,
+      fault::RetryResult<uint64_t>(
+          &env_->sim(), options_.retry, FaultSite::kObjPut,
+          StrCat(table.bucket, "/", name), [&] {
+            return store->Put(ctx, table.bucket, name, std::string(bytes), po);
+          }));
   CachedFileMeta meta;
   meta.file.path = name;
   meta.file.size_bytes = size;
@@ -80,17 +86,22 @@ Result<RecordBatch> BlmtService::ReadFile(const TableDef& table,
                                           const CachedFileMeta& file) {
   BL_ASSIGN_OR_RETURN(ObjectStore * store, env_->FindStore(table.location));
   CallerContext ctx{.location = table.location};
-  ObjectSource source(store, ctx, table.bucket, file.file.path,
-                      file.file.size_bytes);
-  BL_ASSIGN_OR_RETURN(ParquetFileMeta meta, ReadParquetFooter(source));
-  VectorizedReader reader(&source, meta);
-  std::vector<RecordBatch> groups;
-  for (size_t g = 0; g < reader.num_row_groups(); ++g) {
-    BL_ASSIGN_OR_RETURN(RecordBatch b, reader.ReadRowGroup(g));
-    groups.push_back(std::move(b));
-  }
-  if (groups.empty()) return RecordBatch::Empty(table.schema);
-  return RecordBatch::Concat(groups);
+  // File reads are pure, so the whole read retries on transient faults.
+  return fault::RetryResult<RecordBatch>(
+      &env_->sim(), options_.retry, FaultSite::kObjGet,
+      StrCat(table.bucket, "/", file.file.path), [&]() -> Result<RecordBatch> {
+        ObjectSource source(store, ctx, table.bucket, file.file.path,
+                            file.file.size_bytes);
+        BL_ASSIGN_OR_RETURN(ParquetFileMeta meta, ReadParquetFooter(source));
+        VectorizedReader reader(&source, meta);
+        std::vector<RecordBatch> groups;
+        for (size_t g = 0; g < reader.num_row_groups(); ++g) {
+          BL_ASSIGN_OR_RETURN(RecordBatch b, reader.ReadRowGroup(g));
+          groups.push_back(std::move(b));
+        }
+        if (groups.empty()) return RecordBatch::Empty(table.schema);
+        return RecordBatch::Concat(groups);
+      });
 }
 
 Result<uint64_t> BlmtService::Insert(const Principal& principal,

@@ -35,6 +35,10 @@ struct BlmtOptions {
   /// Objects must be unreferenced for this long before GC deletes them
   /// (protects in-flight readers and time travel).
   SimMicros gc_min_age = 10'000'000;  // 10 s virtual
+  /// Transient faults on data-file puts/reads retry under this policy (the
+  /// snapshot commit itself is a Big Metadata transaction, and the Iceberg
+  /// export path has its own CAS retry loop in format/iceberg_lite.h).
+  fault::RetryPolicy retry;
 };
 
 struct OptimizeReport {

@@ -96,7 +96,12 @@ Result<PrunedFiles> StorageReadApi::CollectFiles(const TableDef& table,
     entry.file.partition = ParseHivePartition(obj.name);
     ObjectSource source(store, ctx, table.bucket, obj.name, obj.size);
     auto meta = ReadParquetFooter(source);
-    if (!meta.ok()) continue;  // not a data file
+    if (!meta.ok()) {
+      // A transient store fault is not "not a data file": swallowing it
+      // would silently drop the file from the listing.
+      if (IsRetryable(meta.status())) return meta.status();
+      continue;  // not a data file
+    }
     entry.file.row_count = meta->total_rows;
     for (size_t c = 0; c < meta->schema->num_fields(); ++c) {
       entry.file.column_stats[meta->schema->field(c).name] =
@@ -373,9 +378,23 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
     return Status::OutOfRange(StrCat("stream ", stream_index, " of ",
                                      session.streams.size()));
   }
+  // One key per stream: each stream is read by exactly one task, so its
+  // fault/retry decision sequence is single-threaded and deterministic.
+  const std::string stream_key = StrCat(session.session_id, "/", stream_index);
+  return fault::RetryResult<std::vector<std::string>>(
+      &env_->sim(), options_.retry, FaultSite::kReadRows, stream_key, [&] {
+        return ReadRowsAttempt(session, state, stream_index, stream_key);
+      });
+}
+
+Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
+    const ReadSession& session, SessionState& state, size_t stream_index,
+    const std::string& stream_key) {
   const ReadStream& stream = session.streams[stream_index];
   const TableDef& table = *state.table;
   obs::ScopedSpan span("readapi:read_rows", obs::Span::kRpc);
+  BL_RETURN_NOT_OK(
+      CheckFault(&env_->sim(), FaultSite::kReadRows, "", stream_key));
   uint64_t rows_streamed = 0;
   uint64_t bytes_streamed = 0;
   std::vector<std::string> responses;
@@ -416,7 +435,13 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
     ObjectSource source(store, ctx, table.bucket, fm.file.path,
                         fm.file.size_bytes);
     auto meta = ReadParquetFooter(source);
-    if (!meta.ok()) continue;  // non-data file under the prefix
+    if (!meta.ok()) {
+      // Transient faults must fail the attempt (the ReadRows retry loop
+      // re-runs it); treating them as "non-data file" would return a
+      // partial scan as success.
+      if (IsRetryable(meta.status())) return meta.status();
+      continue;  // non-data file under the prefix
+    }
     // Defensive: a file under the prefix whose schema lacks columns the
     // table declares is not part of this table (e.g. a foreign dataset
     // sharing the bucket) — skip it rather than misread it.

@@ -28,6 +28,7 @@
 #include "columnar/batch.h"
 #include "columnar/expr.h"
 #include "core/environment.h"
+#include "fault/retry.h"
 #include "meta/bigmeta.h"
 
 namespace biglake {
@@ -96,6 +97,10 @@ struct ReadApiOptions {
   /// ~an order of magnitude CPU difference).
   double vectorized_micros_per_value = 0.002;
   double row_oriented_cpu_multiplier = 10.0;
+  /// Stream reads are idempotent (they mutate nothing but accounting), so a
+  /// ReadRows attempt that fails transiently is retried whole under this
+  /// policy — the paper's per-stream retry behavior.
+  fault::RetryPolicy retry;
 };
 
 class StorageReadApi {
@@ -140,6 +145,12 @@ class StorageReadApi {
     EffectiveAccess access;      // resolved fine-grained policy
     std::vector<std::string> read_columns;  // pre-mask projection
   };
+
+  /// One full read of a stream; retried whole by ReadRows on transient
+  /// failure (all its state is local, so attempts are independent).
+  Result<std::vector<std::string>> ReadRowsAttempt(
+      const ReadSession& session, SessionState& state, size_t stream_index,
+      const std::string& stream_key);
 
   /// Collects (and prunes) the file list for a table, via Big Metadata when
   /// cached, else via LIST + footer peeks (the slow pre-BigLake path).

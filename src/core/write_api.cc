@@ -46,9 +46,15 @@ Result<CachedFileMeta> StorageWriteApi::WriteDataFile(
   PutOptions po;
   po.content_type = "application/x-parquet-lite";
   uint64_t size = bytes.size();
-  BL_ASSIGN_OR_RETURN(uint64_t gen,
-                      store->Put(ctx, table.bucket, name, std::move(bytes),
-                                 po));
+  // The name is fixed before the (retried) put: each attempt re-sends the
+  // same bytes to the same object, so recovery is invisible to readers.
+  BL_ASSIGN_OR_RETURN(
+      uint64_t gen,
+      fault::RetryResult<uint64_t>(
+          &env_->sim(), options_.retry, FaultSite::kObjPut,
+          StrCat(table.bucket, "/", name), [&] {
+            return store->Put(ctx, table.bucket, name, std::string(bytes), po);
+          }));
 
   CachedFileMeta meta;
   meta.file.path = name;
@@ -126,6 +132,12 @@ Status StorageWriteApi::FlushCommitted(StreamState* stream) {
   obs::MetricsRegistry::Default()
       .GetCounter(METRIC_WRITEAPI_COMMITS, {{"mode", "single"}})
       ->Increment();
+  const std::string& stream_id = stream->info.stream_id;
+  BL_RETURN_NOT_OK(fault::RetryStatus(
+      &env_->sim(), options_.retry, FaultSite::kWriteCommit, stream_id, [&] {
+        return CheckFault(&env_->sim(), FaultSite::kWriteCommit, "",
+                          stream_id);
+      }));
   BL_ASSIGN_OR_RETURN(CachedFileMeta file,
                       WriteDataFile(*stream->table, stream->buffered));
   BL_RETURN_NOT_OK(
@@ -175,6 +187,13 @@ Result<uint64_t> StorageWriteApi::BatchCommit(
   obs::MetricsRegistry::Default()
       .GetCounter(METRIC_WRITEAPI_COMMITS, {{"mode", "batch"}})
       ->Increment();
+  const std::string commit_key =
+      stream_ids.empty() ? std::string("batch") : stream_ids.front();
+  BL_RETURN_NOT_OK(fault::RetryStatus(
+      &env_->sim(), options_.retry, FaultSite::kWriteCommit, commit_key, [&] {
+        return CheckFault(&env_->sim(), FaultSite::kWriteCommit, "",
+                          commit_key);
+      }));
   MetaTransaction txn = env_->meta().BeginTransaction();
   for (StreamState* stream : to_commit) {
     if (stream->buffered_rows == 0) continue;

@@ -23,6 +23,7 @@
 
 #include "columnar/batch.h"
 #include "core/environment.h"
+#include "fault/retry.h"
 
 namespace biglake {
 
@@ -33,6 +34,10 @@ struct WriteApiOptions {
   uint64_t committed_flush_rows = 4096;
   /// Per-append RPC cost.
   SimMicros append_latency = 1'000;  // 1 ms
+  /// Transient faults on data-file puts and commit RPCs retry under this
+  /// policy. Data files keep their name across put attempts, so a retried
+  /// flush neither orphans objects nor perturbs downstream file naming.
+  fault::RetryPolicy retry;
 };
 
 struct WriteStreamInfo {

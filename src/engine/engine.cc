@@ -251,7 +251,8 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
   ReadSessionOptions opts;
   opts.columns = scan.scan_columns;
   opts.predicate = scan.scan_predicate;
-  opts.max_streams = options_.num_workers;
+  opts.max_streams = options_.max_read_streams > 0 ? options_.max_read_streams
+                                                   : options_.num_workers;
   opts.caller_location = options_.engine_location;
   // Session creation includes all planning-time metadata work (Big Metadata
   // pruning when cached, object-store LIST + footer peeks when not) — it is
@@ -315,18 +316,28 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
     }
   } else {
     // Pool-size-1 compatibility mode: inline, no threads, direct charges.
+    // Like the parallel fold above, every stream is evaluated even after a
+    // failure and the first error (in slot order) is reported, so fault and
+    // retry accounting is identical at any worker count.
+    Status first_error;
     for (size_t s = 0; s < num_streams; ++s) {
       SimTimer t(env_->sim());
       std::optional<obs::ScopedSpanActivation> span_scope;
       if (stream_spans[s] != nullptr) {
         span_scope.emplace(trace.tracer, stream_spans[s]);
       }
-      BL_ASSIGN_OR_RETURN(batches[s], read_api_->ReadStreamBatch(session, s));
-      obs::AddCurrentSpanNum("rows", batches[s].num_rows());
+      auto stream_batch = read_api_->ReadStreamBatch(session, s);
+      if (stream_batch.ok()) {
+        batches[s] = std::move(*stream_batch);
+        obs::AddCurrentSpanNum("rows", batches[s].num_rows());
+      } else if (first_error.ok()) {
+        first_error = stream_batch.status();
+      }
       span_scope.reset();
       stream_elapsed[s] = t.ElapsedMicros();
       stats->total_micros += stream_elapsed[s];
     }
+    BL_RETURN_NOT_OK(first_error);
   }
   // Reported wall time: the max per-stream virtual elapsed within each wave
   // of `num_workers` streams.

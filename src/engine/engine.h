@@ -53,6 +53,11 @@ struct EngineOptions {
   /// below it the serial kernels run (identical results, no pool overhead).
   /// Scans parallelize per read stream whenever num_workers > 1.
   uint64_t parallel_row_threshold = 8192;
+  /// Read-stream fan-out requested per scan session. 0 = one stream per
+  /// worker. A fixed value decouples the query shape (stream partitioning,
+  /// and with it row order and fault/retry schedules) from the pool size,
+  /// so the same query is reproducible at any worker count.
+  uint32_t max_read_streams = 0;
   /// Where this engine's workers run; scans of data in other clouds cross
   /// the WAN (used by Omni data planes).
   CloudLocation engine_location{CloudProvider::kGCP, "us-central1"};

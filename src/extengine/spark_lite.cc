@@ -449,7 +449,12 @@ Result<RecordBatch> SparkLiteEngine::DirectScan(const ScanSpec& scan,
     SimTimer file_timer(env_->sim());
     ObjectSource source(store, ctx, scan.bucket, obj.name, obj.size);
     auto meta = ReadParquetFooter(source);
-    if (!meta.ok()) continue;
+    if (!meta.ok()) {
+      // Transient store faults surface to the caller; only structurally
+      // non-Parquet objects are skipped as non-data files.
+      if (IsRetryable(meta.status())) return meta.status();
+      continue;
+    }
     // Footer-level pruning (the only pruning available without a cache).
     auto partition = ParseHivePartition(obj.name);
     if (scan.predicate != nullptr) {

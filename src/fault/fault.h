@@ -1,0 +1,141 @@
+// Deterministic, seed-driven fault injection (the concrete FaultHook).
+//
+// A FaultPlan has two halves:
+//
+//  * `rules` — targeted injections for tests: "fail the Nth CAS put of
+//    objects under lake/tpcds/_meta/". Each rule carries a skip/count window
+//    over the calls it matches, evaluated in plan order (first firing rule
+//    wins). Rule windows count matching calls *globally* in arrival order,
+//    which reproduces the old InjectPutFailures semantics exactly; they are
+//    deterministic when the matched site is single-threaded (commit paths,
+//    serial tests). For parallel regions use chaos mode.
+//
+//  * `chaos` — seeded pseudo-random fault schedules for sweeps. Whether call
+//    k on (site, key) faults is a pure hash of (seed, site, key, k): no
+//    global state, no arrival order — so a chaos schedule is reproducible
+//    bit-for-bit at any worker count, because each object/stream key is
+//    touched by exactly one task and per-key call indices are therefore
+//    single-threaded. `max_faults_per_key` bounds consecutive injections per
+//    (site, key) so retry loops always terminate.
+//
+// The injector is installed on a SimEnv (shared_ptr; substrates reach it via
+// the FaultHook seam in common/fault_hook.h) and is safe to call from pool
+// workers. Every injection bumps METRIC_FAULT_INJECTED{site,kind} and the
+// sim counter "fault.injected.<site>" (the latter via CheckFault).
+
+#ifndef BIGLAKE_FAULT_FAULT_H_
+#define BIGLAKE_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_hook.h"
+#include "common/sim_env.h"
+
+namespace biglake {
+namespace fault {
+
+/// What an injected fault looks like to the caller.
+enum class FaultKind {
+  kUnavailable,  // transient 503-style failure (retryable)
+  kDeadline,     // simulated deadline expiry (NOT retryable by design)
+  kThrottle,     // ResourceExhausted, e.g. mutation rate limit (retryable)
+  kLatencyOnly,  // no error; just extra simulated latency
+};
+
+/// Stable lowercase name ("unavailable", "throttle", ...) for metric labels.
+const char* FaultKindName(FaultKind kind);
+
+/// One targeted injection: fault calls [skip, skip+count) among the calls
+/// this rule matches, in plan order. count = -1 means "every match forever".
+struct FaultRule {
+  FaultSite site = FaultSite::kObjPut;
+  std::string cloud;        // "" = any cloud ("gcp" | "aws" | "azure")
+  std::string key_prefix;   // "" = any key; else prefix match
+  int skip = 0;             // matching calls to let through first
+  int count = 1;            // matching calls to fault after the skip window
+  FaultKind kind = FaultKind::kUnavailable;
+  SimMicros extra_latency = 0;  // charged on every firing (even kLatencyOnly)
+};
+
+/// Seeded pseudo-random fault schedule. All probabilities are per-call.
+struct ChaosOptions {
+  uint64_t seed = 1;
+  double fault_probability = 0.05;
+  double latency_probability = 0.0;   // chance of extra latency on clean calls
+  SimMicros max_extra_latency = 0;    // uniform in [0, max) when it fires
+  // Relative weights for the kind of an injected fault (deadline faults are
+  // never produced by chaos — they would make runs fail non-retryably by
+  // design and belong in targeted rules).
+  double unavailable_weight = 0.7;
+  double throttle_weight = 0.3;
+  // Hard bound on injections per (site, key); keeps retry loops convergent.
+  int max_faults_per_key = 2;
+  // Restrict chaos to these sites; empty = every site.
+  std::vector<FaultSite> sites;
+};
+
+/// A complete injection schedule: targeted rules plus optional chaos.
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  std::optional<ChaosOptions> chaos;
+
+  /// Convenience: fault the next `count` calls at `site` (after `skip`
+  /// matching calls), any cloud/key — the InjectPutFailures replacement.
+  static FaultPlan FailNext(FaultSite site, int count = 1, int skip = 0,
+                            FaultKind kind = FaultKind::kUnavailable);
+  /// Convenience: a pure chaos plan.
+  static FaultPlan Chaos(ChaosOptions options);
+};
+
+/// The concrete FaultHook. Install with InstallOn, drive with SetPlan.
+class FaultInjector : public FaultHook {
+ public:
+  FaultInjector();
+
+  FaultOutcome OnCall(FaultSite site, const char* cloud,
+                      const std::string& key) override;
+
+  /// Replaces the active plan and resets all rule/chaos/call-index state.
+  void SetPlan(FaultPlan plan);
+  /// Drops the plan: subsequent calls pass through untouched.
+  void Clear() { SetPlan(FaultPlan()); }
+
+  /// Number of faults injected at `site` (kLatencyOnly excluded) since the
+  /// last SetPlan. Call outside parallel regions.
+  uint64_t injected(FaultSite site) const;
+  uint64_t total_injected() const;
+
+  /// Installs a fresh injector on `env` (replacing any existing hook) and
+  /// returns it; `env` keeps it alive. Returns the existing injector
+  /// unchanged if one is already installed.
+  static FaultInjector* InstallOn(SimEnv* env);
+  /// The injector installed on `env`, or nullptr.
+  static FaultInjector* Get(SimEnv* env);
+
+ private:
+  FaultOutcome Decide(FaultSite site, const char* cloud,
+                      const std::string& key, uint64_t key_index);
+  FaultOutcome ChaosDecide(const ChaosOptions& chaos, FaultSite site,
+                           const std::string& key, uint64_t key_index);
+  FaultOutcome Fire(FaultSite site, FaultKind kind, SimMicros extra_latency);
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::vector<uint64_t> rule_matches_;  // parallel to plan_.rules
+  // Per-(site, key) state. Keys are touched by a single task each, so these
+  // sequences are deterministic; the mutex exists for cross-key TSan safety.
+  std::map<std::pair<int, std::string>, uint64_t> call_index_;
+  std::map<std::pair<int, std::string>, int> chaos_faults_;
+  uint64_t injected_[static_cast<size_t>(FaultSite::kNumFaultSites)] = {};
+};
+
+}  // namespace fault
+}  // namespace biglake
+
+#endif  // BIGLAKE_FAULT_FAULT_H_

@@ -1,0 +1,106 @@
+#include "fault/retry.h"
+
+#include "common/coding.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace biglake {
+namespace fault {
+
+SimMicros NthBackoffBase(const RetryPolicy& policy, int n) {
+  double b = static_cast<double>(policy.initial_backoff);
+  for (int i = 0; i < n; ++i) b *= policy.multiplier;
+  if (policy.max_backoff > 0 &&
+      b > static_cast<double>(policy.max_backoff)) {
+    return policy.max_backoff;
+  }
+  return static_cast<SimMicros>(b);
+}
+
+Retryer::Retryer(SimEnv* env, const RetryPolicy& policy, FaultSite site,
+                 std::string key)
+    : env_(env),
+      policy_(policy),
+      site_(site),
+      key_(std::move(key)),
+      rng_(Mix64(policy.seed ^ Fnv1a64(key_, Fnv1a64(FaultSiteName(site))))),
+      start_(env->clock().Now()) {}
+
+SimMicros Retryer::NextSleep() {
+  SimMicros base = NthBackoffBase(policy_, sleeps_);
+  if (policy_.jitter > 0) {
+    double shave = static_cast<double>(base) * policy_.jitter *
+                   rng_.NextDouble();
+    base -= static_cast<SimMicros>(shave);
+  }
+  return base;
+}
+
+void Retryer::Refuse() {
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_RETRY_EXHAUSTED, {{"site", FaultSiteName(site_)}})
+      ->Increment();
+  env_->counters().Add(StrCat("retry_exhausted.", FaultSiteName(site_)), 1);
+}
+
+bool Retryer::BackoffAndRetry() {
+  if (attempts_ >= policy_.max_attempts) {
+    Refuse();
+    return false;
+  }
+  SimMicros sleep = NextSleep();
+  if (policy_.max_total_backoff > 0 &&
+      total_backoff_ + sleep > policy_.max_total_backoff) {
+    Refuse();
+    return false;
+  }
+  if (policy_.deadline > 0 &&
+      (env_->clock().Now() - start_) + sleep > policy_.deadline) {
+    deadline_exhausted_ = true;
+    Refuse();
+    return false;
+  }
+  {
+    // The sleep is charged inside the span so profiles attribute it to the
+    // retry, not to the operation's own work.
+    obs::ScopedSpan span(StrCat("retry:", FaultSiteName(site_)),
+                         obs::Span::kRpc);
+    obs::AddCurrentSpanNum("attempt", static_cast<uint64_t>(attempts_));
+    obs::AddCurrentSpanNum("backoff_sim_micros", sleep);
+    env_->clock().Advance(sleep);
+  }
+  ++sleeps_;
+  ++attempts_;
+  total_backoff_ += sleep;
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_RETRY_ATTEMPTS, {{"site", FaultSiteName(site_)}})
+      ->Increment();
+  obs::MetricsRegistry::Default()
+      .GetHistogram(METRIC_RETRY_BACKOFF_SIM_MICROS,
+                    {{"site", FaultSiteName(site_)}})
+      ->Observe(sleep);
+  env_->counters().Add(StrCat("retry.", FaultSiteName(site_)), 1);
+  return true;
+}
+
+bool Retryer::RetryImmediately() {
+  if (attempts_ >= policy_.max_attempts) {
+    Refuse();
+    return false;
+  }
+  if (policy_.deadline > 0 && env_->clock().Now() - start_ > policy_.deadline) {
+    deadline_exhausted_ = true;
+    Refuse();
+    return false;
+  }
+  ++attempts_;
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_RETRY_ATTEMPTS, {{"site", FaultSiteName(site_)}})
+      ->Increment();
+  env_->counters().Add(StrCat("retry.", FaultSiteName(site_)), 1);
+  return true;
+}
+
+}  // namespace fault
+}  // namespace biglake

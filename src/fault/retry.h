@@ -1,0 +1,146 @@
+// RetryPolicy + Retryer: capped exponential backoff with deterministic
+// jitter, sleeping on the *simulated* clock.
+//
+// Usage (most callers use the RetryStatus/RetryResult wrappers):
+//
+//   RetryPolicy policy;                     // 4 attempts, 10ms..1s backoff
+//   return RetryStatus(env, policy, FaultSite::kObjPut, key, [&] {
+//     return store->Put(...);               // retried while IsRetryable()
+//   });
+//
+// Determinism: jitter comes from a Random seeded by (policy.seed, site,
+// key), so the exact sleep sequence for a given operation is a pure function
+// of the policy — reproducible across runs and worker counts. Sleeps advance
+// the sim clock (routing to the task's ChargeShard inside parallel regions)
+// and never block a real thread.
+//
+// Accounting per successful retry: METRIC_RETRY_ATTEMPTS{site} + sim counter
+// "retry.<site>" + a finished "retry:<site>" rpc span carrying the attempt
+// number and backoff. Refusals bump METRIC_RETRY_EXHAUSTED{site}.
+
+#ifndef BIGLAKE_FAULT_RETRY_H_
+#define BIGLAKE_FAULT_RETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/fault_hook.h"
+#include "common/random.h"
+#include "common/sim_env.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace biglake {
+namespace fault {
+
+/// Knobs for one retry loop. The defaults suit sub-second substrate calls.
+struct RetryPolicy {
+  /// Total tries including the first; <= 1 disables retrying entirely.
+  int max_attempts = 4;
+  /// Backoff before the first retry; doubles (times `multiplier`) per sleep.
+  SimMicros initial_backoff = 10'000;
+  /// Per-sleep cap; 0 = uncapped.
+  SimMicros max_backoff = 1'000'000;
+  double multiplier = 2.0;
+  /// Fraction of the backoff randomly shaved off: sleep = b - b*jitter*u,
+  /// u ~ U[0,1) from the deterministic per-(seed,site,key) PRNG. 0 = exact
+  /// exponential sequence.
+  double jitter = 0.0;
+  /// Total simulated sleep budget across the loop; 0 = unlimited.
+  SimMicros max_total_backoff = 0;
+  /// Simulated deadline measured from the Retryer's construction; a retry
+  /// that would overrun it is refused (surfaced as kDeadlineExceeded by the
+  /// wrappers). 0 = none.
+  SimMicros deadline = 0;
+  /// Mixed with (site, key) to seed the jitter PRNG.
+  uint64_t seed = 0;
+};
+
+/// The exact backoff the `n`th sleep (0-based) would use, before jitter.
+/// Exposed for tests of the backoff math.
+SimMicros NthBackoffBase(const RetryPolicy& policy, int n);
+
+/// Explicit retry-loop state for callers that need custom control flow
+/// (e.g. the Iceberg CAS loop, which mixes immediate and backoff retries).
+class Retryer {
+ public:
+  Retryer(SimEnv* env, const RetryPolicy& policy, FaultSite site,
+          std::string key);
+
+  /// Sleeps (sim clock) and accounts for one retry. Returns false — without
+  /// sleeping — when attempts, budget or deadline are exhausted.
+  bool BackoffAndRetry();
+
+  /// Accounts for a retry with no sleep and no backoff-exponent advance:
+  /// the optimistic-concurrency path (CAS conflict → reload → try again).
+  bool RetryImmediately();
+
+  /// Attempts begun so far (1 after construction: the initial try).
+  int attempts() const { return attempts_; }
+  /// Total simulated micros slept.
+  SimMicros total_backoff() const { return total_backoff_; }
+  /// True when the last refusal was due to the policy deadline.
+  bool deadline_exhausted() const { return deadline_exhausted_; }
+
+ private:
+  SimMicros NextSleep();
+  void Refuse();
+
+  SimEnv* env_;
+  RetryPolicy policy_;
+  FaultSite site_;
+  std::string key_;
+  Random rng_;
+  SimMicros start_;
+  int attempts_ = 1;
+  int sleeps_ = 0;
+  SimMicros total_backoff_ = 0;
+  bool deadline_exhausted_ = false;
+};
+
+/// Runs `fn` (returning Status), retrying with backoff while the result
+/// satisfies IsRetryable(). Returns the last status on exhaustion, or
+/// kDeadlineExceeded when the policy deadline cut the loop short.
+template <typename Fn>
+Status RetryStatus(SimEnv* env, const RetryPolicy& policy, FaultSite site,
+                   const std::string& key, Fn&& fn) {
+  Retryer retryer(env, policy, site, key);
+  for (;;) {
+    Status s = fn();
+    if (s.ok() || !IsRetryable(s)) return s;
+    if (!retryer.BackoffAndRetry()) {
+      if (retryer.deadline_exhausted()) {
+        return Status::DeadlineExceeded(
+            StrCat("retry deadline exceeded at ", FaultSiteName(site), " (",
+                   retryer.attempts(), " attempts): ", s.ToString()));
+      }
+      return s;
+    }
+  }
+}
+
+/// Result<T> flavor of RetryStatus.
+template <typename T, typename Fn>
+Result<T> RetryResult(SimEnv* env, const RetryPolicy& policy, FaultSite site,
+                      const std::string& key, Fn&& fn) {
+  Retryer retryer(env, policy, site, key);
+  for (;;) {
+    Result<T> r = fn();
+    if (r.ok() || !IsRetryable(r.status())) return r;
+    if (!retryer.BackoffAndRetry()) {
+      if (retryer.deadline_exhausted()) {
+        return Status::DeadlineExceeded(
+            StrCat("retry deadline exceeded at ", FaultSiteName(site), " (",
+                   retryer.attempts(),
+                   " attempts): ", r.status().ToString()));
+      }
+      return r;
+    }
+  }
+}
+
+}  // namespace fault
+}  // namespace biglake
+
+#endif  // BIGLAKE_FAULT_RETRY_H_

@@ -181,10 +181,10 @@ Status IcebergTable::Refresh(const CallerContext& caller) {
 Status IcebergTable::Commit(const CallerContext& caller,
                             std::vector<DataFileEntry> files, bool append,
                             const IcebergCommitOptions& opts) {
-  Status last = Status::Internal("commit never attempted");
-  SimMicros backoff = opts.initial_backoff;
-  for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
-    // Assemble the new complete file list.
+  // One attempt: assemble the new file list, write the manifest, then CAS
+  // the pointer. Everything the attempt mutates beyond the store is local
+  // until the CAS lands, so a whole attempt is safe to retry.
+  auto attempt = [&]() -> Status {
     std::vector<DataFileEntry> full;
     if (append && metadata_.current_snapshot_id != 0) {
       BL_ASSIGN_OR_RETURN(full, ReadCurrentManifest(caller));
@@ -217,29 +217,37 @@ Status IcebergTable::Commit(const CallerContext& caller,
     cas.content_type = "application/x-iceberg-lite";
     auto put = store_->Put(caller, bucket_, PointerObjectName(),
                            EncodePointer(next), cas);
-    if (put.ok()) {
-      metadata_ = std::move(next);
-      pointer_generation_ = *put;
-      return Status::OK();
-    }
-    last = put.status();
+    if (!put.ok()) return put.status();
+    metadata_ = std::move(next);
+    pointer_generation_ = *put;
+    return Status::OK();
+  };
+
+  fault::Retryer retryer(store_->env(), opts.RetryPolicyForCommit(),
+                         FaultSite::kObjCas,
+                         StrCat(bucket_, "/", PointerObjectName()));
+  for (;;) {
+    Status last = attempt();
+    if (last.ok()) return last;
     if (last.IsFailedPrecondition()) {
-      // Foreign commit won the race: reload and retry immediately.
-      BL_RETURN_NOT_OK(LoadPointer(caller));
+      // Foreign commit won the race: reload and retry immediately (no
+      // backoff — the conflict carries fresh information, not congestion).
+      if (!retryer.RetryImmediately()) return last;
+      Status reload = LoadPointer(caller);
+      if (!reload.ok()) {
+        if (!IsRetryable(reload) || !retryer.BackoffAndRetry()) return reload;
+      }
       continue;
     }
+    if (!IsRetryable(last)) return last;
+    if (!retryer.BackoffAndRetry()) return last;
     if (last.IsResourceExhausted()) {
-      // Pointer object is being hammered: back off (virtual time) so the
-      // per-object rate limiter drains, then retry. This is what caps
+      // Pointer object is being hammered: the backoff just slept (virtual
+      // time) so the per-object rate limiter drains. This is what caps
       // object-store table formats at a handful of commits per second.
-      store_->env()->clock().Advance(backoff);
       store_->env()->counters().Add("iceberg.commit_backoffs", 1);
-      backoff *= 2;
-      continue;
     }
-    return last;
   }
-  return last;
 }
 
 Status IcebergTable::CommitAppend(const CallerContext& caller,

@@ -23,6 +23,7 @@
 #include "columnar/expr.h"
 #include "common/coding.h"
 #include "columnar/types.h"
+#include "fault/retry.h"
 #include "objstore/objstore.h"
 
 namespace biglake {
@@ -60,10 +61,28 @@ struct IcebergTableMetadata {
 };
 
 struct IcebergCommitOptions {
-  /// CAS conflicts and rate-limit rejections are retried up to this many
-  /// times with exponential backoff (virtual time).
+  /// CAS conflicts, rate-limit rejections and transient (kUnavailable)
+  /// faults are retried up to this many times with exponential backoff
+  /// (virtual time).
   int max_retries = 16;
   SimMicros initial_backoff = 50'000;  // 50 ms
+  /// Deterministic jitter fraction for the backoff (0 = exact doubling, the
+  /// legacy progression asserted by format_test).
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0;
+
+  /// The equivalent fault::RetryPolicy: max_retries + 1 total attempts,
+  /// uncapped doubling from initial_backoff.
+  fault::RetryPolicy RetryPolicyForCommit() const {
+    fault::RetryPolicy policy;
+    policy.max_attempts = max_retries + 1;
+    policy.initial_backoff = initial_backoff;
+    policy.max_backoff = 0;
+    policy.multiplier = 2.0;
+    policy.jitter = jitter;
+    policy.seed = jitter_seed;
+    return policy;
+  }
 };
 
 /// Handle to an Iceberg-lite table rooted at `bucket`/`prefix` in `store`.

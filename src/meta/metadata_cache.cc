@@ -36,9 +36,24 @@ Result<CacheRefreshReport> MetadataCacheManager::Refresh(
     const std::string& table_id, const ObjectStore& store,
     const CallerContext& caller, const std::string& bucket,
     const std::string& prefix, const CacheRefreshOptions& options) {
+  // A refresh attempt only commits into BigMetadataStore as its final step,
+  // so a failed attempt leaves no partial state and retrying it is safe.
+  return fault::RetryResult<CacheRefreshReport>(
+      env_, options.retry, FaultSite::kMetaRefresh, table_id, [&] {
+        return RefreshOnce(table_id, store, caller, bucket, prefix, options);
+      });
+}
+
+Result<CacheRefreshReport> MetadataCacheManager::RefreshOnce(
+    const std::string& table_id, const ObjectStore& store,
+    const CallerContext& caller, const std::string& bucket,
+    const std::string& prefix, const CacheRefreshOptions& options) {
   SimTimer timer(*env_);
   obs::ScopedSpan span("metacache:refresh", obs::Span::kRpc);
   span.SetAttr("table", table_id);
+  BL_RETURN_NOT_OK(CheckFault(env_, FaultSite::kMetaRefresh,
+                              CloudProviderName(store.location().provider),
+                              table_id));
   CacheRefreshReport report;
   meta_->EnsureTable(table_id);
 
@@ -83,6 +98,10 @@ Result<CacheRefreshReport> MetadataCacheManager::Refresh(
       ObjectSource source(&store, caller, bucket, obj.name, obj.size);
       auto meta = ReadParquetFooter(source);
       ++report.footers_read;
+      // A transient store fault fails the whole refresh (callers retry at
+      // the kMetaRefresh site); caching the file without its stats would
+      // silently degrade pruning until the next refresh.
+      if (!meta.ok() && IsRetryable(meta.status())) return meta.status();
       if (meta.ok()) {
         entry.file.row_count = meta->total_rows;
         for (size_t c = 0; c < meta->schema->num_fields(); ++c) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/retry.h"
 #include "meta/bigmeta.h"
 #include "objstore/objstore.h"
 
@@ -33,6 +34,10 @@ struct CacheRefreshOptions {
   /// Cached entries also record hive-style partition values parsed from
   /// paths like "date=20231101/region=east/part-0.plk".
   bool parse_hive_partitions = true;
+  /// Transient substrate failures (listing, footer reads, injected faults)
+  /// retry the whole refresh attempt — the cache is only mutated at the very
+  /// end of a successful attempt, so an attempt is idempotent.
+  fault::RetryPolicy retry;
 };
 
 struct CacheRefreshReport {
@@ -68,6 +73,14 @@ class MetadataCacheManager {
                                      const CacheRefreshOptions& options = {});
 
  private:
+  /// One refresh attempt; mutates BigMetadataStore only on success.
+  Result<CacheRefreshReport> RefreshOnce(const std::string& table_id,
+                                         const ObjectStore& store,
+                                         const CallerContext& caller,
+                                         const std::string& bucket,
+                                         const std::string& prefix,
+                                         const CacheRefreshOptions& options);
+
   SimEnv* env_;
   BigMetadataStore* meta_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/fault_hook.h"
 #include "common/strings.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -32,8 +33,6 @@ struct ObjectStore::Metrics {
                                           {{"cloud", cloud}});
     rate_limited =
         reg.GetCounter(METRIC_OBJSTORE_RATE_LIMITED, {{"cloud", cloud}});
-    injected_put_failures = reg.GetCounter(
-        METRIC_OBJSTORE_INJECTED_FAILURES, {{"cloud", cloud}, {"op", "put"}});
     const CloudProvider clouds[] = {CloudProvider::kGCP, CloudProvider::kAWS,
                                     CloudProvider::kAzure};
     for (CloudProvider dst : clouds) {
@@ -53,7 +52,6 @@ struct ObjectStore::Metrics {
   obs::Counter* write_bytes;
   obs::Histogram* request_sim_micros;
   obs::Counter* rate_limited;
-  obs::Counter* injected_put_failures;
   obs::Counter* egress_to[3];
 };
 
@@ -131,17 +129,14 @@ Result<uint64_t> ObjectStore::Put(const CallerContext& caller,
                                   const PutOptions& opts) {
   obs::ScopedSpan span("objstore:put", obs::Span::kObjstore);
   metrics_->put->Increment();
-  if (injected_put_failures_ > 0) {
-    if (injected_put_skip_ > 0) {
-      --injected_put_skip_;
-    } else {
-      --injected_put_failures_;
-      env_->clock().Advance(options_.write_base_latency);
-      env_->counters().Add("objstore.injected_put_failures", 1);
-      metrics_->injected_put_failures->Increment();
-      return Status::DeadlineExceeded("injected transient storage fault");
-    }
-  }
+  // Conditional puts (snapshot-pointer CAS) are a distinct fault site so
+  // plans can target commit races without touching data writes.
+  BL_RETURN_NOT_OK(CheckFault(
+      env_,
+      opts.if_generation_match.has_value() ? FaultSite::kObjCas
+                                           : FaultSite::kObjPut,
+      CloudProviderName(options_.location.provider),
+      StrCat(bucket, "/", name), options_.write_base_latency));
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) {
     return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));
@@ -217,6 +212,10 @@ Result<std::string> ObjectStore::Get(const CallerContext& caller,
                                      const std::string& name) const {
   obs::ScopedSpan span("objstore:get", obs::Span::kObjstore);
   metrics_->get->Increment();
+  BL_RETURN_NOT_OK(CheckFault(env_, FaultSite::kObjGet,
+                              CloudProviderName(options_.location.provider),
+                              StrCat(bucket, "/", name),
+                              options_.read_base_latency));
   BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
   ChargeTransfer(caller, options_.read_base_latency, obj->data.size(),
                  options_.read_bytes_per_sec, /*is_read=*/true);
@@ -231,6 +230,10 @@ Result<std::string> ObjectStore::GetRange(const CallerContext& caller,
                                           uint64_t length) const {
   obs::ScopedSpan span("objstore:get_range", obs::Span::kObjstore);
   metrics_->get_range->Increment();
+  BL_RETURN_NOT_OK(CheckFault(env_, FaultSite::kObjGet,
+                              CloudProviderName(options_.location.provider),
+                              StrCat(bucket, "/", name),
+                              options_.read_base_latency));
   BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
   if (offset > obj->data.size()) {
     return Status::OutOfRange(StrCat("offset ", offset, " beyond object size ",
@@ -248,6 +251,10 @@ Result<ObjectMetadata> ObjectStore::Stat(const CallerContext& caller,
                                          const std::string& name) const {
   obs::ScopedSpan span("objstore:stat", obs::Span::kObjstore);
   metrics_->stat->Increment();
+  BL_RETURN_NOT_OK(CheckFault(env_, FaultSite::kObjStat,
+                              CloudProviderName(options_.location.provider),
+                              StrCat(bucket, "/", name),
+                              options_.read_base_latency));
   BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
   ChargeTransfer(caller, options_.read_base_latency, 0,
                  options_.read_bytes_per_sec, /*is_read=*/true);
@@ -260,6 +267,10 @@ Status ObjectStore::Delete(const CallerContext& caller,
                            const std::string& name) {
   obs::ScopedSpan span("objstore:delete", obs::Span::kObjstore);
   metrics_->del->Increment();
+  BL_RETURN_NOT_OK(CheckFault(env_, FaultSite::kObjDelete,
+                              CloudProviderName(options_.location.provider),
+                              StrCat(bucket, "/", name),
+                              options_.write_base_latency));
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) {
     return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));
@@ -281,6 +292,10 @@ Result<ListResult> ObjectStore::List(const CallerContext& caller,
                                      const ListOptions& opts) const {
   obs::ScopedSpan span("objstore:list", obs::Span::kObjstore);
   metrics_->list->Increment();
+  BL_RETURN_NOT_OK(CheckFault(env_, FaultSite::kObjList,
+                              CloudProviderName(options_.location.provider),
+                              StrCat(bucket, "/", opts.prefix),
+                              options_.list_page_latency));
   auto bit = buckets_.find(bucket);
   if (bit == buckets_.end()) {
     return Status::NotFound(StrCat("bucket `", bucket, "` does not exist"));

@@ -164,13 +164,9 @@ class ObjectStore {
 
   uint64_t ObjectCount(const std::string& bucket) const;
 
-  /// Fault injection (tests/benches): the next `count` Put calls after
-  /// skipping `skip_first` successful ones fail with DeadlineExceeded, as a
-  /// transient network/storage fault would.
-  void InjectPutFailures(int count, int skip_first = 0) {
-    injected_put_failures_ = count;
-    injected_put_skip_ = skip_first;
-  }
+  // Fault injection is no longer a store-local concern: install a
+  // fault::FaultInjector on the SimEnv (src/fault/fault.h) and every verb
+  // consults it through the CheckFault seam in common/fault_hook.h.
 
   /// Creates a signed URL granting read access to one object until `expiry`.
   /// Signed URLs let governed systems (Object tables) hand out object access
@@ -207,8 +203,6 @@ class ObjectStore {
   std::unique_ptr<Metrics> metrics_;
   ObjectStoreOptions options_;
   std::map<std::string, Bucket> buckets_;
-  int injected_put_failures_ = 0;
-  int injected_put_skip_ = 0;
 };
 
 }  // namespace biglake

@@ -25,9 +25,17 @@
 #define METRIC_OBJSTORE_REQUEST_SIM_MICROS "biglake_objstore_request_sim_micros"
 // labels: cloud
 #define METRIC_OBJSTORE_RATE_LIMITED "biglake_objstore_rate_limited_total"
-// labels: cloud, op
-#define METRIC_OBJSTORE_INJECTED_FAILURES \
-  "biglake_objstore_injected_failures_total"
+
+// --- Fault injection & retries (src/fault/) ---
+// labels: site, kind  (site: obj_put, read_rows, ...; kind: unavailable,
+// deadline, throttle, latency)
+#define METRIC_FAULT_INJECTED "biglake_fault_injected_total"
+// labels: site  (one increment per retry *attempt* after a retryable failure)
+#define METRIC_RETRY_ATTEMPTS "biglake_retries_total"
+// labels: site  (retry loop gave up: attempts, budget or deadline exhausted)
+#define METRIC_RETRY_EXHAUSTED "biglake_retry_exhausted_total"
+// labels: site  (histogram of simulated backoff sleep per retry)
+#define METRIC_RETRY_BACKOFF_SIM_MICROS "biglake_retry_backoff_sim_micros"
 
 // --- Metadata cache (src/meta/metadata_cache.cc, src/core/read_api.cc) ---
 // labels: result ("hit" | "miss")

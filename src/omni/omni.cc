@@ -29,26 +29,37 @@ Status VpnChannel::Transfer(const std::string& from_realm,
   }
   // Policy engine: realm-to-realm RPC policy.
   BL_RETURN_NOT_OK(realms_->CheckRpc(from_realm, to_realm));
-  obs::ScopedSpan span("vpn:transfer", obs::Span::kRpc);
-  span.SetAttr("from", from_realm);
-  span.SetAttr("to", to_realm);
-  span.AddNum("bytes", bytes);
-  SimMicros transfer = options_.throughput_bytes_per_sec == 0
-                           ? 0
-                           : (bytes * 1'000'000ull) /
-                                 options_.throughput_bytes_per_sec;
-  auto encrypt = static_cast<SimMicros>(options_.encrypt_micros_per_kb *
-                                        static_cast<double>(bytes) / 1024.0);
-  env_->clock().Advance(options_.connection_latency + transfer + encrypt);
-  env_->counters().Add(StrCat("vpn.bytes.", from_realm, ".", to_realm),
-                       bytes);
-  auto& reg = obs::MetricsRegistry::Default();
-  reg.GetCounter(METRIC_VPN_TRANSFERS,
-                 {{"from", from_realm}, {"to", to_realm}})
-      ->Increment();
-  reg.GetCounter(METRIC_VPN_BYTES, {{"from", from_realm}, {"to", to_realm}})
-      ->Add(bytes);
-  return Status::OK();
+  // Each attempt pays the full connection + transfer cost: a link that
+  // drops mid-transfer re-sends the payload.
+  const std::string link = StrCat(from_realm, ">", to_realm);
+  return fault::RetryStatus(
+      env_, options_.retry, FaultSite::kVpnTransfer, link, [&]() -> Status {
+        obs::ScopedSpan span("vpn:transfer", obs::Span::kRpc);
+        span.SetAttr("from", from_realm);
+        span.SetAttr("to", to_realm);
+        span.AddNum("bytes", bytes);
+        BL_RETURN_NOT_OK(CheckFault(env_, FaultSite::kVpnTransfer, "", link,
+                                    options_.connection_latency));
+        SimMicros transfer = options_.throughput_bytes_per_sec == 0
+                                 ? 0
+                                 : (bytes * 1'000'000ull) /
+                                       options_.throughput_bytes_per_sec;
+        auto encrypt =
+            static_cast<SimMicros>(options_.encrypt_micros_per_kb *
+                                   static_cast<double>(bytes) / 1024.0);
+        env_->clock().Advance(options_.connection_latency + transfer +
+                              encrypt);
+        env_->counters().Add(StrCat("vpn.bytes.", from_realm, ".", to_realm),
+                             bytes);
+        auto& reg = obs::MetricsRegistry::Default();
+        reg.GetCounter(METRIC_VPN_TRANSFERS,
+                       {{"from", from_realm}, {"to", to_realm}})
+            ->Increment();
+        reg.GetCounter(METRIC_VPN_BYTES,
+                       {{"from", from_realm}, {"to", to_realm}})
+            ->Add(bytes);
+        return Status::OK();
+      });
 }
 
 OmniRegion::OmniRegion(LakehouseEnv* env, StorageReadApi* read_api,

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "fault/retry.h"
 
 namespace biglake {
 
@@ -38,6 +39,10 @@ struct VpnOptions {
   /// TLS/LOAS encryption CPU per KiB (the ReadRows decryption cost the
   /// paper calls out in Sec 3.4's future work).
   double encrypt_micros_per_kb = 0.3;
+  /// Cross-cloud links are the flakiest substrate in the system: transient
+  /// transfer faults retry under this policy (allowlist and realm-policy
+  /// rejections are permanent and never retried).
+  fault::RetryPolicy retry;
 };
 
 /// The secured channel between a foreign-cloud data plane and the GCP

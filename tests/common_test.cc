@@ -30,6 +30,33 @@ TEST(StatusTest, AllCodesStringify) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kPermissionDenied),
                "PermissionDenied");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, UnavailableIsItsOwnCode) {
+  Status s = Status::Unavailable("503 from the object store");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(s.IsDeadlineExceeded());
+  EXPECT_EQ(s.ToString(), "Unavailable: 503 from the object store");
+}
+
+TEST(StatusTest, IsRetryableCoversExactlyTheTransientCodes) {
+  // Transient substrate conditions: safe to retry.
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("503")));
+  EXPECT_TRUE(IsRetryable(Status::ResourceExhausted("throttled")));
+  EXPECT_TRUE(IsRetryable(Status::Aborted("txn conflict")));
+  // Everything else is permanent or already consumed its time budget;
+  // kDeadlineExceeded in particular must NOT be retried (retrying after a
+  // blown deadline only amplifies overload).
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("too slow")));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("gone")));
+  EXPECT_FALSE(IsRetryable(Status::FailedPrecondition("generation")));
+  EXPECT_FALSE(IsRetryable(Status::PermissionDenied("no")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("bug")));
+  EXPECT_FALSE(IsRetryable(Status::DataLoss("corrupt")));
 }
 
 Result<int> ParsePositive(int x) {

@@ -1,11 +1,17 @@
 // Failure injection: transient object-store faults must never corrupt
 // table state. Commits either happen completely or not at all; replicas
 // keep serving their previous version; retries succeed.
+//
+// Injection goes through the fault::FaultInjector installed on the SimEnv
+// (src/fault/fault.h). Where a test asserts that a fault *surfaces*, retries
+// are disabled — with the default policies these faults would be survived
+// transparently (chaos_test.cc covers that side).
 
 #include <gtest/gtest.h>
 
 #include "core/biglake.h"
 #include "core/blmt.h"
+#include "fault/fault.h"
 #include "format/iceberg_lite.h"
 #include "format/parquet_lite.h"
 #include "lakehouse_fixture.h"
@@ -14,7 +20,16 @@
 namespace biglake {
 namespace {
 
-class FailureInjectionTest : public LakehouseFixture {};
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FaultRule;
+
+class FailureInjectionTest : public LakehouseFixture {
+ protected:
+  FaultInjector* injector() {
+    return FaultInjector::InstallOn(&lake_.sim());
+  }
+};
 
 TEST_F(FailureInjectionTest, IcebergCommitFailsAtomicallyOnManifestFault) {
   auto table =
@@ -25,21 +40,24 @@ TEST_F(FailureInjectionTest, IcebergCommitFailsAtomicallyOnManifestFault) {
   f.row_count = 10;
   ASSERT_TRUE(table->CommitAppend(GcpCaller(), {f}).ok());
 
-  // Fault on the manifest write: nothing about the table changes.
-  store_->InjectPutFailures(1);
+  // Fault on the manifest write (an unconditional put): nothing about the
+  // table changes. Injected transient faults are kUnavailable — retryable —
+  // so the no-retry options make the failure surface.
+  injector()->SetPlan(FaultPlan::FailNext(FaultSite::kObjPut));
   DataFileEntry g;
   g.path = "t/f2";
   g.row_count = 5;
   IcebergCommitOptions no_retry;
   no_retry.max_retries = 0;
   Status failed = table->CommitAppend(GcpCaller(), {g}, no_retry);
-  EXPECT_EQ(failed.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(failed));
   EXPECT_EQ(table->metadata().current_snapshot_id, 1u);
   auto manifest = table->ReadCurrentManifest(GcpCaller());
   ASSERT_TRUE(manifest.ok());
   EXPECT_EQ(manifest->size(), 1u);
 
-  // The retry (fault cleared) succeeds and sees both files.
+  // The retry (fault drained) succeeds and sees both files.
   ASSERT_TRUE(table->CommitAppend(GcpCaller(), {g}).ok());
   EXPECT_EQ(table->ReadCurrentManifest(GcpCaller())->size(), 2u);
 }
@@ -54,8 +72,9 @@ TEST_F(FailureInjectionTest, IcebergPointerFaultLeavesOldSnapshotReadable) {
   ASSERT_TRUE(table->CommitAppend(GcpCaller(), {f}).ok());
 
   // Manifest write succeeds, pointer CAS faults: the new snapshot never
-  // becomes visible (the orphaned manifest is harmless garbage).
-  store_->InjectPutFailures(1, /*skip_first=*/1);
+  // becomes visible (the orphaned manifest is harmless garbage). CAS puts
+  // are their own fault site, so no skip-counting over the manifest put.
+  injector()->SetPlan(FaultPlan::FailNext(FaultSite::kObjCas));
   DataFileEntry g;
   g.path = "t/f2";
   g.row_count = 5;
@@ -69,8 +88,29 @@ TEST_F(FailureInjectionTest, IcebergPointerFaultLeavesOldSnapshotReadable) {
   EXPECT_EQ(reader->metadata().current_snapshot_id, 1u);
 }
 
+TEST_F(FailureInjectionTest, IcebergCommitSurvivesTransientFaultWithRetries) {
+  auto table =
+      IcebergTable::Create(store_, GcpCaller(), "lake", "t/", SalesSchema());
+  ASSERT_TRUE(table.ok());
+  DataFileEntry f;
+  f.path = "t/f1";
+  f.row_count = 10;
+  injector()->SetPlan(FaultPlan::FailNext(FaultSite::kObjCas));
+  // Default options retry: the single transient CAS fault is invisible.
+  ASSERT_TRUE(table->CommitAppend(GcpCaller(), {f}).ok());
+  EXPECT_EQ(table->metadata().current_snapshot_id, 1u);
+  EXPECT_EQ(injector()->injected(FaultSite::kObjCas), 1u);
+  EXPECT_GT(lake_.sim().counters().Get("retry.obj_cas"), 0u);
+}
+
+BlmtOptions NoRetryBlmt() {
+  BlmtOptions o;
+  o.retry.max_attempts = 1;
+  return o;
+}
+
 TEST_F(FailureInjectionTest, BlmtInsertFailsCleanly) {
-  BlmtService blmt(&lake_);
+  BlmtService blmt(&lake_, NoRetryBlmt());
   TableDef def;
   def.dataset = "ds";
   def.name = "t";
@@ -83,8 +123,10 @@ TEST_F(FailureInjectionTest, BlmtInsertFailsCleanly) {
   ASSERT_TRUE(blmt.CreateTable(def).ok());
   ASSERT_TRUE(blmt.Insert("u", "ds.t", SalesBatch(20, 0, 1)).ok());
 
-  store_->InjectPutFailures(1);
-  EXPECT_FALSE(blmt.Insert("u", "ds.t", SalesBatch(20, 100, 2)).ok());
+  injector()->SetPlan(FaultPlan::FailNext(FaultSite::kObjPut));
+  auto failed = blmt.Insert("u", "ds.t", SalesBatch(20, 100, 2));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(IsRetryable(failed.status()));
   // Table unchanged: no metadata entry for the failed file.
   EXPECT_EQ(blmt.ReadAll("ds.t")->num_rows(), 20u);
   // Retry succeeds.
@@ -93,7 +135,7 @@ TEST_F(FailureInjectionTest, BlmtInsertFailsCleanly) {
 }
 
 TEST_F(FailureInjectionTest, BlmtDeleteFaultPreservesAllRows) {
-  BlmtService blmt(&lake_);
+  BlmtService blmt(&lake_, NoRetryBlmt());
   TableDef def;
   def.dataset = "ds";
   def.name = "t";
@@ -108,7 +150,7 @@ TEST_F(FailureInjectionTest, BlmtDeleteFaultPreservesAllRows) {
 
   // The DELETE's remainder rewrite faults: the delete must not be
   // half-applied.
-  store_->InjectPutFailures(1);
+  injector()->SetPlan(FaultPlan::FailNext(FaultSite::kObjPut));
   EXPECT_FALSE(
       blmt.Delete("u", "ds.t",
                   Expr::Lt(Expr::Col("id"), Expr::Lit(Value::Int64(10))))
@@ -120,6 +162,26 @@ TEST_F(FailureInjectionTest, BlmtDeleteFaultPreservesAllRows) {
   ASSERT_TRUE(deleted.ok());
   EXPECT_EQ(*deleted, 10u);
   EXPECT_EQ(blmt.ReadAll("ds.t")->num_rows(), 40u);
+}
+
+TEST_F(FailureInjectionTest, BlmtInsertSurvivesTransientFaultByDefault) {
+  BlmtService blmt(&lake_);  // default options: retries on
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "t";
+  def.schema = SalesSchema();
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "t/";
+  def.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt.CreateTable(def).ok());
+
+  injector()->SetPlan(FaultPlan::FailNext(FaultSite::kObjPut));
+  ASSERT_TRUE(blmt.Insert("u", "ds.t", SalesBatch(20, 0, 1)).ok());
+  EXPECT_EQ(blmt.ReadAll("ds.t")->num_rows(), 20u);
+  EXPECT_EQ(injector()->injected(FaultSite::kObjPut), 1u);
+  EXPECT_GT(lake_.sim().counters().Get("retry.obj_put"), 0u);
 }
 
 class CcmvFaultTest : public ::testing::Test {
@@ -197,7 +259,16 @@ TEST_F(CcmvFaultTest, ReplicaSurvivesFailedRefreshAndRetries) {
           .ok());
   ASSERT_TRUE(biglake_.RefreshCache("aws_dataset.orders").ok());
 
-  gcp_store_->InjectPutFailures(1);
+  // Enough consecutive faults on GCP puts (the replica's cloud) to exhaust
+  // the uploader's retry budget; AWS-side reads are untouched.
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kObjPut;
+  rule.cloud = "gcp";
+  rule.count = 8;
+  plan.rules.push_back(rule);
+  auto* injector = FaultInjector::InstallOn(&lake_.sim());
+  injector->SetPlan(plan);
   EXPECT_FALSE(ccmv_.Refresh("mv").ok());
   // Crash consistency: the replica still serves the *previous* version in
   // full — no partition lost to the failed swap.
@@ -206,19 +277,46 @@ TEST_F(CcmvFaultTest, ReplicaSurvivesFailedRefreshAndRetries) {
   EXPECT_EQ(replica->num_rows(), 90u);
 
   // The retry picks the stale partition back up.
+  injector->Clear();
   auto retried = ccmv_.Refresh("mv");
   ASSERT_TRUE(retried.ok());
   EXPECT_EQ(retried->partitions_refreshed, 1u);
   EXPECT_EQ(ccmv_.QueryReplica("u", "mv")->num_rows(), 100u);
 }
 
-TEST_F(FailureInjectionTest, SkipFirstInjectionTargetsLaterPuts) {
+TEST_F(FailureInjectionTest, SkipWindowTargetsLaterPuts) {
   ASSERT_TRUE(store_->Put(GcpCaller(), "lake", "a", "1").ok());
-  store_->InjectPutFailures(1, /*skip_first=*/1);
+  injector()->SetPlan(
+      FaultPlan::FailNext(FaultSite::kObjPut, /*count=*/1, /*skip=*/1));
   EXPECT_TRUE(store_->Put(GcpCaller(), "lake", "b", "2").ok());   // skipped
   EXPECT_FALSE(store_->Put(GcpCaller(), "lake", "c", "3").ok());  // faulted
   EXPECT_TRUE(store_->Put(GcpCaller(), "lake", "d", "4").ok());   // drained
-  EXPECT_GT(lake_.sim().counters().Get("objstore.injected_put_failures"), 0u);
+  EXPECT_GT(lake_.sim().counters().Get("fault.injected.obj_put"), 0u);
+  EXPECT_EQ(injector()->injected(FaultSite::kObjPut), 1u);
+}
+
+TEST_F(FailureInjectionTest, RuleFiltersByCloudAndKeyPrefix) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kObjPut;
+  rule.cloud = "gcp";
+  rule.key_prefix = "lake/t/";
+  rule.count = -1;  // every matching call
+  plan.rules.push_back(rule);
+  injector()->SetPlan(plan);
+
+  EXPECT_TRUE(store_->Put(GcpCaller(), "lake", "other/x", "1").ok());
+  EXPECT_FALSE(store_->Put(GcpCaller(), "lake", "t/x", "2").ok());
+  EXPECT_FALSE(store_->Put(GcpCaller(), "lake", "t/y", "3").ok());
+  EXPECT_EQ(injector()->injected(FaultSite::kObjPut), 2u);
+}
+
+TEST_F(FailureInjectionTest, ThrottleFaultSurfacesAsResourceExhausted) {
+  injector()->SetPlan(FaultPlan::FailNext(FaultSite::kObjPut, 1, 0,
+                                          fault::FaultKind::kThrottle));
+  Status s = store_->Put(GcpCaller(), "lake", "a", "1").status();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsRetryable(s));
 }
 
 }  // namespace

@@ -1,0 +1,252 @@
+// Backoff math and retry-loop semantics for fault::RetryPolicy / Retryer.
+// Everything here must be exact: sleeps land on the simulated clock, jitter
+// is a pure function of (seed, site, key), and refusals are accounted.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/sim_env.h"
+#include "fault/retry.h"
+
+namespace biglake {
+namespace fault {
+namespace {
+
+TEST(NthBackoffBaseTest, ExactDoublingSequence) {
+  RetryPolicy p;
+  p.initial_backoff = 10'000;
+  p.multiplier = 2.0;
+  p.max_backoff = 0;  // uncapped
+  EXPECT_EQ(NthBackoffBase(p, 0), 10'000u);
+  EXPECT_EQ(NthBackoffBase(p, 1), 20'000u);
+  EXPECT_EQ(NthBackoffBase(p, 2), 40'000u);
+  EXPECT_EQ(NthBackoffBase(p, 3), 80'000u);
+  EXPECT_EQ(NthBackoffBase(p, 10), 10'240'000u);
+}
+
+TEST(NthBackoffBaseTest, CapClampsEverySleepPastTheKnee) {
+  RetryPolicy p;
+  p.initial_backoff = 10'000;
+  p.multiplier = 2.0;
+  p.max_backoff = 50'000;
+  EXPECT_EQ(NthBackoffBase(p, 0), 10'000u);
+  EXPECT_EQ(NthBackoffBase(p, 1), 20'000u);
+  EXPECT_EQ(NthBackoffBase(p, 2), 40'000u);
+  EXPECT_EQ(NthBackoffBase(p, 3), 50'000u);  // 80k clamped
+  EXPECT_EQ(NthBackoffBase(p, 9), 50'000u);
+}
+
+TEST(NthBackoffBaseTest, NonDoublingMultiplier) {
+  RetryPolicy p;
+  p.initial_backoff = 1'000;
+  p.multiplier = 3.0;
+  p.max_backoff = 0;
+  EXPECT_EQ(NthBackoffBase(p, 0), 1'000u);
+  EXPECT_EQ(NthBackoffBase(p, 1), 3'000u);
+  EXPECT_EQ(NthBackoffBase(p, 2), 9'000u);
+}
+
+TEST(RetryerTest, ZeroJitterSleepsTheExactExponentialSequence) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff = 10'000;
+  p.max_backoff = 0;
+  p.jitter = 0.0;
+  Retryer r(&env, p, FaultSite::kObjPut, "lake/t/f1");
+
+  SimMicros t0 = env.clock().Now();
+  ASSERT_TRUE(r.BackoffAndRetry());
+  EXPECT_EQ(env.clock().Now() - t0, 10'000u);
+  ASSERT_TRUE(r.BackoffAndRetry());
+  EXPECT_EQ(env.clock().Now() - t0, 30'000u);
+  ASSERT_TRUE(r.BackoffAndRetry());
+  EXPECT_EQ(env.clock().Now() - t0, 70'000u);
+  EXPECT_EQ(r.total_backoff(), 70'000u);
+  EXPECT_EQ(r.attempts(), 4);
+  // Attempts exhausted: the refusal does not sleep.
+  EXPECT_FALSE(r.BackoffAndRetry());
+  EXPECT_EQ(env.clock().Now() - t0, 70'000u);
+  EXPECT_FALSE(r.deadline_exhausted());
+  EXPECT_EQ(env.counters().Get("retry.obj_put"), 3u);
+  EXPECT_EQ(env.counters().Get("retry_exhausted.obj_put"), 1u);
+}
+
+TEST(RetryerTest, JitterShavesBoundedFractionDeterministically) {
+  RetryPolicy p;
+  p.max_attempts = 8;
+  p.initial_backoff = 100'000;
+  p.max_backoff = 0;
+  p.jitter = 0.5;
+  p.seed = 42;
+
+  auto sleep_sequence = [&]() {
+    SimEnv env;
+    Retryer r(&env, p, FaultSite::kObjCas, "lake/t/pointer");
+    std::vector<SimMicros> sleeps;
+    SimMicros prev = 0;
+    while (r.BackoffAndRetry()) {
+      sleeps.push_back(r.total_backoff() - prev);
+      prev = r.total_backoff();
+    }
+    return sleeps;
+  };
+
+  std::vector<SimMicros> a = sleep_sequence();
+  ASSERT_EQ(a.size(), 7u);
+  for (size_t n = 0; n < a.size(); ++n) {
+    SimMicros base = NthBackoffBase(p, static_cast<int>(n));
+    EXPECT_LE(a[n], base) << "sleep " << n;
+    EXPECT_GT(a[n], base / 2) << "sleep " << n;  // jitter shaves < 50%
+  }
+  // Identical (seed, site, key) → identical sequence, run to run.
+  EXPECT_EQ(a, sleep_sequence());
+
+  // A different key draws a different jitter stream.
+  SimEnv env;
+  Retryer other(&env, p, FaultSite::kObjCas, "lake/u/pointer");
+  ASSERT_TRUE(other.BackoffAndRetry());
+  std::vector<SimMicros> b{other.total_backoff()};
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST(RetryerTest, BudgetExhaustionRefusesWithoutSleeping) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.initial_backoff = 10'000;
+  p.max_backoff = 0;
+  p.max_total_backoff = 35'000;  // allows 10k + 20k, refuses the 40k sleep
+  Retryer r(&env, p, FaultSite::kReadRows, "s/0");
+  ASSERT_TRUE(r.BackoffAndRetry());
+  ASSERT_TRUE(r.BackoffAndRetry());
+  EXPECT_EQ(r.total_backoff(), 30'000u);
+  EXPECT_FALSE(r.BackoffAndRetry());
+  EXPECT_EQ(r.total_backoff(), 30'000u);  // refused sleep was not charged
+  EXPECT_FALSE(r.deadline_exhausted());
+  EXPECT_EQ(env.counters().Get("retry_exhausted.read_rows"), 1u);
+}
+
+TEST(RetryerTest, DeadlineRefusalMarksDeadlineExhausted) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.initial_backoff = 10'000;
+  p.max_backoff = 0;
+  p.deadline = 25'000;  // 10k sleeps fine; 10k+20k would overrun
+  Retryer r(&env, p, FaultSite::kMetaRefresh, "ds.t");
+  ASSERT_TRUE(r.BackoffAndRetry());
+  EXPECT_FALSE(r.BackoffAndRetry());
+  EXPECT_TRUE(r.deadline_exhausted());
+}
+
+TEST(RetryerTest, RetryImmediatelyDoesNotSleepOrAdvanceTheExponent) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff = 10'000;
+  Retryer r(&env, p, FaultSite::kObjCas, "lake/t/pointer");
+  SimMicros t0 = env.clock().Now();
+  ASSERT_TRUE(r.RetryImmediately());
+  EXPECT_EQ(env.clock().Now(), t0);  // no sleep
+  EXPECT_EQ(r.attempts(), 2);
+  // The next backoff still starts at the *first* exponent.
+  ASSERT_TRUE(r.BackoffAndRetry());
+  EXPECT_EQ(env.clock().Now() - t0, 10'000u);
+  // Immediate retries still count toward max_attempts.
+  ASSERT_TRUE(r.RetryImmediately());
+  EXPECT_EQ(r.attempts(), 4);
+  EXPECT_FALSE(r.RetryImmediately());
+  EXPECT_FALSE(r.BackoffAndRetry());
+}
+
+TEST(RetryWrapperTest, RetriesUntilSuccessAndReportsAttempts) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.initial_backoff = 1'000;
+  int calls = 0;
+  Status s = RetryStatus(&env, p, FaultSite::kObjPut, "k", [&] {
+    return ++calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(env.counters().Get("retry.obj_put"), 2u);
+}
+
+TEST(RetryWrapperTest, NonRetryableStatusReturnsImmediately) {
+  SimEnv env;
+  RetryPolicy p;
+  int calls = 0;
+  Status s = RetryStatus(&env, p, FaultSite::kObjPut, "k", [&] {
+    ++calls;
+    return Status::NotFound("gone");
+  });
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(env.counters().Get("retry.obj_put"), 0u);
+}
+
+TEST(RetryWrapperTest, ExhaustionReturnsLastRetryableStatus) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.initial_backoff = 1'000;
+  int calls = 0;
+  Status s = RetryStatus(&env, p, FaultSite::kVpnTransfer, "a>b", [&] {
+    ++calls;
+    return Status::ResourceExhausted("throttled");
+  });
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(env.counters().Get("retry_exhausted.vpn_transfer"), 1u);
+}
+
+TEST(RetryWrapperTest, DeadlineCutSurfacesAsDeadlineExceeded) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.initial_backoff = 10'000;
+  p.deadline = 5'000;  // even the first sleep overruns
+  Status s = RetryStatus(&env, p, FaultSite::kObjGet, "k", [&] {
+    return Status::Unavailable("flaky");
+  });
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_NE(s.message().find("retry deadline exceeded"), std::string::npos);
+}
+
+TEST(RetryWrapperTest, ResultFlavorReturnsTheValue) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff = 1'000;
+  int calls = 0;
+  Result<int> r = RetryResult<int>(&env, p, FaultSite::kReadRows, "s/1",
+                                   [&]() -> Result<int> {
+                                     if (++calls < 2) {
+                                       return Status::Unavailable("flaky");
+                                     }
+                                     return 7;
+                                   });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryWrapperTest, MaxAttemptsOneDisablesRetrying) {
+  SimEnv env;
+  RetryPolicy p;
+  p.max_attempts = 1;
+  int calls = 0;
+  Status s = RetryStatus(&env, p, FaultSite::kObjPut, "k", [&] {
+    ++calls;
+    return Status::Unavailable("flaky");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace biglake
