@@ -4,7 +4,7 @@
 # Each sanitizer uses its own build dir so the plain `build/` cache (and its
 # generator choice) is never disturbed.
 #
-# Usage: scripts/check.sh [plain|asan|tsan|chaos|docs]...   (default: all)
+# Usage: scripts/check.sh [plain|asan|tsan|chaos|bench|docs]...  (default: all)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,6 +22,16 @@ do_asan()  { run_suite build-asan -DBL_SANITIZE=address; }
 do_tsan()  { run_suite build-tsan -DBL_SANITIZE=thread; }
 do_docs()  { "$ROOT/scripts/check_metrics_doc.sh"; }
 
+# Bench smoke: every bench binary runs to completion and its acceptance
+# thresholds hold; results aggregate into BENCH_PR4.json at the repo root.
+do_bench() {
+  if [[ ! -d "$ROOT/build" ]]; then
+    echo "bench: build/ missing — run the plain stage first" >&2
+    exit 1
+  fi
+  "$ROOT/scripts/run_benches.sh"
+}
+
 # Seeded chaos sweep (`ctest -L chaos`), plain and under TSan: the sweep
 # asserts seed-reproducible outcomes at every worker count, so racy retry
 # or fault-accounting code shows up as a determinism diff here.
@@ -37,7 +47,7 @@ do_chaos() {
 
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(plain asan tsan chaos docs)
+  stages=(plain asan tsan chaos bench docs)
 fi
 
 for stage in "${stages[@]}"; do

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary in build/bench/ and aggregates their
+# machine-readable output into one JSON-lines file at the repo root
+# (BENCH_PR4.json): each bench prints human tables plus `{"bench":...}`
+# lines; only the JSON lines are collected. A bench exiting non-zero
+# (a failed acceptance threshold) fails the script.
+#
+# Usage: scripts/run_benches.sh [output-file]   (default: BENCH_PR4.json)
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${1:-$ROOT/BENCH_PR4.json}"
+BENCH_DIR="$ROOT/build/bench"
+
+if [[ ! -d "$BENCH_DIR" ]]; then
+  echo "run_benches: $BENCH_DIR missing — build first (scripts/check.sh plain)" >&2
+  exit 1
+fi
+
+: > "$OUT"
+failed=0
+for bin in "$BENCH_DIR"/bench_*; do
+  [[ -x "$bin" && -f "$bin" ]] || continue
+  name="$(basename "$bin")"
+  echo "=== $name ==="
+  log="$(mktemp)"
+  if ! "$bin" | tee "$log"; then
+    echo "FAILED: $name" >&2
+    failed=1
+  fi
+  # Collect only the single-line JSON result records.
+  grep -E '^\{"bench":' "$log" >> "$OUT" || true
+  rm -f "$log"
+done
+
+echo
+echo "aggregated $(wc -l < "$OUT") result lines into $OUT"
+exit "$failed"

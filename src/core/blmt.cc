@@ -172,6 +172,12 @@ Result<uint64_t> BlmtService::Delete(const Principal& principal,
     }
   }
   if (!removals.empty()) {
+    // Rewritten files must never be served from cache again: drop every
+    // cached generation/projection before swapping them out.
+    for (const std::string& path : removals) {
+      env_->block_cache().InvalidateObject(
+          CloudProviderName(table->location.provider), table->bucket, path);
+    }
     BL_RETURN_NOT_OK(env_->meta()
                          .SwapFiles(table_id, std::move(removals),
                                     std::move(additions))
@@ -232,6 +238,10 @@ Result<uint64_t> BlmtService::Update(
     additions.push_back(std::move(meta));
   }
   if (!removals.empty()) {
+    for (const std::string& path : removals) {
+      env_->block_cache().InvalidateObject(
+          CloudProviderName(table->location.provider), table->bucket, path);
+    }
     BL_RETURN_NOT_OK(env_->meta()
                          .SwapFiles(table_id, std::move(removals),
                                     std::move(additions))
@@ -334,6 +344,12 @@ Result<OptimizeReport> BlmtService::OptimizeStorage(
   report.files_coalesced = removals.size();
   report.files_after =
       files.size() - removals.size() + additions.size();
+  // Coalesce/recluster replaces the small files wholesale; evict their
+  // cached footers and blocks before the metadata swap lands.
+  for (const std::string& path : removals) {
+    env_->block_cache().InvalidateObject(
+        CloudProviderName(table->location.provider), table->bucket, path);
+  }
   BL_RETURN_NOT_OK(env_->meta()
                        .SwapFiles(table_id, std::move(removals),
                                   std::move(additions))
@@ -362,6 +378,8 @@ Result<GcReport> BlmtService::GarbageCollect(const std::string& table_id) {
     if (live_paths.count(obj.name) > 0) continue;
     if (now < obj.update_time + options_.gc_min_age) continue;
     BL_RETURN_NOT_OK(store->Delete(ctx, table->bucket, obj.name));
+    env_->block_cache().InvalidateObject(
+        CloudProviderName(table->location.provider), table->bucket, obj.name);
     ++report.objects_deleted;
   }
   obs::MetricsRegistry::Default()

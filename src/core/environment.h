@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/block_cache.h"
 #include "catalog/catalog.h"
 #include "meta/bigmeta.h"
 #include "meta/metadata_cache.h"
@@ -22,13 +23,22 @@ namespace biglake {
 
 class LakehouseEnv {
  public:
-  LakehouseEnv() : meta_(&env_), cache_mgr_(&env_, &meta_) {}
+  LakehouseEnv() : meta_(&env_), cache_mgr_(&env_, &meta_), block_cache_(&env_) {}
 
   SimEnv& sim() { return env_; }
   Catalog& catalog() { return catalog_; }
   BigMetadataStore& meta() { return meta_; }
   MetadataCacheManager& cache_manager() { return cache_mgr_; }
   SessionTokenService& token_service() { return tokens_; }
+
+  /// The environment-wide columnar block cache (src/cache/). Disabled until
+  /// ConfigureBlockCache grants it capacity; every consumer (Read API, and
+  /// through it the engine and Spark-lite) shares the same instance, so an
+  /// external engine's scan warms the next BigQuery scan and vice versa.
+  cache::BlockCache& block_cache() { return block_cache_; }
+  void ConfigureBlockCache(const cache::BlockCacheOptions& options) {
+    block_cache_.Configure(options);
+  }
 
   /// Registers an object store for a (cloud, region); returns it.
   ObjectStore* AddStore(const CloudLocation& location,
@@ -61,6 +71,7 @@ class LakehouseEnv {
   BigMetadataStore meta_;
   MetadataCacheManager cache_mgr_;
   SessionTokenService tokens_{0x42ab5ec7e7fULL};
+  cache::BlockCache block_cache_;
   std::map<std::string, std::unique_ptr<ObjectStore>> stores_;
 };
 

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,8 +28,10 @@
 #include "columnar/aggregate.h"
 #include "columnar/batch.h"
 #include "columnar/expr.h"
+#include "common/thread_pool.h"
 #include "core/environment.h"
 #include "fault/retry.h"
+#include "format/parquet_lite.h"
 #include "meta/bigmeta.h"
 
 namespace biglake {
@@ -60,6 +63,21 @@ struct ReadSessionOptions {
   /// merges partials: SUM over sums/counts, MIN/MAX over mins/maxes.
   std::vector<std::string> aggregate_group_by;
   std::vector<AggSpec> partial_aggregates;
+  /// Serve footers and decoded row-group blocks through the environment's
+  /// columnar block cache (src/cache/) when it has capacity (Sec 3.3/4.2:
+  /// warm scans bounded by CPU, not the object store). Cache hits change
+  /// cost accounting only — never rows. Off by default so existing
+  /// configurations are bit-identical to the pre-cache behavior. Ignored by
+  /// the legacy row-oriented reader (the "before" baseline stays uncached).
+  bool use_block_cache = false;
+  /// Readahead window per stream: up to this many files are fetched+decoded
+  /// concurrently on a prefetch pool, double-buffered against the consuming
+  /// pipeline. Simulated charges fold back serial-equivalently in file
+  /// order, so results and counters are bit-identical at any depth or
+  /// worker count; the analytic overlap (I/O hidden behind the window) is
+  /// reported separately and subtracted from per-stream wall time.
+  /// 0 = fetch synchronously (the pre-pipeline behavior).
+  uint32_t readahead_depth = 0;
 };
 
 /// One parallel unit of work: a subset of the session's data files.
@@ -137,6 +155,14 @@ class StorageReadApi {
   static Result<std::pair<ReadStream, ReadStream>> SplitStream(
       const ReadStream& stream);
 
+  /// Simulated micros of object-store latency the prefetch pipeline hid
+  /// behind compute for one stream of one session (0 without readahead).
+  /// Engines subtract this from per-stream virtual elapsed time when
+  /// computing analytic wall time; total resource time is unaffected.
+  /// Serial context only (call after the scan's parallel region joined).
+  SimMicros StreamOverlapSaved(const std::string& session_id,
+                               size_t stream_index) const;
+
  private:
   struct SessionState {
     ReadSessionOptions options;
@@ -144,6 +170,21 @@ class StorageReadApi {
     Credential credential;       // delegated, scoped to the table prefix
     EffectiveAccess access;      // resolved fine-grained policy
     std::vector<std::string> read_columns;  // pre-mask projection
+    /// Per-stream overlap (see StreamOverlapSaved); slot s is written only
+    /// by the task reading stream s.
+    std::vector<SimMicros> overlap_saved;
+  };
+
+  /// Everything fetch+decode produces for one data file, before any
+  /// consumer-side processing (partition columns, filters, masking). Blocks
+  /// are shared with the block cache and never mutated in place.
+  struct FileBlocks {
+    bool skip = false;  // non-data file / foreign-schema file (counted)
+    std::shared_ptr<const ParquetFileMeta> meta;
+    std::vector<std::pair<size_t, std::shared_ptr<const RecordBatch>>> blocks;
+    uint64_t values_decoded = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
   };
 
   /// One full read of a stream; retried whole by ReadRows on transient
@@ -157,12 +198,35 @@ class StorageReadApi {
   Result<PrunedFiles> CollectFiles(const TableDef& table,
                                    const Credential& credential,
                                    const ExprPtr& predicate, uint64_t txn,
-                                   uint64_t* files_total);
+                                   uint64_t* files_total,
+                                   bool use_block_cache);
+
+  /// Fetch+decode of one data file: credential check, footer (cache-aware),
+  /// row-group pruning, then per-group decoded blocks (cache-aware). Safe to
+  /// run on a prefetch worker: all simulated charges go to the installed
+  /// ChargeShard and cache mutations to the installed CacheTxn. A block or
+  /// footer is admitted to the cache only when every underlying read
+  /// observed the expected object generation — a faulted or partially-read
+  /// block is never admitted.
+  Result<FileBlocks> FetchFileBlocks(const SessionState& state,
+                                     const TableDef& table,
+                                     const ObjectStore* store,
+                                     const CallerContext& ctx,
+                                     const CachedFileMeta& fm,
+                                     cache::BlockCache* cache,
+                                     uint64_t projection_fp) const;
+
+  /// The dedicated prefetch pool (lazily built, thread-safe). Distinct from
+  /// any engine pool: a stream task blocks waiting on its readahead window,
+  /// so running prefetch units on the same pool could deadlock.
+  ThreadPool* prefetch_pool();
 
   LakehouseEnv* env_;
   ReadApiOptions options_;
   uint64_t next_session_ = 1;
   std::map<std::string, SessionState> sessions_;
+  std::once_flag prefetch_pool_once_;
+  std::unique_ptr<ThreadPool> prefetch_pool_;
 };
 
 }  // namespace biglake

@@ -140,6 +140,11 @@ Status StorageWriteApi::FlushCommitted(StreamState* stream) {
       }));
   BL_ASSIGN_OR_RETURN(CachedFileMeta file,
                       WriteDataFile(*stream->table, stream->buffered));
+  // A commit makes any cached decode of this object path stale (the
+  // generation key already fences it; this reclaims the bytes eagerly).
+  env_->block_cache().InvalidateObject(
+      CloudProviderName(stream->table->location.provider),
+      stream->table->bucket, file.file.path);
   BL_RETURN_NOT_OK(
       env_->meta().AppendFiles(stream->info.table_id, {file}).status());
   stream->buffered.clear();
@@ -199,6 +204,9 @@ Result<uint64_t> StorageWriteApi::BatchCommit(
     if (stream->buffered_rows == 0) continue;
     BL_ASSIGN_OR_RETURN(CachedFileMeta file,
                         WriteDataFile(*stream->table, stream->buffered));
+    env_->block_cache().InvalidateObject(
+        CloudProviderName(stream->table->location.provider),
+        stream->table->bucket, file.file.path);
     txn.AddFiles(stream->info.table_id, {file});
     stream->buffered.clear();
     stream->buffered_rows = 0;

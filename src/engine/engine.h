@@ -61,6 +61,14 @@ struct EngineOptions {
   /// Where this engine's workers run; scans of data in other clouds cross
   /// the WAN (used by Omni data planes).
   CloudLocation engine_location{CloudProvider::kGCP, "us-central1"};
+  /// Route this engine's scans through the environment's columnar block
+  /// cache (src/cache/), granting it `block_cache_capacity_bytes` when it is
+  /// not yet configured. Hits skip object-store I/O but never change rows.
+  bool enable_block_cache = false;
+  uint64_t block_cache_capacity_bytes = 256ull << 20;  // 256 MiB
+  /// Per-stream readahead window for the Read API's prefetching pipeline
+  /// (ReadSessionOptions::readahead_depth). 0 = synchronous fetch.
+  uint32_t readahead_depth = 0;
 };
 
 struct QueryStats {
@@ -85,7 +93,13 @@ class QueryEngine {
  public:
   QueryEngine(LakehouseEnv* env, StorageReadApi* read_api,
               EngineOptions options = {})
-      : env_(env), read_api_(read_api), options_(options) {}
+      : env_(env), read_api_(read_api), options_(options) {
+    if (options_.enable_block_cache && !env_->block_cache().enabled()) {
+      cache::BlockCacheOptions cache_options;
+      cache_options.capacity_bytes = options_.block_cache_capacity_bytes;
+      env_->ConfigureBlockCache(cache_options);
+    }
+  }
 
   const EngineOptions& options() const { return options_; }
 

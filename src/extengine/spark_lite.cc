@@ -244,6 +244,8 @@ Result<RecordBatch> SparkLiteEngine::ExecuteNode(const Principal& principal,
             opts.columns = probe->scan.columns;
             opts.predicate = probe->scan.predicate;
             opts.max_streams = options_.executors;
+            opts.use_block_cache = options_.use_block_cache;
+            opts.readahead_depth = options_.readahead_depth;
             SimTimer plan_timer(env_->sim());
             auto base = read_api_->CreateReadSession(
                 principal, probe->scan.table_id, opts);
@@ -309,6 +311,8 @@ Result<RecordBatch> SparkLiteEngine::ExecuteNode(const Principal& principal,
         opts.max_streams = options_.executors;
         opts.aggregate_group_by = node->group_by;
         opts.partial_aggregates = node->aggregates;
+        opts.use_block_cache = options_.use_block_cache;
+        opts.readahead_depth = options_.readahead_depth;
         SimTimer plan_timer(env_->sim());
         auto session = read_api_->CreateReadSession(
             principal, child->scan.table_id, opts);
@@ -326,8 +330,13 @@ Result<RecordBatch> SparkLiteEngine::ExecuteNode(const Principal& principal,
             SimTimer t(env_->sim());
             BL_ASSIGN_OR_RETURN(RecordBatch b,
                                 read_api_->ReadStreamBatch(*session, st));
-            elapsed.push_back(t.ElapsedMicros());
-            stats->total_micros += elapsed.back();
+            SimMicros e = t.ElapsedMicros();
+            stats->total_micros += e;
+            // Readahead hides part of the stream's I/O behind compute;
+            // the wall estimate (not resource time) shrinks accordingly.
+            SimMicros saved =
+                read_api_->StreamOverlapSaved(session->session_id, st);
+            elapsed.push_back(e > saved ? e - saved : 0);
             partials.push_back(std::move(b));
           }
           std::sort(elapsed.rbegin(), elapsed.rend());
@@ -381,8 +390,10 @@ Result<RecordBatch> SparkLiteEngine::ReadSessionStreams(
   for (size_t st = 0; st < session.streams.size(); ++st) {
     SimTimer t(env_->sim());
     BL_ASSIGN_OR_RETURN(RecordBatch b, read_api_->ReadStreamBatch(session, st));
-    elapsed.push_back(t.ElapsedMicros());
-    stats->total_micros += elapsed.back();
+    SimMicros e = t.ElapsedMicros();
+    stats->total_micros += e;
+    SimMicros saved = read_api_->StreamOverlapSaved(session.session_id, st);
+    elapsed.push_back(e > saved ? e - saved : 0);
     ChargeCpu(b.num_rows(), stats);
     batches.push_back(std::move(b));
   }
@@ -402,6 +413,8 @@ Result<RecordBatch> SparkLiteEngine::ConnectorScan(const Principal& principal,
   opts.columns = scan.columns;
   opts.predicate = scan.predicate;
   opts.max_streams = options_.executors;
+  opts.use_block_cache = options_.use_block_cache;
+  opts.readahead_depth = options_.readahead_depth;
   SimTimer plan_timer(env_->sim());
   BL_ASSIGN_OR_RETURN(
       ReadSession session,
@@ -419,8 +432,10 @@ Result<RecordBatch> SparkLiteEngine::ConnectorScan(const Principal& principal,
   for (size_t s = 0; s < session.streams.size(); ++s) {
     SimTimer t(env_->sim());
     BL_ASSIGN_OR_RETURN(RecordBatch b, read_api_->ReadStreamBatch(session, s));
-    elapsed.push_back(t.ElapsedMicros());
-    stats->total_micros += elapsed.back();
+    SimMicros e = t.ElapsedMicros();
+    stats->total_micros += e;
+    SimMicros saved = read_api_->StreamOverlapSaved(session.session_id, s);
+    elapsed.push_back(e > saved ? e - saved : 0);
     // Arrow-native ingestion: negligible copy cost, tiny per-row handling.
     ChargeCpu(b.num_rows(), stats);
     batches.push_back(std::move(b));

@@ -49,6 +49,14 @@ struct SparkOptions {
   /// Spark-lite CPU per value: JVM row processing is costlier than the
   /// server-side vectorized pipeline.
   double cpu_micros_per_value = 0.004;
+  /// Route connector scans through the environment's columnar block cache
+  /// (src/cache/). The cache is shared with BigQuery-side scans, so either
+  /// engine's reads warm the other's (the paper's shared caching layer).
+  /// Requires the cache to have capacity (LakehouseEnv::ConfigureBlockCache
+  /// or an engine with enable_block_cache).
+  bool use_block_cache = false;
+  /// Per-stream readahead window for the Read API's prefetching pipeline.
+  uint32_t readahead_depth = 0;
 };
 
 struct SparkQueryStats {

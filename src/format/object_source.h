@@ -24,9 +24,29 @@ class ObjectSource : public RandomAccessSource {
         size_(size) {}
 
   Result<std::string> Read(uint64_t offset, uint64_t length) const override {
-    return store_->GetRange(caller_, bucket_, name_, offset, length);
+    uint64_t generation = 0;
+    auto bytes =
+        store_->GetRange(caller_, bucket_, name_, offset, length, &generation);
+    // Track the generations this source observed: all_reads_same_generation()
+    // is the admission gate for caching data decoded from these bytes (a
+    // faulted read leaves generation 0, a concurrent rewrite changes it —
+    // either way the decoded block must not be cached under the old key).
+    if (!bytes.ok()) generation = 0;
+    if (reads_ == 0) {
+      observed_generation_ = generation;
+    } else if (generation != observed_generation_) {
+      observed_generation_ = 0;
+    }
+    ++reads_;
+    return bytes;
   }
   uint64_t Size() const override { return size_; }
+
+  /// The single generation every Read so far came from, or 0 when there were
+  /// no reads, any read failed, or generations differed between reads.
+  uint64_t observed_generation() const {
+    return reads_ == 0 ? 0 : observed_generation_;
+  }
 
  private:
   const ObjectStore* store_;
@@ -34,6 +54,8 @@ class ObjectSource : public RandomAccessSource {
   std::string bucket_;
   std::string name_;
   uint64_t size_;
+  mutable uint64_t reads_ = 0;
+  mutable uint64_t observed_generation_ = 0;
 };
 
 }  // namespace biglake

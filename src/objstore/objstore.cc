@@ -226,8 +226,8 @@ Result<std::string> ObjectStore::Get(const CallerContext& caller,
 Result<std::string> ObjectStore::GetRange(const CallerContext& caller,
                                           const std::string& bucket,
                                           const std::string& name,
-                                          uint64_t offset,
-                                          uint64_t length) const {
+                                          uint64_t offset, uint64_t length,
+                                          uint64_t* observed_generation) const {
   obs::ScopedSpan span("objstore:get_range", obs::Span::kObjstore);
   metrics_->get_range->Increment();
   BL_RETURN_NOT_OK(CheckFault(env_, FaultSite::kObjGet,
@@ -235,6 +235,9 @@ Result<std::string> ObjectStore::GetRange(const CallerContext& caller,
                               StrCat(bucket, "/", name),
                               options_.read_base_latency));
   BL_ASSIGN_OR_RETURN(const StoredObject* obj, Find(bucket, name));
+  if (observed_generation != nullptr) {
+    *observed_generation = obj->meta.generation;
+  }
   if (offset > obj->data.size()) {
     return Status::OutOfRange(StrCat("offset ", offset, " beyond object size ",
                                      obj->data.size()));

@@ -139,11 +139,17 @@ class ObjectStore {
                           const std::string& name) const;
 
   /// Reads `length` bytes starting at `offset` (clamped to object size);
-  /// used for footer peeking and column-chunk reads.
+  /// used for footer peeking and column-chunk reads. When
+  /// `observed_generation` is non-null it receives the generation of the
+  /// object the bytes came from — callers that cache decoded data key their
+  /// entries by generation and must refuse admission when the observed
+  /// generation differs from the one they expected (a concurrent rewrite
+  /// or a faulted read must never poison a cache).
   Result<std::string> GetRange(const CallerContext& caller,
                                const std::string& bucket,
                                const std::string& name, uint64_t offset,
-                               uint64_t length) const;
+                               uint64_t length,
+                               uint64_t* observed_generation = nullptr) const;
 
   Result<ObjectMetadata> Stat(const CallerContext& caller,
                               const std::string& bucket,

@@ -63,6 +63,21 @@
 #define METRIC_READAPI_SCHEMA_MISMATCHES \
   "biglake_readapi_schema_mismatch_files_total"
 
+// --- Columnar block cache (src/cache/block_cache.cc) ---
+// labels: kind ("block" | "footer")
+#define METRIC_CACHE_HITS "biglake_blockcache_hits_total"
+// labels: kind ("block" | "footer")
+#define METRIC_CACHE_MISSES "biglake_blockcache_misses_total"
+#define METRIC_CACHE_EVICTIONS "biglake_blockcache_evictions_total"
+#define METRIC_CACHE_INVALIDATIONS "biglake_blockcache_invalidations_total"
+// gauge: decoded bytes currently resident across every block cache
+#define METRIC_CACHE_BYTES_PINNED "biglake_blockcache_bytes_pinned"
+
+// --- Read API prefetch pipeline (src/core/read_api.cc) ---
+#define METRIC_PREFETCH_ISSUED "biglake_readapi_prefetch_issued_total"
+// units fetched (and charged) but discarded because the stream failed first
+#define METRIC_PREFETCH_WASTED "biglake_readapi_prefetch_wasted_total"
+
 // --- Storage Write API (src/core/write_api.cc) ---
 #define METRIC_WRITEAPI_APPENDS "biglake_writeapi_appends_total"
 #define METRIC_WRITEAPI_ROWS_APPENDED "biglake_writeapi_rows_appended_total"

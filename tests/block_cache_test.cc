@@ -1,0 +1,320 @@
+// Columnar block cache (src/cache/): unit behavior (keys, LRU eviction,
+// stats) plus the invalidation story end-to-end — DML, storage coalescing
+// and external rewrites must never let a scan observe stale cached blocks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/block_cache.h"
+#include "columnar/ipc.h"
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "core/environment.h"
+#include "core/read_api.h"
+#include "core/write_api.h"
+#include "engine/engine.h"
+#include "fault/fault.h"
+#include "lakehouse_fixture.h"
+
+namespace biglake {
+namespace {
+
+using cache::BlockCacheOptions;
+using cache::BlockKey;
+using cache::FooterKey;
+using cache::ObjectKeyPrefix;
+using cache::ProjectionFingerprint;
+
+TEST(BlockCacheKeysTest, ProjectionFingerprintIsOrderInsensitive) {
+  uint64_t ab = ProjectionFingerprint({"a", "b"});
+  uint64_t ba = ProjectionFingerprint({"b", "a"});
+  EXPECT_EQ(ab, ba);
+  EXPECT_NE(ab, ProjectionFingerprint({"a"}));
+  EXPECT_NE(ab, ProjectionFingerprint({"a", "c"}));
+  EXPECT_NE(ab, ProjectionFingerprint({}));
+}
+
+TEST(BlockCacheKeysTest, KeysSeparateGenerationRowGroupAndProjection) {
+  std::string p = ObjectKeyPrefix("gcp", "lake", "t/part-0.plk");
+  // Generation is part of every key: a rewrite changes the key, so stale
+  // entries become unreachable even without explicit invalidation.
+  EXPECT_NE(FooterKey(p, 1), FooterKey(p, 2));
+  EXPECT_NE(BlockKey(p, 1, 0, 7), BlockKey(p, 2, 0, 7));
+  EXPECT_NE(BlockKey(p, 1, 0, 7), BlockKey(p, 1, 1, 7));
+  EXPECT_NE(BlockKey(p, 1, 0, 7), BlockKey(p, 1, 0, 8));
+  // Every key of an object starts with its invalidation prefix.
+  EXPECT_EQ(BlockKey(p, 1, 0, 7).compare(0, p.size(), p), 0);
+  EXPECT_EQ(FooterKey(p, 1).compare(0, p.size(), p), 0);
+  // Different objects never share a prefix.
+  EXPECT_NE(p, ObjectKeyPrefix("gcp", "lake", "t/part-1.plk"));
+  EXPECT_NE(p, ObjectKeyPrefix("aws", "lake", "t/part-0.plk"));
+}
+
+std::shared_ptr<const RecordBatch> MakeBlock(size_t rows, int64_t base) {
+  BatchBuilder b(MakeSchema({{"id", DataType::kInt64, false}}));
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(b.AppendRow({Value::Int64(base + static_cast<int64_t>(i))})
+                    .ok());
+  }
+  return std::make_shared<const RecordBatch>(b.Finish());
+}
+
+TEST(BlockCacheUnitTest, LruEvictsLeastRecentlyUsedUnderPressure) {
+  LakehouseEnv lake;
+  auto block = MakeBlock(64, 0);
+  uint64_t bytes = block->MemoryBytes();
+  ASSERT_GT(bytes, 0u);
+  BlockCacheOptions opts;
+  opts.shard_count = 1;  // single shard: eviction order is fully observable
+  opts.capacity_bytes = 2 * bytes + bytes / 2;  // room for exactly two blocks
+  lake.ConfigureBlockCache(opts);
+  cache::BlockCache& c = lake.block_cache();
+  ASSERT_TRUE(c.enabled());
+
+  std::string p = ObjectKeyPrefix("gcp", "lake", "t/f.plk");
+  c.PutBlock(BlockKey(p, 1, 0, 0), MakeBlock(64, 0));
+  c.PutBlock(BlockKey(p, 1, 1, 0), MakeBlock(64, 100));
+  // Touch row group 0 so row group 1 is now the least recently used.
+  EXPECT_NE(c.GetBlock(BlockKey(p, 1, 0, 0)), nullptr);
+  c.PutBlock(BlockKey(p, 1, 2, 0), MakeBlock(64, 200));
+
+  EXPECT_EQ(c.GetBlock(BlockKey(p, 1, 1, 0)), nullptr);  // evicted
+  EXPECT_NE(c.GetBlock(BlockKey(p, 1, 0, 0)), nullptr);  // survived the touch
+  EXPECT_NE(c.GetBlock(BlockKey(p, 1, 2, 0)), nullptr);
+  cache::BlockCacheStats stats = c.Stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes_pinned, opts.capacity_bytes);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(BlockCacheUnitTest, BufferedTxnOpsAreInvisibleUntilFolded) {
+  LakehouseEnv lake;
+  BlockCacheOptions opts;
+  opts.capacity_bytes = 16 << 20;
+  lake.ConfigureBlockCache(opts);
+  cache::BlockCache& c = lake.block_cache();
+  std::string key = BlockKey(ObjectKeyPrefix("gcp", "lake", "x.plk"), 1, 0, 0);
+
+  cache::CacheTxn txn;
+  {
+    cache::ScopedCacheTxn scope(&txn);
+    c.PutBlock(key, MakeBlock(8, 0));
+    // The inserting task sees its own pending write...
+    EXPECT_NE(c.GetBlock(key), nullptr);
+  }
+  // ...but the shared state does not, until the launcher folds the txn.
+  EXPECT_EQ(c.Stats().entries, 0u);
+  c.FoldTxn(&txn);
+  EXPECT_EQ(c.Stats().entries, 1u);
+  EXPECT_NE(c.GetBlock(key), nullptr);
+}
+
+// ---- End-to-end: scans through the engine ---------------------------------
+
+class BlockCacheScanTest : public LakehouseFixture {
+ protected:
+  BlockCacheScanTest() : api_(&lake_), biglake_(&lake_), blmt_(&lake_) {}
+
+  EngineOptions CachedOptions(uint32_t depth = 2) {
+    EngineOptions opts;
+    opts.num_workers = 2;
+    opts.enable_block_cache = true;
+    opts.block_cache_capacity_bytes = 64ull << 20;
+    opts.readahead_depth = depth;
+    return opts;
+  }
+
+  StorageReadApi api_;
+  BigLakeTableService biglake_;
+  BlmtService blmt_;
+};
+
+TEST_F(BlockCacheScanTest, WarmScanHitsAndMatchesColdBitForBit) {
+  BuildLake("warm/", 4, 200);
+  ASSERT_TRUE(
+      biglake_.CreateBigLakeTable(MakeBigLakeDef("warm", "warm/")).ok());
+  QueryEngine engine(&lake_, &api_, CachedOptions());
+
+  auto cold = engine.Execute("u", Plan::Scan("ds.warm"));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  cache::BlockCacheStats after_cold = lake_.block_cache().Stats();
+  EXPECT_GT(after_cold.entries, 0u);
+  EXPECT_GT(after_cold.misses, 0u);
+
+  auto warm = engine.Execute("u", Plan::Scan("ds.warm"));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  cache::BlockCacheStats after_warm = lake_.block_cache().Stats();
+  // The warm scan is served from the cache: hits grew, entries did not.
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+  EXPECT_EQ(after_warm.entries, after_cold.entries);
+  // Cache state changes cost accounting only, never bytes.
+  EXPECT_EQ(SerializeBatch(warm->batch), SerializeBatch(cold->batch));
+  EXPECT_EQ(warm->stats.rows_returned, cold->stats.rows_returned);
+  // Warm total resource time is strictly cheaper: no footer or chunk I/O.
+  EXPECT_LT(warm->stats.total_micros, cold->stats.total_micros);
+}
+
+TEST_F(BlockCacheScanTest, DmlInvalidatesAndScansNeverSeeStaleRows) {
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "dml";
+  def.schema = SalesSchema();
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "dml/";
+  def.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt_.CreateTable(def).ok());
+  ASSERT_TRUE(blmt_.Insert("u", "ds.dml", SalesBatch(120, 0, 7)).ok());
+
+  QueryEngine engine(&lake_, &api_, CachedOptions());
+  auto before = engine.Execute("u", Plan::Scan("ds.dml"));
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  // Warm the cache, then mutate.
+  ASSERT_TRUE(engine.Execute("u", Plan::Scan("ds.dml")).ok());
+  ASSERT_GT(lake_.block_cache().Stats().entries, 0u);
+
+  auto deleted = blmt_.Delete(
+      "u", "ds.dml", Expr::Lt(Expr::Col("id"), Expr::Lit(Value::Int64(50))));
+  ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+  EXPECT_EQ(*deleted, 50u);
+  // The rewrite dropped the cached blocks of the replaced file eagerly.
+  EXPECT_GT(lake_.block_cache().Stats().invalidations, 0u);
+
+  auto after = engine.Execute("u", Plan::Scan("ds.dml"));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->stats.rows_returned, 70u);
+  // Cross-check against a cache-free world: the cached read is identical.
+  EngineOptions plain;
+  plain.num_workers = 2;
+  QueryEngine uncached(&lake_, &api_, plain);
+  auto verify = uncached.Execute("u", Plan::Scan("ds.dml"));
+  ASSERT_TRUE(verify.ok()) << verify.status().ToString();
+  EXPECT_EQ(SerializeBatch(after->batch), SerializeBatch(verify->batch));
+}
+
+TEST_F(BlockCacheScanTest, StorageCoalescingInvalidatesRewrittenObjects) {
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "opt";
+  def.schema = SalesSchema();
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "opt/";
+  def.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt_.CreateTable(def).ok());
+  // Many small files so OptimizeStorage actually coalesces.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        blmt_.Insert("u", "ds.opt", SalesBatch(20, i * 100, 10 + i)).ok());
+  }
+
+  QueryEngine engine(&lake_, &api_, CachedOptions());
+  auto before = engine.Execute("u", Plan::Scan("ds.opt"));
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  uint64_t inv_before = lake_.block_cache().Stats().invalidations;
+
+  auto report = blmt_.OptimizeStorage("ds.opt");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(lake_.block_cache().Stats().invalidations, inv_before);
+
+  auto after = engine.Execute("u", Plan::Scan("ds.opt"));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->stats.rows_returned, before->stats.rows_returned);
+}
+
+TEST_F(BlockCacheScanTest, ExternalRewriteMissesViaGenerationKey) {
+  // Uncached-metadata table: every scan re-lists, so a rewrite is visible
+  // immediately — the cache must not resurrect the old bytes.
+  BuildLake("gen/", 1, 50);
+  ASSERT_TRUE(
+      biglake_.CreateBigLakeTable(MakeBigLakeDef("gen", "gen/", false)).ok());
+  QueryEngine engine(&lake_, &api_, CachedOptions());
+  auto old_scan = engine.Execute("u", Plan::Scan("ds.gen"));
+  ASSERT_TRUE(old_scan.ok()) << old_scan.status().ToString();
+
+  // External writer rewrites the object in place (new generation, new rows).
+  RecordBatch replacement = SalesBatch(80, 5000, 99);
+  auto bytes = WriteParquetFile(replacement);
+  ASSERT_TRUE(bytes.ok());
+  PutOptions po;
+  po.content_type = "application/x-parquet-lite";
+  ASSERT_TRUE(
+      store_->Put(GcpCaller(), "lake", "gen/date=0/part-0.plk", *bytes, po)
+          .ok());
+
+  auto fresh = engine.Execute("u", Plan::Scan("ds.gen"));
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  // Stale cached blocks (old generation) were unreachable by key.
+  EXPECT_EQ(fresh->stats.rows_returned, 80u);
+  auto ids = fresh->batch.ColumnByName("id");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ((*ids)->Decode().int64_data()[0], 5000);
+}
+
+TEST_F(BlockCacheScanTest, WriteApiCommitIsVisibleToWarmScans) {
+  TableDef def;
+  def.dataset = "ds";
+  def.name = "wapi";
+  def.schema = SalesSchema();
+  def.connection = "us.lake-conn";
+  def.location = gcp_;
+  def.bucket = "lake";
+  def.prefix = "wapi/";
+  def.iam.Grant("*", Role::kWriter);
+  ASSERT_TRUE(blmt_.CreateTable(def).ok());
+  ASSERT_TRUE(blmt_.Insert("u", "ds.wapi", SalesBatch(30, 0, 3)).ok());
+
+  QueryEngine engine(&lake_, &api_, CachedOptions());
+  ASSERT_TRUE(engine.Execute("u", Plan::Scan("ds.wapi")).ok());  // warm
+
+  StorageWriteApi write_api(&lake_);
+  auto stream =
+      write_api.CreateWriteStream("u", "ds.wapi", WriteMode::kPending);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  ASSERT_TRUE(write_api.AppendRows(*stream, SalesBatch(25, 1000, 4)).ok());
+  ASSERT_TRUE(write_api.FinalizeStream(*stream).ok());
+  ASSERT_TRUE(write_api.BatchCommit({*stream}).ok());
+
+  auto after = engine.Execute("u", Plan::Scan("ds.wapi"));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->stats.rows_returned, 55u);
+}
+
+TEST_F(BlockCacheScanTest, FaultedReadsRetryCleanlyAndNeverPoisonTheCache) {
+  BuildLake("flt/", 3, 100);
+  ASSERT_TRUE(biglake_.CreateBigLakeTable(MakeBigLakeDef("flt", "flt/")).ok());
+
+  // Fault-free baseline from an uncached engine.
+  EngineOptions plain;
+  plain.num_workers = 2;
+  QueryEngine uncached(&lake_, &api_, plain);
+  auto baseline = uncached.Execute("u", Plan::Scan("ds.flt"));
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  std::string baseline_bytes = SerializeBatch(baseline->batch);
+
+  QueryEngine engine(&lake_, &api_, CachedOptions());
+  fault::FaultInjector* injector =
+      fault::FaultInjector::InstallOn(&lake_.sim());
+  injector->SetPlan(fault::FaultPlan::FailNext(FaultSite::kObjGet));
+  auto faulted = engine.Execute("u", Plan::Scan("ds.flt"));
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(SerializeBatch(faulted->batch), baseline_bytes);
+  EXPECT_GT(lake_.sim().counters().Get("retry.read_rows"), 0u);
+
+  // Whatever the faulted attempt cached is whole (admission requires every
+  // read to have observed the expected generation): the warm scan agrees.
+  injector->Clear();
+  auto warm = engine.Execute("u", Plan::Scan("ds.flt"));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(SerializeBatch(warm->batch), baseline_bytes);
+}
+
+}  // namespace
+}  // namespace biglake

@@ -255,6 +255,48 @@ TEST(ChaosTest, SeededSweepNeverCorruptsSnapshots) {
             << " clean failures across 24 schedules";
 }
 
+// The same sweep with the columnar block cache and prefetching enabled:
+// faults racing a warm (and invalidated-by-DML) cache must neither corrupt
+// results nor let a stale block survive recovery. The recovered state is
+// compared against a *cache-free* fault-free baseline, so any stale or
+// partially-admitted block would show up as a byte difference.
+TEST(ChaosTest, SeededSweepWithBlockCacheNeverServesStaleBlocks) {
+  TpcdsScale scale = SmallScale();
+  EngineOptions plain;
+  plain.num_workers = 4;
+  ChaosWorld base(scale);
+  QueryEngine base_engine(&base.lake, &base.api, plain);
+  WorkloadOutcome baseline = RunChaosWorkload(base, base_engine, std::nullopt);
+  ASSERT_TRUE(baseline.failures.empty());
+
+  EngineOptions cached = plain;
+  cached.enable_block_cache = true;
+  cached.block_cache_capacity_bytes = 32ull << 20;
+  cached.readahead_depth = 2;
+  uint64_t total_injected = 0;
+  for (uint64_t seed = 50; seed < 58; ++seed) {
+    ChaosWorld w(scale);
+    QueryEngine engine(&w.lake, &w.api, cached);
+    // Warm the cache before the chaos so faults race *hits* too, and so
+    // the DML invalidation path has real entries to drop.
+    ASSERT_TRUE(
+        engine.Execute("u", Plan::Scan(w.tables.store_sales)).ok());
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.fault_probability = 0.25;
+    chaos.latency_probability = 0.1;
+    chaos.max_extra_latency = 4'000;
+    WorkloadOutcome out = RunChaosWorkload(w, engine, chaos);
+    EXPECT_EQ(out.scan_bytes, baseline.scan_bytes) << "seed " << seed;
+    EXPECT_EQ(out.star_bytes, baseline.star_bytes) << "seed " << seed;
+    EXPECT_EQ(out.dml_ids, baseline.dml_ids) << "seed " << seed;
+    total_injected += out.injected;
+    // The sweep really ran against a live cache.
+    EXPECT_GT(w.lake.block_cache().Stats().hits, 0u) << "seed " << seed;
+  }
+  EXPECT_GT(total_injected, 0u);
+}
+
 // Property (c), worker-count half: the same seed produces the same fault
 // schedule, the same op outcomes, the same recovered bytes and the same
 // fault/retry counter totals whether the pool has 1, 2 or 8 workers.
