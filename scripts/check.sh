@@ -4,7 +4,8 @@
 # Each sanitizer uses its own build dir so the plain `build/` cache (and its
 # generator choice) is never disturbed.
 #
-# Usage: scripts/check.sh [plain|asan|tsan|chaos|bench|docs]...  (default: all)
+# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|bench|docs]...
+# (default: all)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,8 +23,21 @@ do_asan()  { run_suite build-asan -DBL_SANITIZE=address; }
 do_tsan()  { run_suite build-tsan -DBL_SANITIZE=thread; }
 do_docs()  { "$ROOT/scripts/check_metrics_doc.sh"; }
 
+# Expression-kernel correctness must never depend on the compiler actually
+# vectorizing the flat loops: rebuild with auto-vectorization disabled and
+# re-run the columnar/engine/kernel suites against the same assertions.
+do_novec() {
+  cmake -B "$ROOT/build-novec" -S "$ROOT" \
+    -DCMAKE_CXX_FLAGS=-fno-tree-vectorize
+  cmake --build "$ROOT/build-novec" -j "$JOBS" \
+    --target columnar_test engine_test expr_kernels_test
+  for t in columnar_test engine_test expr_kernels_test; do
+    "$ROOT/build-novec/tests/$t"
+  done
+}
+
 # Bench smoke: every bench binary runs to completion and its acceptance
-# thresholds hold; results aggregate into BENCH_PR4.json at the repo root.
+# thresholds hold; results aggregate into BENCH_PR5.json at the repo root.
 do_bench() {
   if [[ ! -d "$ROOT/build" ]]; then
     echo "bench: build/ missing — run the plain stage first" >&2
@@ -47,7 +61,7 @@ do_chaos() {
 
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(plain asan tsan chaos bench docs)
+  stages=(plain novec asan tsan chaos bench docs)
 fi
 
 for stage in "${stages[@]}"; do

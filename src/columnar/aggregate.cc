@@ -34,7 +34,9 @@ Result<std::vector<int>> ResolveColumns(const RecordBatch& batch,
 
 Result<RecordBatch> AggregateBatch(const RecordBatch& input,
                                    const std::vector<std::string>& group_by,
-                                   const std::vector<AggSpec>& aggregates) {
+                                   const std::vector<AggSpec>& aggregates,
+                                   const uint32_t* selection,
+                                   size_t selection_size) {
   BL_ASSIGN_OR_RETURN(std::vector<int> group_cols,
                       ResolveColumns(input, group_by));
   struct AggState {
@@ -56,8 +58,13 @@ Result<RecordBatch> AggregateBatch(const RecordBatch& input,
     agg_cols.push_back(idx);
   }
 
+  // With a selection, only the selected rows (in selection order) feed the
+  // groups — identical to aggregating the gathered batch, since group-key
+  // output values are read back through the stored original row id.
+  const size_t n = selection != nullptr ? selection_size : input.num_rows();
   std::map<std::string, std::pair<uint32_t, std::vector<AggState>>> groups;
-  for (size_t r = 0; r < input.num_rows(); ++r) {
+  for (size_t j = 0; j < n; ++j) {
+    const size_t r = selection != nullptr ? selection[j] : j;
     std::string key = AggRowKey(input, group_cols, r);
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) {

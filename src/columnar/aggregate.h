@@ -27,9 +27,17 @@ struct AggSpec {
 
 /// Hash group-by. Output schema: group columns, then one column per spec
 /// (COUNT -> INT64, SUM/AVG -> DOUBLE, MIN/MAX -> input type).
+///
+/// `selection`, when non-null, is a span of `selection_size` strictly
+/// ascending row ids: only those rows of `input` are aggregated, in that
+/// order — equivalent to (but cheaper than) gathering them into a batch
+/// first. The span form (rather than a vector) lets callers aggregate
+/// sub-ranges of a selection without copying it.
 Result<RecordBatch> AggregateBatch(const RecordBatch& input,
                                    const std::vector<std::string>& group_by,
-                                   const std::vector<AggSpec>& aggregates);
+                                   const std::vector<AggSpec>& aggregates,
+                                   const uint32_t* selection = nullptr,
+                                   size_t selection_size = 0);
 
 /// Merges per-stream partial aggregates produced by Read API aggregate
 /// pushdown into final results: COUNT partials are summed (staying INT64),

@@ -4,10 +4,20 @@
 #include <cassert>
 
 #include "common/strings.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace biglake {
 
 namespace {
+
+/// Counts comparisons resolved against dictionary entries (rather than rows):
+/// the regression guard for the O(dict + rows) encoded-data fast path.
+obs::Counter* DictComparesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter(METRIC_EXPR_DICT_COMPARES);
+  return c;
+}
 
 /// Applies a comparison to two boxed values known to be non-null.
 bool CompareValues(CmpOp op, const Value& a, const Value& b) {
@@ -80,6 +90,7 @@ Column CompareDictStringLiteral(CmpOp op, const Column& col,
   for (size_t d = 0; d < dict.size(); ++d) {
     dict_match[d] = CompareRaw(op, dict[d], lit) ? 1 : 0;
   }
+  DictComparesCounter()->Add(dict.size());
   const auto& idx = col.dict_indices();
   std::vector<uint8_t> out(idx.size());
   for (size_t i = 0; i < idx.size(); ++i) out[i] = dict_match[idx[i]];
@@ -155,6 +166,23 @@ const char* CmpOpName(CmpOp op) {
       return ">=";
   }
   return "?";
+}
+
+CmpOp MirrorCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      break;
+  }
+  return op;
 }
 
 ExprPtr Expr::Col(std::string name) {
@@ -267,27 +295,39 @@ Result<Column> Expr::Evaluate(const RecordBatch& batch) const {
       return BroadcastLiteral(literal_, LiteralType(literal_),
                               batch.num_rows());
     case Kind::kCompare: {
-      // Literal-vs-column fast paths, including encoded-data kernels.
+      // Literal-vs-column fast paths (both operand orders), including
+      // encoded-data kernels.
       const Expr& lhs = *children_[0];
       const Expr& rhs = *children_[1];
-      if (lhs.kind_ == Kind::kColumn && rhs.kind_ == Kind::kLiteral &&
-          !rhs.literal_.is_null()) {
+      const Expr* cexpr = nullptr;
+      const Expr* lexpr = nullptr;
+      CmpOp op = cmp_op_;
+      if (lhs.kind_ == Kind::kColumn && rhs.kind_ == Kind::kLiteral) {
+        cexpr = &lhs;
+        lexpr = &rhs;
+      } else if (lhs.kind_ == Kind::kLiteral && rhs.kind_ == Kind::kColumn) {
+        // Mirror the operator: lit < col  <=>  col > lit.
+        cexpr = &rhs;
+        lexpr = &lhs;
+        op = MirrorCmpOp(cmp_op_);
+      }
+      if (cexpr != nullptr && !lexpr->literal_.is_null()) {
         BL_ASSIGN_OR_RETURN(const Column* col,
-                            batch.ColumnByName(lhs.column_name_));
-        const Value& lit = rhs.literal_;
+                            batch.ColumnByName(cexpr->column_name_));
+        const Value& lit = lexpr->literal_;
         if (col->encoding() == Encoding::kDictionary && lit.is_string()) {
-          return CompareDictStringLiteral(cmp_op_, *col, lit.string_value());
+          return CompareDictStringLiteral(op, *col, lit.string_value());
         }
         if (col->encoding() == Encoding::kRunLength && lit.is_int64()) {
-          return CompareRleInt64Literal(cmp_op_, *col, lit.int64_value());
+          return CompareRleInt64Literal(op, *col, lit.int64_value());
         }
         if (col->encoding() == Encoding::kPlain) {
           if (IsIntegerPhysical(col->type()) && lit.is_int64()) {
-            return CompareInt64Literal(cmp_op_, *col, lit.int64_value());
+            return CompareInt64Literal(op, *col, lit.int64_value());
           }
           if (col->type() == DataType::kDouble &&
               (lit.is_double() || lit.is_int64())) {
-            return CompareDoubleLiteral(cmp_op_, *col, lit.AsDouble());
+            return CompareDoubleLiteral(op, *col, lit.AsDouble());
           }
         }
       }
@@ -479,22 +519,7 @@ PruneResult Expr::EvaluatePrune(
         col = &rhs;
         lit = &lhs;
         // Mirror the operator: lit < col  <=>  col > lit.
-        switch (cmp_op_) {
-          case CmpOp::kLt:
-            op = CmpOp::kGt;
-            break;
-          case CmpOp::kLe:
-            op = CmpOp::kGe;
-            break;
-          case CmpOp::kGt:
-            op = CmpOp::kLt;
-            break;
-          case CmpOp::kGe:
-            op = CmpOp::kLe;
-            break;
-          default:
-            break;
-        }
+        op = MirrorCmpOp(cmp_op_);
       } else {
         return PruneResult::kMayMatch;
       }

@@ -35,6 +35,12 @@ enum class LogicalOp { kAnd, kOr, kNot };
 
 const char* CmpOpName(CmpOp op);
 
+/// The operator that makes `lit <op> col` equivalent to `col <mirror> lit`:
+/// kLt <-> kGt, kLe <-> kGe; kEq/kNe are their own mirrors. Used to normalize
+/// literal-vs-column comparisons so fast paths and kernels only handle the
+/// column-on-the-left shape.
+CmpOp MirrorCmpOp(CmpOp op);
+
 /// Per-column physical statistics, as cached in Big Metadata.
 struct ColumnStats {
   Value min;  // NULL if unknown

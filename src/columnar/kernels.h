@@ -1,0 +1,81 @@
+// SIMD-friendly expression kernels: flat loops over raw typed spans.
+//
+// The legacy evaluator (Expr::Evaluate) boxes a `Value` per row for every
+// column-vs-column comparison and broadcasts literals into full columns.
+// This library replaces that hot path with typed flat-loop kernels the
+// compiler can auto-vectorize:
+//
+//   * compare kernels over int64/double spans, scalar-vs-span for literal
+//     operands (no BroadcastLiteral allocation) and span-vs-span for
+//     column/arith operands (no per-row Value boxing);
+//   * branch-free validity: null lanes are combined with `va[i] & vb[i]`
+//     byte ANDs and result lanes are zeroed with `out[i] &= valid[i]`,
+//     never with per-row branches;
+//   * Kleene AND/OR/NOT as byte arithmetic (FALSE dominates NULL for AND,
+//     TRUE dominates NULL for OR — identical to the legacy three-valued
+//     logic);
+//   * encoded-data kernels: dictionary string columns compare the
+//     dictionary once and map indices, RLE int64 columns compare per run —
+//     the Superluminal Sec 3.4 trick of working on encoded data.
+//
+// EvaluatePredicate is the entry point: it evaluates a BOOL-typed
+// expression over a batch and returns a BoolVec. Subtrees the kernels do
+// not cover fall back to Expr::Evaluate *for that subtree only*, so the
+// result is row-identical (in value space) to the legacy path for every
+// expression, supported or not. Correctness never depends on the compiler
+// actually vectorizing anything (scripts/check.sh has a -fno-tree-vectorize
+// stage proving it).
+
+#ifndef BIGLAKE_COLUMNAR_KERNELS_H_
+#define BIGLAKE_COLUMNAR_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/expr.h"
+#include "common/status.h"
+
+namespace biglake {
+namespace kernels {
+
+/// A boolean vector with SQL three-valued logic. `data[i]` is 0 or 1;
+/// `validity` is empty (all lanes valid) or one byte per lane (1 = valid).
+/// Invalid (NULL) lanes always carry data 0.
+struct BoolVec {
+  std::vector<uint8_t> data;
+  std::vector<uint8_t> validity;
+
+  size_t size() const { return data.size(); }
+  bool IsNull(size_t i) const {
+    return !validity.empty() && validity[i] == 0;
+  }
+};
+
+/// Converts to a filter mask: NULL -> 0 (excluded), same contract as
+/// BoolColumnToMask.
+std::vector<uint8_t> BoolVecToMask(const BoolVec& v);
+
+/// In-place byte AND of two masks of equal length (filter conjunction).
+void AndMaskInPlace(std::vector<uint8_t>* mask,
+                    const std::vector<uint8_t>& other);
+
+/// Evaluates a BOOL-typed expression over `batch` through the kernel
+/// library, falling back to Expr::Evaluate for unsupported subtrees.
+/// Value-space identical to the legacy path. Increments
+/// METRIC_EXPR_ROWS_EVALUATED by batch.num_rows().
+Result<BoolVec> EvaluatePredicate(const Expr& expr, const RecordBatch& batch);
+
+/// Records `selected` of `total` rows surviving a filter into the
+/// METRIC_EXPR_SELECTIVITY histogram (as a 0-100 percentage). No-op when
+/// total == 0.
+void ObserveSelectivity(uint64_t selected, uint64_t total);
+
+/// Increments METRIC_SELVEC_MATERIALIZATIONS: a deferred selection was
+/// gathered into contiguous columns at an operator boundary.
+void CountSelectionMaterialization();
+
+}  // namespace kernels
+}  // namespace biglake
+
+#endif  // BIGLAKE_COLUMNAR_KERNELS_H_

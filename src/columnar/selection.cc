@@ -1,0 +1,30 @@
+#include "columnar/selection.h"
+
+namespace biglake {
+
+SelectionVector SelectionVector::FromMask(const std::vector<uint8_t>& mask) {
+  // Counting pass (auto-vectorizable reduction), then a single exact-size
+  // allocation and a fill pass.
+  size_t count = 0;
+  for (uint8_t m : mask) count += m != 0;
+  std::vector<uint32_t> ids(count);
+  size_t out = 0;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) ids[out++] = static_cast<uint32_t>(i);
+  }
+  return SelectionVector(std::move(ids));
+}
+
+SelectionVector SelectionVector::FilterBy(
+    const std::vector<uint8_t>& mask) const {
+  size_t count = 0;
+  for (uint32_t id : ids_) count += mask[id] != 0;
+  std::vector<uint32_t> out(count);
+  size_t o = 0;
+  for (uint32_t id : ids_) {
+    if (mask[id]) out[o++] = id;
+  }
+  return SelectionVector(std::move(out));
+}
+
+}  // namespace biglake

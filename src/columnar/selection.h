@@ -1,0 +1,55 @@
+// SelectionVector: the deferred form of a filter result.
+//
+// A filter evaluated by the kernel library (kernels.h) produces a byte mask
+// over a batch; instead of eagerly copying every surviving value of every
+// column (RecordBatch::Filter), the mask is folded into a vector of
+// surviving row ids. Downstream operators — projection, aggregation, join
+// build/probe, sort — iterate the ids directly against the *unfiltered*
+// batch and only materialize contiguous output at operator boundaries that
+// need it (late materialization, the Superluminal/Arrow-compute shape).
+//
+// Ids are always strictly ascending, so iterating a selection visits rows
+// in the same order a materialized filter would — operators produce
+// row-identical output either way.
+
+#ifndef BIGLAKE_COLUMNAR_SELECTION_H_
+#define BIGLAKE_COLUMNAR_SELECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace biglake {
+
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+  explicit SelectionVector(std::vector<uint32_t> ids) : ids_(std::move(ids)) {}
+
+  /// Builds a selection from a filter byte mask (1 = keep) with a
+  /// popcount-style counting pass first, so the id buffer is allocated
+  /// exactly once at its final size.
+  static SelectionVector FromMask(const std::vector<uint8_t>& mask);
+
+  /// Composes with a mask over the *underlying* batch rows: keeps the ids i
+  /// for which mask[i] != 0. This is how stacked filters refine a selection
+  /// without ever materializing the intermediate batch.
+  SelectionVector FilterBy(const std::vector<uint8_t>& mask) const;
+
+  /// Keeps only the first `n` ids (LIMIT without copying any column data).
+  void Truncate(size_t n) {
+    if (n < ids_.size()) ids_.resize(n);
+  }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  const std::vector<uint32_t>& ids() const { return ids_; }
+  uint32_t operator[](size_t i) const { return ids_[i]; }
+
+ private:
+  std::vector<uint32_t> ids_;  // strictly ascending row ids
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COLUMNAR_SELECTION_H_

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "columnar/ipc.h"
+#include "columnar/kernels.h"
+#include "columnar/selection.h"
 #include "common/strings.h"
 #include "format/object_source.h"
 #include "format/parquet_lite.h"
@@ -650,26 +652,74 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
         }
       }
 
-      // Pushed-down user predicate.
-      if (state.options.predicate != nullptr) {
-        BL_ASSIGN_OR_RETURN(Column mask_col,
-                            state.options.predicate->Evaluate(batch));
-        batch = batch.Filter(BoolColumnToMask(mask_col));
-      }
-      // Security row filter — enforced here, inside the trust boundary.
-      if (state.access.row_filter != nullptr) {
-        BL_ASSIGN_OR_RETURN(Column mask_col,
-                            state.access.row_filter->Evaluate(batch));
-        batch = batch.Filter(BoolColumnToMask(mask_col));
-      }
-      if (batch.num_rows() == 0) continue;
-
-      // Project to the requested columns (drops filter-only columns).
+      // Requested columns present in this file (drops filter-only columns).
       std::vector<std::string> available;
       for (const auto& c : requested) {
         if (batch.schema()->FieldIndex(c) >= 0) available.push_back(c);
       }
-      BL_ASSIGN_OR_RETURN(RecordBatch projected, batch.Project(available));
+
+      RecordBatch projected;
+      const bool fused = state.options.use_vectorized_kernels &&
+                         !state.options.use_row_oriented_reader &&
+                         !available.empty() &&
+                         (state.options.predicate != nullptr ||
+                          state.access.row_filter != nullptr);
+      if (fused) {
+        // Fused filter→project: kernel masks over the decoded block, one
+        // selection vector, one gather of the requested columns — instead
+        // of up to two eager full-column Filter() copies plus a Project().
+        // Row-identical to the legacy branch below.
+        std::vector<uint8_t> mask;
+        if (state.options.predicate != nullptr) {
+          BL_ASSIGN_OR_RETURN(
+              kernels::BoolVec bv,
+              kernels::EvaluatePredicate(*state.options.predicate, batch));
+          mask = kernels::BoolVecToMask(bv);
+        }
+        // Security row filter — enforced here, inside the trust boundary.
+        if (state.access.row_filter != nullptr) {
+          BL_ASSIGN_OR_RETURN(
+              kernels::BoolVec bv,
+              kernels::EvaluatePredicate(*state.access.row_filter, batch));
+          std::vector<uint8_t> rf_mask = kernels::BoolVecToMask(bv);
+          if (mask.empty()) {
+            mask = std::move(rf_mask);
+          } else {
+            kernels::AndMaskInPlace(&mask, rf_mask);
+          }
+        }
+        SelectionVector sel = SelectionVector::FromMask(mask);
+        kernels::ObserveSelectivity(sel.size(), batch.num_rows());
+        if (sel.empty()) continue;
+        std::vector<Field> proj_fields;
+        std::vector<Column> proj_cols;
+        proj_fields.reserve(available.size());
+        proj_cols.reserve(available.size());
+        for (const auto& name : available) {
+          size_t idx =
+              static_cast<size_t>(batch.schema()->FieldIndex(name));
+          proj_fields.push_back(batch.schema()->field(idx));
+          proj_cols.push_back(batch.column(idx).Gather(sel.ids()));
+        }
+        kernels::CountSelectionMaterialization();
+        projected = RecordBatch(MakeSchema(std::move(proj_fields)),
+                                std::move(proj_cols));
+      } else {
+        // Pushed-down user predicate.
+        if (state.options.predicate != nullptr) {
+          BL_ASSIGN_OR_RETURN(Column mask_col,
+                              state.options.predicate->Evaluate(batch));
+          batch = batch.Filter(BoolColumnToMask(mask_col));
+        }
+        // Security row filter — enforced here, inside the trust boundary.
+        if (state.access.row_filter != nullptr) {
+          BL_ASSIGN_OR_RETURN(Column mask_col,
+                              state.access.row_filter->Evaluate(batch));
+          batch = batch.Filter(BoolColumnToMask(mask_col));
+        }
+        if (batch.num_rows() == 0) continue;
+        BL_ASSIGN_OR_RETURN(projected, batch.Project(available));
+      }
 
       // Data masking, after filtering so masked values never leave.
       std::vector<Column> out_cols;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
 
+#include "columnar/kernels.h"
 #include "common/strings.h"
 #include "engine/operators.h"
 #include "obs/metric_names.h"
@@ -35,6 +37,14 @@ const char* PlanKindName(Plan::Kind kind) {
       return "map";
   }
   return "unknown";
+}
+
+/// Collapses a deferred selection into a contiguous batch (the late-
+/// materialization boundary). No-op when nothing was deferred.
+RecordBatch MaterializeSelected(SelectedBatch in) {
+  if (!in.sel.has_value()) return std::move(in.batch);
+  kernels::CountSelectionMaterialization();
+  return in.batch.Gather(in.sel->ids());
 }
 
 }  // namespace
@@ -116,7 +126,7 @@ Result<QueryResult> QueryEngine::Execute(const Principal& principal,
     obs::ScopedSpan stage("execute", obs::Span::kStage);
     auto batch = ExecuteNode(principal, plan, &result.stats);
     exec_status = batch.status();
-    if (batch.ok()) result.batch = std::move(*batch);
+    if (batch.ok()) result.batch = MaterializeSelected(std::move(*batch));
   }
   result.stats.rows_returned = result.batch.num_rows();
   result.stats.total_micros = timer.ElapsedMicros();
@@ -165,13 +175,15 @@ Result<QueryResult> QueryEngine::Execute(const Principal& principal,
   return result;
 }
 
-Result<RecordBatch> QueryEngine::ExecuteNode(const Principal& principal,
-                                             const PlanPtr& plan,
-                                             QueryStats* stats) {
+Result<SelectedBatch> QueryEngine::ExecuteNode(const Principal& principal,
+                                               const PlanPtr& plan,
+                                               QueryStats* stats) {
   obs::ScopedSpan span(StrCat("op:", PlanKindName(plan->kind)),
                        obs::Span::kOperator);
   auto out = ExecuteNodeInner(principal, plan, stats);
   if (out.ok()) {
+    // Logical rows: a deferred selection reports its selected count, so
+    // spans and operator-row metrics are identical to the legacy path.
     span.AddNum("rows_out", out->num_rows());
     obs::MetricsRegistry::Default()
         .GetCounter(METRIC_ENGINE_OPERATOR_ROWS,
@@ -181,65 +193,129 @@ Result<RecordBatch> QueryEngine::ExecuteNode(const Principal& principal,
   return out;
 }
 
-Result<RecordBatch> QueryEngine::ExecuteNodeInner(const Principal& principal,
-                                                  const PlanPtr& plan,
-                                                  QueryStats* stats) {
+Result<SelectedBatch> QueryEngine::ExecuteNodeInner(const Principal& principal,
+                                                    const PlanPtr& plan,
+                                                    QueryStats* stats) {
   switch (plan->kind) {
-    case Plan::Kind::kScan:
-      return ExecuteScan(principal, *plan, stats);
+    case Plan::Kind::kScan: {
+      BL_ASSIGN_OR_RETURN(RecordBatch out,
+                          ExecuteScan(principal, *plan, stats));
+      return SelectedBatch{std::move(out), std::nullopt};
+    }
     case Plan::Kind::kFilter: {
-      BL_ASSIGN_OR_RETURN(RecordBatch in,
+      BL_ASSIGN_OR_RETURN(SelectedBatch in,
                           ExecuteNode(principal, plan->children[0], stats));
-      BL_ASSIGN_OR_RETURN(Column mask, plan->filter->Evaluate(in));
-      ChargeCpu(in.num_rows(), stats);
-      return in.Filter(BoolColumnToMask(mask));
+      if (options_.enable_vectorized_kernels) {
+        // Kernel path: evaluate the predicate over the *underlying* batch
+        // (mask values at already-filtered-out rows are simply discarded by
+        // FilterBy) and fold the result into the selection — no column is
+        // copied. CPU is charged on logical rows, same as the legacy path.
+        BL_ASSIGN_OR_RETURN(kernels::BoolVec bv,
+                            kernels::EvaluatePredicate(*plan->filter,
+                                                       in.batch));
+        ChargeCpu(in.num_rows(), stats);
+        std::vector<uint8_t> mask = kernels::BoolVecToMask(bv);
+        SelectionVector sel = in.sel.has_value()
+                                  ? in.sel->FilterBy(mask)
+                                  : SelectionVector::FromMask(mask);
+        kernels::ObserveSelectivity(sel.size(), in.num_rows());
+        return SelectedBatch{std::move(in.batch), std::move(sel)};
+      }
+      RecordBatch batch = MaterializeSelected(std::move(in));
+      BL_ASSIGN_OR_RETURN(Column mask, plan->filter->Evaluate(batch));
+      ChargeCpu(batch.num_rows(), stats);
+      return SelectedBatch{batch.Filter(BoolColumnToMask(mask)),
+                           std::nullopt};
     }
     case Plan::Kind::kProject: {
-      BL_ASSIGN_OR_RETURN(RecordBatch in,
+      BL_ASSIGN_OR_RETURN(SelectedBatch in,
                           ExecuteNode(principal, plan->children[0], stats));
       if (plan->project_names.size() != plan->project_exprs.size()) {
         return Status::InvalidArgument("project names/exprs mismatch");
       }
+      const uint64_t logical_rows = in.num_rows();
+      RecordBatch input;
+      if (in.sel.has_value()) {
+        // Fused filter->project: gather only the columns the projection
+        // actually references, at the selected ids — every other column of
+        // the batch is dropped without a copy.
+        std::set<std::string> refs;
+        for (const auto& e : plan->project_exprs) e->CollectColumns(&refs);
+        std::vector<Field> in_fields;
+        std::vector<Column> in_cols;
+        const Schema& schema = *in.batch.schema();
+        for (size_t c = 0; c < schema.num_fields(); ++c) {
+          if (refs.count(schema.field(c).name) == 0) continue;
+          in_fields.push_back(schema.field(c));
+          in_cols.push_back(in.batch.column(c).Gather(in.sel->ids()));
+        }
+        if (in_cols.empty()) {
+          // Pure-literal projection: a zero-column gather would lose the row
+          // count, so materialize instead.
+          input = MaterializeSelected(std::move(in));
+        } else {
+          kernels::CountSelectionMaterialization();
+          input = RecordBatch(MakeSchema(std::move(in_fields)),
+                              std::move(in_cols));
+        }
+      } else {
+        input = std::move(in.batch);
+      }
       std::vector<Field> fields;
       std::vector<Column> cols;
       for (size_t i = 0; i < plan->project_exprs.size(); ++i) {
-        BL_ASSIGN_OR_RETURN(Column c, plan->project_exprs[i]->Evaluate(in));
-        BL_ASSIGN_OR_RETURN(DataType t,
-                            plan->project_exprs[i]->ResultType(*in.schema()));
+        BL_ASSIGN_OR_RETURN(Column c, plan->project_exprs[i]->Evaluate(input));
+        BL_ASSIGN_OR_RETURN(
+            DataType t, plan->project_exprs[i]->ResultType(*input.schema()));
         fields.push_back({plan->project_names[i], t, true});
         cols.push_back(std::move(c));
       }
-      ChargeCpu(in.num_rows() * plan->project_exprs.size(), stats);
-      return RecordBatch(MakeSchema(std::move(fields)), std::move(cols));
+      ChargeCpu(logical_rows * plan->project_exprs.size(), stats);
+      return SelectedBatch{
+          RecordBatch(MakeSchema(std::move(fields)), std::move(cols)),
+          std::nullopt};
     }
     case Plan::Kind::kHashJoin:
       return ExecuteJoin(principal, *plan, stats);
     case Plan::Kind::kAggregate: {
-      BL_ASSIGN_OR_RETURN(RecordBatch in,
+      BL_ASSIGN_OR_RETURN(SelectedBatch in,
                           ExecuteNode(principal, plan->children[0], stats));
-      return ExecuteAggregate(in, *plan, stats);
+      BL_ASSIGN_OR_RETURN(RecordBatch out, ExecuteAggregate(in, *plan, stats));
+      return SelectedBatch{std::move(out), std::nullopt};
     }
     case Plan::Kind::kOrderBy: {
-      BL_ASSIGN_OR_RETURN(RecordBatch in,
+      BL_ASSIGN_OR_RETURN(SelectedBatch in,
                           ExecuteNode(principal, plan->children[0], stats));
       ChargeCpu(in.num_rows(), stats);
-      return ops::SortBatch(in, plan->sort_keys);
+      const std::vector<uint32_t>* sel =
+          in.sel.has_value() ? &in.sel->ids() : nullptr;
+      if (sel != nullptr) kernels::CountSelectionMaterialization();
+      BL_ASSIGN_OR_RETURN(RecordBatch out,
+                          ops::SortBatch(in.batch, plan->sort_keys, sel));
+      return SelectedBatch{std::move(out), std::nullopt};
     }
     case Plan::Kind::kLimit: {
-      BL_ASSIGN_OR_RETURN(RecordBatch in,
+      BL_ASSIGN_OR_RETURN(SelectedBatch in,
                           ExecuteNode(principal, plan->children[0], stats));
-      return in.Slice(0, plan->limit);
+      if (in.sel.has_value()) {
+        in.sel->Truncate(plan->limit);  // LIMIT over a selection is free
+        return in;
+      }
+      return SelectedBatch{in.batch.Slice(0, plan->limit), std::nullopt};
     }
     case Plan::Kind::kValues:
-      return plan->values;
+      return SelectedBatch{plan->values, std::nullopt};
     case Plan::Kind::kMap: {
-      BL_ASSIGN_OR_RETURN(RecordBatch in,
+      BL_ASSIGN_OR_RETURN(SelectedBatch in,
                           ExecuteNode(principal, plan->children[0], stats));
       if (!plan->map_fn) {
         return Status::InvalidArgument(
             StrCat("map operator `", plan->map_name, "` has no function"));
       }
-      return plan->map_fn(in);
+      // Map functions are opaque row transforms: hand them contiguous rows.
+      BL_ASSIGN_OR_RETURN(RecordBatch out,
+                          plan->map_fn(MaterializeSelected(std::move(in))));
+      return SelectedBatch{std::move(out), std::nullopt};
     }
   }
   return Status::Internal("unreachable plan kind");
@@ -256,6 +332,7 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
   opts.caller_location = options_.engine_location;
   opts.use_block_cache = options_.enable_block_cache;
   opts.readahead_depth = options_.readahead_depth;
+  opts.use_vectorized_kernels = options_.enable_vectorized_kernels;
   // Session creation includes all planning-time metadata work (Big Metadata
   // pruning when cached, object-store LIST + footer peeks when not) — it is
   // on the query's critical path.
@@ -364,9 +441,9 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
   return RecordBatch::Concat(batches);
 }
 
-Result<RecordBatch> QueryEngine::ExecuteJoin(const Principal& principal,
-                                             const Plan& join,
-                                             QueryStats* stats) {
+Result<SelectedBatch> QueryEngine::ExecuteJoin(const Principal& principal,
+                                               const Plan& join,
+                                               QueryStats* stats) {
   PlanPtr build_plan = join.children[0];
   PlanPtr probe_plan = join.children[1];
   std::vector<std::string> build_keys = join.left_keys;
@@ -416,15 +493,18 @@ Result<RecordBatch> QueryEngine::ExecuteJoin(const Principal& principal,
   build_plan = ensure_keys(build_plan, build_keys);
   probe_plan = ensure_keys(probe_plan, probe_keys);
 
-  BL_ASSIGN_OR_RETURN(RecordBatch build,
+  BL_ASSIGN_OR_RETURN(SelectedBatch build,
                       ExecuteNode(principal, build_plan, stats));
+  const std::vector<uint32_t>* build_sel =
+      build.sel.has_value() ? &build.sel->ids() : nullptr;
 
   // Dynamic partition pruning: feed the build side's distinct key values
   // into a probe-side scan as an IN-list so Big Metadata can prune files.
   if (options_.use_table_stats && options_.dynamic_partition_pruning &&
       probe_plan->kind == Plan::Kind::kScan && build_keys.size() == 1) {
     std::vector<Value> in_list =
-        ops::DistinctValues(build, build_keys[0], options_.dpp_max_keys);
+        ops::DistinctValues(build.batch, build_keys[0], options_.dpp_max_keys,
+                            build_sel);
     if (!in_list.empty()) {
       ExprPtr dpp = Expr::InList(Expr::Col(probe_keys[0]),
                                  std::move(in_list));
@@ -441,8 +521,13 @@ Result<RecordBatch> QueryEngine::ExecuteJoin(const Principal& principal,
     }
   }
 
-  BL_ASSIGN_OR_RETURN(RecordBatch probe,
+  BL_ASSIGN_OR_RETURN(SelectedBatch probe,
                       ExecuteNode(principal, probe_plan, stats));
+  const std::vector<uint32_t>* probe_sel =
+      probe.sel.has_value() ? &probe.sel->ids() : nullptr;
+  // Logical (selected) row counts everywhere: spans, thresholds and CPU
+  // charges match the legacy path exactly, whether or not the inputs carry
+  // deferred selections.
   obs::AddCurrentSpanNum("build_rows", build.num_rows());
   obs::AddCurrentSpanNum("probe_rows", probe.num_rows());
   uint64_t matches = 0;
@@ -452,32 +537,39 @@ Result<RecordBatch> QueryEngine::ExecuteJoin(const Principal& principal,
           options_.parallel_row_threshold) {
     // Radix-partitioned parallel join; output identical to the serial path.
     BL_ASSIGN_OR_RETURN(
-        joined, ops::PartitionedHashJoin(pool(), build, probe, build_keys,
-                                         probe_keys, &matches,
-                                         options_.num_workers));
+        joined, ops::PartitionedHashJoin(pool(), build.batch, probe.batch,
+                                         build_keys, probe_keys, &matches,
+                                         options_.num_workers, build_sel,
+                                         probe_sel));
   } else {
-    BL_ASSIGN_OR_RETURN(joined, ops::HashJoinBatches(build, probe, build_keys,
-                                                     probe_keys, &matches));
+    BL_ASSIGN_OR_RETURN(
+        joined, ops::HashJoinBatches(build.batch, probe.batch, build_keys,
+                                     probe_keys, &matches, build_sel,
+                                     probe_sel));
   }
   // Building the hash table costs ~4x per row vs probing: picking
   // the smaller build side (stats-driven) matters.
   ChargeCpu(build.num_rows() * 4 + probe.num_rows() + matches, stats);
-  return joined;
+  return SelectedBatch{std::move(joined), std::nullopt};
 }
 
-Result<RecordBatch> QueryEngine::ExecuteAggregate(const RecordBatch& input,
+Result<RecordBatch> QueryEngine::ExecuteAggregate(const SelectedBatch& input,
                                                   const Plan& agg,
                                                   QueryStats* stats) {
+  const std::vector<uint32_t>* sel =
+      input.sel.has_value() ? &input.sel->ids() : nullptr;
   ChargeCpu(input.num_rows() *
                 (agg.aggregates.size() + agg.group_by.size() + 1),
             stats);
   if (options_.num_workers > 1 &&
       input.num_rows() >= options_.parallel_row_threshold) {
     // Chunked partial aggregation on the pool, merged in chunk order.
-    return ops::ParallelAggregate(pool(), input, agg.group_by,
-                                  agg.aggregates);
+    return ops::ParallelAggregate(pool(), input.batch, agg.group_by,
+                                  agg.aggregates, 4096, sel);
   }
-  return ops::AggregateBatch(input, agg.group_by, agg.aggregates);
+  return ops::AggregateBatch(input.batch, agg.group_by, agg.aggregates,
+                             sel != nullptr ? sel->data() : nullptr,
+                             sel != nullptr ? sel->size() : 0);
 }
 
 }  // namespace biglake

@@ -29,8 +29,10 @@
 #define BIGLAKE_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "columnar/selection.h"
 #include "common/thread_pool.h"
 #include "core/read_api.h"
 #include "engine/plan.h"
@@ -69,6 +71,11 @@ struct EngineOptions {
   /// Per-stream readahead window for the Read API's prefetching pipeline
   /// (ReadSessionOptions::readahead_depth). 0 = synchronous fetch.
   uint32_t readahead_depth = 0;
+  /// Evaluate filters through the SIMD-friendly kernel library
+  /// (columnar/kernels.h) and defer filter materialization with selection
+  /// vectors (columnar/selection.h). Results are row-identical to the legacy
+  /// path; off = per-row boxed evaluation + eager RecordBatch::Filter.
+  bool enable_vectorized_kernels = true;
 };
 
 struct QueryStats {
@@ -87,6 +94,17 @@ struct QueryStats {
 struct QueryResult {
   RecordBatch batch;
   QueryStats stats;
+};
+
+/// A batch plus an optional deferred filter result. When `sel` is set the
+/// logical rows are `batch` rows at `sel`'s (strictly ascending) ids, in
+/// order — nothing has been copied yet. Operators consume the selection
+/// directly and materialize only where contiguous output is required.
+struct SelectedBatch {
+  RecordBatch batch;
+  std::optional<SelectionVector> sel;
+
+  size_t num_rows() const { return sel ? sel->size() : batch.num_rows(); }
 };
 
 class QueryEngine {
@@ -118,15 +136,16 @@ class QueryEngine {
   /// Wraps ExecuteNodeInner in an `operator` span annotated with the node's
   /// output rows; all recursion goes through here so nested operators nest
   /// in the trace too.
-  Result<RecordBatch> ExecuteNode(const Principal& principal,
-                                  const PlanPtr& plan, QueryStats* stats);
-  Result<RecordBatch> ExecuteNodeInner(const Principal& principal,
-                                       const PlanPtr& plan, QueryStats* stats);
+  Result<SelectedBatch> ExecuteNode(const Principal& principal,
+                                    const PlanPtr& plan, QueryStats* stats);
+  Result<SelectedBatch> ExecuteNodeInner(const Principal& principal,
+                                         const PlanPtr& plan,
+                                         QueryStats* stats);
   Result<RecordBatch> ExecuteScan(const Principal& principal, const Plan& scan,
                                   QueryStats* stats);
-  Result<RecordBatch> ExecuteJoin(const Principal& principal, const Plan& join,
-                                  QueryStats* stats);
-  Result<RecordBatch> ExecuteAggregate(const RecordBatch& input,
+  Result<SelectedBatch> ExecuteJoin(const Principal& principal,
+                                    const Plan& join, QueryStats* stats);
+  Result<RecordBatch> ExecuteAggregate(const SelectedBatch& input,
                                        const Plan& agg, QueryStats* stats);
 
   /// Rough output-cardinality estimate used for build-side selection.

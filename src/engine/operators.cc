@@ -83,7 +83,9 @@ Result<RecordBatch> HashJoinBatches(const RecordBatch& build,
                                     const RecordBatch& probe,
                                     const std::vector<std::string>& build_keys,
                                     const std::vector<std::string>& probe_keys,
-                                    uint64_t* matches_out) {
+                                    uint64_t* matches_out,
+                                    const std::vector<uint32_t>* build_sel,
+                                    const std::vector<uint32_t>* probe_sel) {
   if (build_keys.size() != probe_keys.size() || build_keys.empty()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
@@ -92,18 +94,34 @@ Result<RecordBatch> HashJoinBatches(const RecordBatch& build,
   BL_ASSIGN_OR_RETURN(std::vector<int> probe_cols,
                       ResolveColumns(probe, probe_keys));
 
+  // Logical row j maps to original row id borig(j)/porig(j); selections are
+  // strictly ascending, so iterating logical rows visits originals in the
+  // same order a materialized (gathered) input would — output rows match.
+  const size_t build_n = build_sel != nullptr ? build_sel->size()
+                                              : build.num_rows();
+  const size_t probe_n = probe_sel != nullptr ? probe_sel->size()
+                                              : probe.num_rows();
+  auto borig = [&](size_t j) {
+    return build_sel != nullptr ? (*build_sel)[j] : static_cast<uint32_t>(j);
+  };
+  auto porig = [&](size_t j) {
+    return probe_sel != nullptr ? (*probe_sel)[j] : static_cast<uint32_t>(j);
+  };
+
   std::unordered_map<std::string, std::vector<uint32_t>> table;
-  table.reserve(build.num_rows());
-  for (size_t r = 0; r < build.num_rows(); ++r) {
-    table[RowKey(build, build_cols, r)].push_back(static_cast<uint32_t>(r));
+  table.reserve(build_n);
+  for (size_t j = 0; j < build_n; ++j) {
+    uint32_t r = borig(j);
+    table[RowKey(build, build_cols, r)].push_back(r);
   }
   std::vector<uint32_t> build_rows, probe_rows;
-  for (size_t r = 0; r < probe.num_rows(); ++r) {
+  for (size_t j = 0; j < probe_n; ++j) {
+    uint32_t r = porig(j);
     auto it = table.find(RowKey(probe, probe_cols, r));
     if (it == table.end()) continue;
     for (uint32_t b : it->second) {
       build_rows.push_back(b);
-      probe_rows.push_back(static_cast<uint32_t>(r));
+      probe_rows.push_back(r);
     }
   }
   if (matches_out != nullptr) *matches_out = build_rows.size();
@@ -114,7 +132,8 @@ Result<RecordBatch> PartitionedHashJoin(
     ThreadPool* pool, const RecordBatch& build, const RecordBatch& probe,
     const std::vector<std::string>& build_keys,
     const std::vector<std::string>& probe_keys, uint64_t* matches_out,
-    size_t num_partitions) {
+    size_t num_partitions, const std::vector<uint32_t>* build_sel,
+    const std::vector<uint32_t>* probe_sel) {
   if (build_keys.size() != probe_keys.size() || build_keys.empty()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
@@ -124,22 +143,38 @@ Result<RecordBatch> PartitionedHashJoin(
                       ResolveColumns(probe, probe_keys));
   size_t P = std::max<size_t>(1, std::min<size_t>(num_partitions, 64));
 
+  // All indexing below is in *logical* rows j (positions within the
+  // selection, or plain row ids when there is none); logical ids convert to
+  // original row ids only when matches are emitted. Selections are strictly
+  // ascending, so orderings in logical and original space coincide and the
+  // output is row-identical to joining materialized inputs.
+  const size_t build_n = build_sel != nullptr ? build_sel->size()
+                                              : build.num_rows();
+  const size_t probe_n = probe_sel != nullptr ? probe_sel->size()
+                                              : probe.num_rows();
+  auto borig = [&](size_t j) {
+    return build_sel != nullptr ? (*build_sel)[j] : static_cast<uint32_t>(j);
+  };
+  auto porig = [&](size_t j) {
+    return probe_sel != nullptr ? (*probe_sel)[j] : static_cast<uint32_t>(j);
+  };
+
   // Encode join keys in parallel (the expensive per-row work), into
   // index-addressed slots.
-  std::vector<std::string> bkeys(build.num_rows());
-  std::vector<std::string> pkeys(probe.num_rows());
+  std::vector<std::string> bkeys(build_n);
+  std::vector<std::string> pkeys(probe_n);
   constexpr size_t kKeyGrain = 2048;
   BL_RETURN_NOT_OK(pool->ParallelFor(
-      build.num_rows(),
-      [&](size_t r) -> Status {
-        bkeys[r] = RowKey(build, build_cols, r);
+      build_n,
+      [&](size_t j) -> Status {
+        bkeys[j] = RowKey(build, build_cols, borig(j));
         return Status::OK();
       },
       kKeyGrain));
   BL_RETURN_NOT_OK(pool->ParallelFor(
-      probe.num_rows(),
-      [&](size_t r) -> Status {
-        pkeys[r] = RowKey(probe, probe_cols, r);
+      probe_n,
+      [&](size_t j) -> Status {
+        pkeys[j] = RowKey(probe, probe_cols, porig(j));
         return Status::OK();
       },
       kKeyGrain));
@@ -147,11 +182,11 @@ Result<RecordBatch> PartitionedHashJoin(
   // Radix partition: every key lands in exactly one partition, so each
   // partition joins independently.
   std::vector<std::vector<uint32_t>> build_parts(P), probe_parts(P);
-  for (size_t r = 0; r < build.num_rows(); ++r) {
-    build_parts[Fnv1a(bkeys[r]) % P].push_back(static_cast<uint32_t>(r));
+  for (size_t j = 0; j < build_n; ++j) {
+    build_parts[Fnv1a(bkeys[j]) % P].push_back(static_cast<uint32_t>(j));
   }
-  for (size_t r = 0; r < probe.num_rows(); ++r) {
-    probe_parts[Fnv1a(pkeys[r]) % P].push_back(static_cast<uint32_t>(r));
+  for (size_t j = 0; j < probe_n; ++j) {
+    probe_parts[Fnv1a(pkeys[j]) % P].push_back(static_cast<uint32_t>(j));
   }
 
   struct PartitionMatches {
@@ -162,16 +197,17 @@ Result<RecordBatch> PartitionedHashJoin(
   BL_RETURN_NOT_OK(pool->ParallelFor(P, [&](size_t p) -> Status {
     std::unordered_map<std::string, std::vector<uint32_t>> table;
     table.reserve(build_parts[p].size());
-    for (uint32_t r : build_parts[p]) {
-      table[bkeys[r]].push_back(r);  // ascending: build rows visit in order
+    for (uint32_t j : build_parts[p]) {
+      // Ascending logical ids: build rows visit in order.
+      table[bkeys[j]].push_back(static_cast<uint32_t>(borig(j)));
     }
     PartitionMatches& out = matches[p];
-    for (uint32_t r : probe_parts[p]) {
-      auto it = table.find(pkeys[r]);
+    for (uint32_t j : probe_parts[p]) {
+      auto it = table.find(pkeys[j]);
       if (it == table.end()) continue;
       for (uint32_t b : it->second) {
         out.build_rows.push_back(b);
-        out.probe_rows.push_back(r);
+        out.probe_rows.push_back(static_cast<uint32_t>(porig(j)));
       }
     }
     return Status::OK();
@@ -210,10 +246,15 @@ Result<RecordBatch> ParallelAggregate(ThreadPool* pool,
                                       const RecordBatch& input,
                                       const std::vector<std::string>& group_by,
                                       const std::vector<AggSpec>& aggregates,
-                                      size_t grain_rows) {
+                                      size_t grain_rows,
+                                      const std::vector<uint32_t>* selection) {
   if (grain_rows == 0) grain_rows = 4096;
-  if (input.num_rows() <= grain_rows) {
-    return ::biglake::AggregateBatch(input, group_by, aggregates);
+  const size_t logical_rows =
+      selection != nullptr ? selection->size() : input.num_rows();
+  if (logical_rows <= grain_rows) {
+    return ::biglake::AggregateBatch(
+        input, group_by, aggregates,
+        selection != nullptr ? selection->data() : nullptr, logical_rows);
   }
 
   // Decompose AVG into SUM + COUNT partials (AVG itself is not mergeable).
@@ -234,15 +275,24 @@ Result<RecordBatch> ParallelAggregate(ThreadPool* pool,
   // Chunking depends only on grain_rows, never on the pool width, so the
   // partial-sum tree — and thus any floating-point result — is identical
   // for every parallel configuration.
-  size_t num_chunks = (input.num_rows() + grain_rows - 1) / grain_rows;
+  size_t num_chunks = (logical_rows + grain_rows - 1) / grain_rows;
   std::vector<RecordBatch> partials(num_chunks);
   BL_RETURN_NOT_OK(pool->ParallelFor(num_chunks, [&](size_t c) -> Status {
     size_t begin = c * grain_rows;
-    size_t count = std::min(grain_rows, input.num_rows() - begin);
-    BL_ASSIGN_OR_RETURN(
-        partials[c],
-        ::biglake::AggregateBatch(input.Slice(begin, count), group_by,
-                                  partial_specs));
+    size_t count = std::min(grain_rows, logical_rows - begin);
+    if (selection != nullptr) {
+      // Chunk the selection itself — the aggregate kernel walks the id
+      // subspan directly, so no column data is copied per chunk.
+      BL_ASSIGN_OR_RETURN(
+          partials[c],
+          ::biglake::AggregateBatch(input, group_by, partial_specs,
+                                    selection->data() + begin, count));
+    } else {
+      BL_ASSIGN_OR_RETURN(
+          partials[c],
+          ::biglake::AggregateBatch(input.Slice(begin, count), group_by,
+                                    partial_specs));
+    }
     return Status::OK();
   }));
 
@@ -311,7 +361,8 @@ Result<RecordBatch> ParallelAggregate(ThreadPool* pool,
 }
 
 Result<RecordBatch> SortBatch(const RecordBatch& input,
-                              const std::vector<SortKey>& keys) {
+                              const std::vector<SortKey>& keys,
+                              const std::vector<uint32_t>* selection) {
   std::vector<int> key_cols;
   for (const auto& k : keys) {
     int idx = input.schema()->FieldIndex(k.column);
@@ -320,9 +371,17 @@ Result<RecordBatch> SortBatch(const RecordBatch& input,
     }
     key_cols.push_back(idx);
   }
-  std::vector<uint32_t> order(input.num_rows());
-  for (size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<uint32_t>(i);
+  // A selection pre-seeds the permutation with the surviving row ids (in
+  // ascending order, matching a materialized filter); the stable sort then
+  // permutes only those.
+  std::vector<uint32_t> order;
+  if (selection != nullptr) {
+    order = *selection;
+  } else {
+    order.resize(input.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<uint32_t>(i);
+    }
   }
   std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
     for (size_t i = 0; i < key_cols.size(); ++i) {
@@ -338,11 +397,14 @@ Result<RecordBatch> SortBatch(const RecordBatch& input,
 
 std::vector<Value> DistinctValues(const RecordBatch& batch,
                                   const std::string& column,
-                                  uint64_t max_values) {
+                                  uint64_t max_values,
+                                  const std::vector<uint32_t>* selection) {
   int idx = batch.schema()->FieldIndex(column);
   if (idx < 0) return {};
   std::set<Value> distinct;
-  for (size_t r = 0; r < batch.num_rows(); ++r) {
+  const size_t n = selection != nullptr ? selection->size() : batch.num_rows();
+  for (size_t j = 0; j < n; ++j) {
+    size_t r = selection != nullptr ? (*selection)[j] : j;
     Value v = batch.GetValue(r, static_cast<size_t>(idx));
     if (!v.is_null()) distinct.insert(std::move(v));
     if (distinct.size() > max_values) return {};

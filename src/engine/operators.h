@@ -18,11 +18,18 @@ namespace ops {
 
 /// Inner equi-join: returns build columns followed by probe columns (probe
 /// columns colliding with build names get a "_r" suffix).
-Result<RecordBatch> HashJoinBatches(const RecordBatch& build,
-                                    const RecordBatch& probe,
-                                    const std::vector<std::string>& build_keys,
-                                    const std::vector<std::string>& probe_keys,
-                                    uint64_t* matches_out = nullptr);
+///
+/// `build_sel`/`probe_sel`, when non-null, are deferred filter selections
+/// (strictly ascending row ids) over the respective batches: only selected
+/// rows participate, in selection order, and the output is row-identical to
+/// joining the materialized (gathered) inputs — without copying them first.
+Result<RecordBatch> HashJoinBatches(
+    const RecordBatch& build, const RecordBatch& probe,
+    const std::vector<std::string>& build_keys,
+    const std::vector<std::string>& probe_keys,
+    uint64_t* matches_out = nullptr,
+    const std::vector<uint32_t>* build_sel = nullptr,
+    const std::vector<uint32_t>* probe_sel = nullptr);
 
 /// Radix-partitioned parallel equi-join: rows are hash-partitioned on their
 /// join key across `num_partitions` independent build+probe tasks executed
@@ -33,14 +40,18 @@ Result<RecordBatch> PartitionedHashJoin(
     ThreadPool* pool, const RecordBatch& build, const RecordBatch& probe,
     const std::vector<std::string>& build_keys,
     const std::vector<std::string>& probe_keys,
-    uint64_t* matches_out = nullptr, size_t num_partitions = 8);
+    uint64_t* matches_out = nullptr, size_t num_partitions = 8,
+    const std::vector<uint32_t>* build_sel = nullptr,
+    const std::vector<uint32_t>* probe_sel = nullptr);
 
 /// Hash group-by; forwards to the shared columnar kernel (which the Read
 /// API also uses for server-side aggregate pushdown).
 inline Result<RecordBatch> AggregateBatch(
     const RecordBatch& input, const std::vector<std::string>& group_by,
-    const std::vector<AggSpec>& aggregates) {
-  return ::biglake::AggregateBatch(input, group_by, aggregates);
+    const std::vector<AggSpec>& aggregates,
+    const uint32_t* selection = nullptr, size_t selection_size = 0) {
+  return ::biglake::AggregateBatch(input, group_by, aggregates, selection,
+                                   selection_size);
 }
 
 /// Parallel hash group-by: the input is cut into fixed `grain_rows` chunks
@@ -55,17 +66,25 @@ Result<RecordBatch> ParallelAggregate(ThreadPool* pool,
                                       const RecordBatch& input,
                                       const std::vector<std::string>& group_by,
                                       const std::vector<AggSpec>& aggregates,
-                                      size_t grain_rows = 4096);
+                                      size_t grain_rows = 4096,
+                                      const std::vector<uint32_t>* selection =
+                                          nullptr);
 
-/// Stable multi-key sort.
+/// Stable multi-key sort. `selection`, when non-null, restricts (and
+/// pre-orders) the input to the selected row ids; the output is the
+/// materialized sorted batch.
 Result<RecordBatch> SortBatch(const RecordBatch& input,
-                              const std::vector<SortKey>& keys);
+                              const std::vector<SortKey>& keys,
+                              const std::vector<uint32_t>* selection = nullptr);
 
 /// Distinct non-null values of one column (used for dynamic partition
 /// pruning IN-lists). Stops early past `max_values`, returning empty.
+/// `selection` restricts the scan to the selected row ids.
 std::vector<Value> DistinctValues(const RecordBatch& batch,
                                   const std::string& column,
-                                  uint64_t max_values);
+                                  uint64_t max_values,
+                                  const std::vector<uint32_t>* selection =
+                                      nullptr);
 
 }  // namespace ops
 }  // namespace biglake

@@ -90,6 +90,16 @@
 #define METRIC_BLMT_OPTIMIZE_RUNS "biglake_blmt_optimize_runs_total"
 #define METRIC_BLMT_GC_DELETED "biglake_blmt_gc_files_deleted_total"
 
+// --- Expression kernels (src/columnar/kernels.cc, engine + Read API) ---
+// rows handed to the vectorized predicate evaluator (per top-level call)
+#define METRIC_EXPR_ROWS_EVALUATED "biglake_expr_rows_evaluated_total"
+// histogram: percentage (0-100) of rows surviving each filter evaluation
+#define METRIC_EXPR_SELECTIVITY "biglake_expr_selectivity"
+// deferred selections gathered into contiguous columns at operator boundaries
+#define METRIC_SELVEC_MATERIALIZATIONS "biglake_selvec_materializations_total"
+// comparisons resolved against dictionary entries instead of rows
+#define METRIC_EXPR_DICT_COMPARES "biglake_expr_dict_compares_total"
+
 // --- Query engine (src/engine/engine.cc) ---
 #define METRIC_ENGINE_QUERIES "biglake_engine_queries_total"
 // labels: op (plan-node kind: "scan", "hash_join", "aggregate", ...)

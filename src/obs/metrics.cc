@@ -86,6 +86,12 @@ const HistogramBounds& DefaultRowsBounds() {
   return *bounds;
 }
 
+const HistogramBounds& DefaultSelectivityBounds() {
+  static const HistogramBounds* bounds =
+      new HistogramBounds{{1, 2, 5, 10, 25, 50, 75, 90, 100}};
+  return *bounds;
+}
+
 Histogram::Histogram(HistogramBounds bounds) : upper_(std::move(bounds.upper)) {
   assert(std::is_sorted(upper_.begin(), upper_.end()));
   buckets_ = std::make_unique<std::atomic<uint64_t>[]>(upper_.size() + 1);

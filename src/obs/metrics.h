@@ -91,6 +91,8 @@ const HistogramBounds& DefaultSimMicrosBounds();
 const HistogramBounds& DefaultFanoutBounds();
 /// Default bounds for per-call row counts.
 const HistogramBounds& DefaultRowsBounds();
+/// Default bounds for percentage-valued histograms (filter selectivity).
+const HistogramBounds& DefaultSelectivityBounds();
 
 /// Fixed-bucket histogram of uint64 samples.
 class Histogram {
