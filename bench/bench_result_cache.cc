@@ -1,0 +1,246 @@
+// Query result cache + TinyLFU admission (simulated latency).
+//
+// Two experiments:
+//
+//   1. Repeated dashboard: a fixed panel of queries runs twice through an
+//      engine with the result cache on. The cold pass executes for real;
+//      the warm pass is served entirely from the cache (probe + per-row
+//      replay, no scans). Warm must be at least 10x cheaper per query in
+//      simulated wall latency.
+//   2. Admission sweep: the same scan-pollution workload (a small hot set
+//      probed every round while a long parade of never-repeated one-off
+//      results streams past) runs against the cache at 10% of the working
+//      set under plain LRU and under TinyLFU. TinyLFU's hot-set hit rate
+//      must be at least LRU's (in this workload it is far higher: one-hit
+//      wonders are rejected instead of flushing the dashboards).
+//
+// One JSON line per configuration (aggregated into BENCH_PR6.json by
+// scripts/run_benches.sh).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cache/result_cache.h"
+#include "core/read_api.h"
+#include "engine/engine.h"
+#include "obs/profile.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+constexpr int kFiles = 8;
+constexpr size_t kRowsPerFile = 4000;
+
+SchemaPtr DashSchema() {
+  return MakeSchema({{"id", DataType::kInt64, false},
+                     {"grp", DataType::kInt64, false},
+                     {"a", DataType::kDouble, false},
+                     {"b", DataType::kDouble, false}});
+}
+
+struct World {
+  BenchLakehouse env;
+  BlmtService blmt{&env.lake};
+  StorageReadApi api{&env.lake};
+
+  World() {
+    TableDef def;
+    def.dataset = "ds";
+    def.name = "dash";
+    def.schema = DashSchema();
+    def.connection = "us.lake-conn";
+    def.location = env.gcp;
+    def.bucket = "lake";
+    def.prefix = "dash/";
+    def.iam.Grant("*", Role::kWriter);
+    if (!blmt.CreateTable(def).ok()) {
+      std::printf("table creation failed\n");
+      std::exit(1);
+    }
+    Random rng(42);
+    for (int f = 0; f < kFiles; ++f) {
+      BatchBuilder b(DashSchema());
+      for (size_t r = 0; r < kRowsPerFile; ++r) {
+        (void)b.AppendRow(
+            {Value::Int64(f * 100000 + static_cast<int64_t>(r)),
+             Value::Int64(static_cast<int64_t>(rng.Uniform(64))),
+             Value::Double(rng.NextDouble() * 1000.0),
+             Value::Double(rng.NextDouble())});
+      }
+      if (!blmt.Insert("u", "ds.dash", b.Finish()).ok()) {
+        std::printf("insert failed\n");
+        std::exit(1);
+      }
+    }
+  }
+};
+
+std::vector<PlanPtr> DashboardPanel() {
+  std::vector<PlanPtr> panel;
+  panel.push_back(Plan::Aggregate(Plan::Scan("ds.dash"), {"grp"},
+                                  {{AggOp::kSum, "a", "sum_a"},
+                                   {AggOp::kCount, "id", "n"}}));
+  panel.push_back(Plan::Aggregate(Plan::Scan("ds.dash"), {},
+                                  {{AggOp::kMin, "a", "lo"},
+                                   {AggOp::kMax, "a", "hi"}}));
+  panel.push_back(Plan::Limit(
+      Plan::OrderBy(Plan::Scan("ds.dash"), {{"a", true}}), 20));
+  panel.push_back(Plan::Scan(
+      "ds.dash", {},
+      Expr::Lt(Expr::Col("id"), Expr::Lit(Value::Int64(500)))));
+  panel.push_back(Plan::Aggregate(
+      Plan::Scan("ds.dash", {},
+                 Expr::Gt(Expr::Col("b"), Expr::Lit(Value::Double(0.5)))),
+      {"grp"}, {{AggOp::kCount, "id", "n"}}));
+  return panel;
+}
+
+void EmitJson(const char* phase, const char* config, double value,
+              const char* value_name) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("result_cache");
+  w.Key("phase");
+  w.String(phase);
+  w.Key("config");
+  w.String(config);
+  w.Key(value_name);
+  w.Double(value);
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+}
+
+// ---- 2. Admission sweep plumbing ------------------------------------------
+
+std::shared_ptr<const RecordBatch> OneResult(int64_t tag) {
+  BatchBuilder b(MakeSchema({{"v", DataType::kInt64, false}}));
+  for (int64_t i = 0; i < 64; ++i) (void)b.AppendRow({Value::Int64(tag + i)});
+  return std::make_shared<const RecordBatch>(b.Finish());
+}
+
+double HotHitRate(cache::AdmissionPolicy policy) {
+  constexpr int kHot = 8;
+  constexpr int kColdPerRound = 72;
+  constexpr int kRounds = 16;
+  LakehouseEnv lake;
+  uint64_t entry_bytes = OneResult(0)->MemoryBytes();
+  cache::ResultCacheOptions opts;
+  opts.shard_count = 1;
+  // 10% of the per-round working set (kHot + kColdPerRound entries): the
+  // cache can hold the hot dashboards and nothing else — *if* admission is
+  // smart enough to keep them.
+  opts.capacity_bytes = (kHot + kColdPerRound) * entry_bytes / 10;
+  opts.admission_policy = policy;
+  lake.ConfigureResultCache(opts);
+  cache::ResultCache& rc = lake.result_cache();
+
+  uint64_t hot_probes = 0;
+  uint64_t hot_hits = 0;
+  int64_t cold_seq = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int h = 0; h < kHot; ++h) {
+      std::string key = "dash" + std::to_string(h);
+      ++hot_probes;
+      if (rc.Get(key) != nullptr) {
+        ++hot_hits;
+      } else {
+        rc.Put(key, {"t"}, OneResult(h));
+      }
+    }
+    // One-hit wonders: never probed again, pure cache pollution under LRU.
+    for (int c = 0; c < kColdPerRound; ++c, ++cold_seq) {
+      std::string key = "oneoff" + std::to_string(cold_seq);
+      if (rc.Get(key) == nullptr) rc.Put(key, {"t"}, OneResult(1000 + cold_seq));
+    }
+  }
+  return hot_probes > 0 ? static_cast<double>(hot_hits) / hot_probes : 0.0;
+}
+
+int Run() {
+  PrintHeader("Query result cache: repeated dashboard + admission sweep");
+  std::printf("table: %d files x %zu rows\n\n", kFiles, kRowsPerFile);
+
+  // ---- 1. Cold vs warm dashboard panel ----
+  World w;
+  EngineOptions opts;
+  opts.num_workers = 4;
+  opts.max_read_streams = 4;
+  opts.enable_result_cache = true;
+  QueryEngine engine(&w.env.lake, &w.api, opts);
+  std::vector<PlanPtr> panel = DashboardPanel();
+
+  auto run_panel = [&](const char* label) -> SimMicros {
+    SimMicros total_wall = 0;
+    for (const PlanPtr& q : panel) {
+      auto result = engine.Execute("u", q);
+      if (!result.ok()) {
+        std::printf("query failed: %s\n", result.status().ToString().c_str());
+        std::exit(1);
+      }
+      total_wall += result->stats.wall_micros;
+    }
+    (void)label;
+    return total_wall;
+  };
+
+  SimMicros cold = run_panel("cold");
+  SimMicros warm = run_panel("warm");
+  cache::ResultCacheStats stats = w.env.lake.result_cache().Stats();
+  double speedup = warm > 0 ? static_cast<double>(cold) / warm : 0.0;
+  PrintRow({"pass", "sim latency", "speedup"}, {12, 14, 10});
+  PrintRow({"cold", Ms(cold), Factor(1.0)}, {12, 14, 10});
+  PrintRow({"warm", Ms(warm), Factor(speedup)}, {12, 14, 10});
+  std::printf(
+      "cache: %llu entries, %s pinned, %llu hits / %llu misses\n\n",
+      static_cast<unsigned long long>(stats.entries),
+      Mb(stats.bytes_pinned).c_str(),
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses));
+  EmitJson("cold_warm", "cold", static_cast<double>(cold), "wall_micros");
+  EmitJson("cold_warm", "warm", static_cast<double>(warm), "wall_micros");
+  EmitJson("cold_warm", "speedup", speedup, "warm_speedup");
+
+  // ---- 2. LRU vs TinyLFU at 10% capacity ----
+  double lru_rate = HotHitRate(cache::AdmissionPolicy::kLru);
+  double lfu_rate = HotHitRate(cache::AdmissionPolicy::kTinyLfu);
+  PrintRow({"policy", "hot hit rate"}, {12, 14});
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", lru_rate * 100.0);
+  PrintRow({"lru", buf}, {12, 14});
+  std::snprintf(buf, sizeof(buf), "%.1f%%", lfu_rate * 100.0);
+  PrintRow({"tinylfu", buf}, {12, 14});
+  std::printf("\n");
+  EmitJson("admission", "lru", lru_rate, "hot_hit_rate");
+  EmitJson("admission", "tinylfu", lfu_rate, "hot_hit_rate");
+
+  if (stats.hits != panel.size()) {
+    std::printf("FAIL: warm pass must be all hits (%llu of %zu)\n",
+                static_cast<unsigned long long>(stats.hits), panel.size());
+    return 1;
+  }
+  if (warm * 10 > cold) {
+    std::printf("FAIL: warm panel must be >= 10x cheaper than cold (%.2fx)\n",
+                speedup);
+    return 1;
+  }
+  if (lfu_rate < lru_rate) {
+    std::printf("FAIL: TinyLFU hot hit rate (%.3f) below LRU (%.3f)\n",
+                lfu_rate, lru_rate);
+    return 1;
+  }
+  std::printf("OK: warm %.2fx cheaper than cold; TinyLFU %.1f%% vs LRU "
+              "%.1f%% hot hit rate at 10%% capacity\n",
+              speedup, lfu_rate * 100.0, lru_rate * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

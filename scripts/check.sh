@@ -4,7 +4,7 @@
 # Each sanitizer uses its own build dir so the plain `build/` cache (and its
 # generator choice) is never disturbed.
 #
-# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|bench|docs]...
+# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|resultcache|bench|docs]...
 # (default: all)
 set -eu
 
@@ -37,7 +37,7 @@ do_novec() {
 }
 
 # Bench smoke: every bench binary runs to completion and its acceptance
-# thresholds hold; results aggregate into BENCH_PR5.json at the repo root.
+# thresholds hold; results aggregate into BENCH_PR6.json at the repo root.
 do_bench() {
   if [[ ! -d "$ROOT/build" ]]; then
     echo "bench: build/ missing — run the plain stage first" >&2
@@ -59,9 +59,22 @@ do_chaos() {
   done
 }
 
+# Result-cache suite (`ctest -L resultcache`), plain and under TSan: key
+# canonicality, every-commit-path invalidation, and worker-count-independent
+# hit accounting (a racy hit path shows up as a determinism diff here).
+do_resultcache() {
+  for dir in build build-tsan; do
+    if [[ ! -d "$ROOT/$dir" ]]; then
+      echo "resultcache: $dir/ missing — run the plain/tsan stage first" >&2
+      exit 1
+    fi
+    ctest --test-dir "$ROOT/$dir" -L resultcache --output-on-failure
+  done
+}
+
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(plain novec asan tsan chaos bench docs)
+  stages=(plain novec asan tsan chaos resultcache bench docs)
 fi
 
 for stage in "${stages[@]}"; do

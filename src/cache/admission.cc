@@ -1,0 +1,89 @@
+#include "cache/admission.h"
+
+#include <algorithm>
+
+namespace biglake {
+namespace cache {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Independent odd multipliers deriving the per-row counter index from one
+// 64-bit key hash (splitmix64-style finalization per row).
+constexpr uint64_t kRowSeeds[4] = {
+    0x9e3779b97f4a7c15ULL,
+    0xc2b2ae3d27d4eb4fULL,
+    0x165667b19e3779f9ULL,
+    0x27d4eb2f165667c5ULL,
+};
+
+}  // namespace
+
+uint64_t KeyHash(const std::string& key) {
+  uint64_t h = kFnvOffset;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void FrequencySketch::Reset(uint64_t entries) {
+  uint64_t width = 1024;
+  while (width < entries && width < (1ull << 24)) width <<= 1;
+  row_mask_ = width - 1;
+  table_.assign(static_cast<size_t>(kRows) * width / 2, 0);
+  sample_count_ = 0;
+  // Ten observed accesses per tracked entry before popularity is halved —
+  // a purely logical aging schedule.
+  sample_period_ = 10 * width;
+}
+
+uint64_t FrequencySketch::CounterIndex(uint64_t hash, int row) const {
+  uint64_t mixed = hash * kRowSeeds[row];
+  mixed ^= mixed >> 33;
+  return static_cast<uint64_t>(row) * (row_mask_ + 1) + (mixed & row_mask_);
+}
+
+uint32_t FrequencySketch::ReadCounter(uint64_t index) const {
+  uint8_t byte = table_[index >> 1];
+  return (index & 1) ? (byte >> 4) : (byte & 0x0f);
+}
+
+void FrequencySketch::Increment(uint64_t hash) {
+  if (table_.empty()) return;
+  for (int row = 0; row < kRows; ++row) {
+    uint64_t index = CounterIndex(hash, row);
+    uint32_t count = ReadCounter(index);
+    if (count >= 15) continue;  // saturating
+    uint8_t& byte = table_[index >> 1];
+    if (index & 1) {
+      byte = static_cast<uint8_t>((byte & 0x0f) | ((count + 1) << 4));
+    } else {
+      byte = static_cast<uint8_t>((byte & 0xf0) | (count + 1));
+    }
+  }
+  if (++sample_count_ >= sample_period_) HalveAll();
+}
+
+uint32_t FrequencySketch::Estimate(uint64_t hash) const {
+  if (table_.empty()) return 0;
+  uint32_t min_count = 15;
+  for (int row = 0; row < kRows; ++row) {
+    min_count = std::min(min_count, ReadCounter(CounterIndex(hash, row)));
+  }
+  return min_count;
+}
+
+void FrequencySketch::HalveAll() {
+  for (uint8_t& byte : table_) {
+    // Halve both nibbles in place.
+    byte = static_cast<uint8_t>(((byte >> 1) & 0x77));
+  }
+  sample_count_ /= 2;
+}
+
+}  // namespace cache
+}  // namespace biglake

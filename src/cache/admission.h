@@ -1,0 +1,73 @@
+// Cache admission policies shared by the block cache and the result cache.
+//
+// `kLru` is plain recency eviction (the original behavior). `kTinyLfu` adds
+// a TinyLFU-style admission filter (Einziger et al., "TinyLFU: A Highly
+// Efficient Cache Admission Policy"): access frequencies are tracked in a
+// 4-bit count-min sketch, and on overflow the entry with the lowest
+// frequency-per-byte is evicted — which may be the just-inserted candidate
+// itself, i.e. a one-hit wonder is *rejected* rather than displacing a
+// proven-hot resident. Scan-heavy workloads stop flushing the hot set.
+//
+// Determinism: the sketch ages by *logical sample count* (every counter is
+// halved once `sample_period` increments have been recorded), never by wall
+// or simulated time, and callers only mutate it at serial apply points — so
+// admission decisions are bit-identical at any worker count.
+
+#ifndef BIGLAKE_CACHE_ADMISSION_H_
+#define BIGLAKE_CACHE_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace biglake {
+namespace cache {
+
+enum class AdmissionPolicy {
+  kLru,      // evict least-recently-used; admit everything
+  kTinyLfu,  // frequency-per-byte victim selection with admission gating
+};
+
+/// FNV-1a over a key string; the hash fed to the frequency sketch (and the
+/// same family the caches use for sharding/fingerprints).
+uint64_t KeyHash(const std::string& key);
+
+/// A 4-bit count-min sketch (4 rows, two counters per byte) with periodic
+/// halving. Counters saturate at 15; once `sample_period` increments have
+/// accumulated every counter is halved and the sample count is halved with
+/// it, so old popularity decays on a logical-sequence schedule.
+class FrequencySketch {
+ public:
+  /// Sizes the sketch to track roughly `entries` distinct keys without
+  /// excessive aliasing (rounded up to a power of two, min 1024) and resets
+  /// all counters. `entries` = 0 keeps the minimum size.
+  void Reset(uint64_t entries);
+
+  bool initialized() const { return !table_.empty(); }
+
+  /// Records one access. Serial apply points only.
+  void Increment(uint64_t hash);
+
+  /// Estimated access count of the key (min over rows), in [0, 15].
+  uint32_t Estimate(uint64_t hash) const;
+
+  uint64_t sample_count() const { return sample_count_; }
+  uint64_t sample_period() const { return sample_period_; }
+
+ private:
+  static constexpr int kRows = 4;
+
+  uint64_t CounterIndex(uint64_t hash, int row) const;
+  uint32_t ReadCounter(uint64_t index) const;
+  void HalveAll();
+
+  std::vector<uint8_t> table_;  // two 4-bit counters per byte
+  uint64_t row_mask_ = 0;       // counters per row - 1 (power of two)
+  uint64_t sample_count_ = 0;
+  uint64_t sample_period_ = 0;
+};
+
+}  // namespace cache
+}  // namespace biglake
+
+#endif  // BIGLAKE_CACHE_ADMISSION_H_

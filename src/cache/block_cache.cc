@@ -9,32 +9,28 @@
 namespace biglake {
 namespace cache {
 
-namespace {
-
-/// FNV-1a, the same shape the repo uses elsewhere for stable hashing.
-uint64_t Fnv1a(const std::string& s, uint64_t h = 0xcbf29ce484222325ULL) {
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-}  // namespace
-
-uint64_t ProjectionFingerprint(const std::vector<std::string>& columns) {
+uint64_t ProjectionFingerprint(std::span<const std::string> columns) {
   // Commutative combine (sum of independent per-column hashes): two engines
   // listing the same column set in different orders share cached blocks.
-  uint64_t h = 0xcbf29ce484222325ULL + columns.size();
-  for (const std::string& c : columns) {
-    h += Fnv1a(c);
-  }
+  // The per-column hashes are deduplicated first so a repeated column name
+  // cannot fork the fingerprint away from the equivalent distinct set.
+  std::vector<uint64_t> hashes;
+  hashes.reserve(columns.size());
+  for (const std::string& c : columns) hashes.push_back(KeyHash(c));
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  uint64_t h = 0xcbf29ce484222325ULL + hashes.size();
+  for (uint64_t x : hashes) h += x;
   return h;
 }
 
 std::string ObjectKeyPrefix(const char* cloud, const std::string& bucket,
                             const std::string& object) {
-  return StrCat(cloud, "|", bucket, "|", object, "@");
+  // Length prefixes make the encoding injective: `("a|b", "c")` and
+  // `("a", "b|c")` cannot collide, whatever characters the names contain.
+  // `cloud` is an internal constant ("gcp"/"aws"/"azure"), never adversarial.
+  return StrCat(cloud, "|", bucket.size(), ":", bucket, "|", object.size(),
+                ":", object, "@");
 }
 
 std::string FooterKey(const std::string& object_prefix, uint64_t generation) {
@@ -62,6 +58,8 @@ BlockCache::BlockCache(SimEnv* env) : env_(env) {
   misses_footer_ = reg.GetCounter(METRIC_CACHE_MISSES, {{"kind", "footer"}});
   evictions_ = reg.GetCounter(METRIC_CACHE_EVICTIONS);
   invalidations_ = reg.GetCounter(METRIC_CACHE_INVALIDATIONS);
+  admission_rejections_ =
+      reg.GetCounter(METRIC_CACHE_ADMISSION_REJECTED, {{"cache", "block"}});
   bytes_pinned_ = reg.GetGauge(METRIC_CACHE_BYTES_PINNED);
   shards_.resize(8);
   for (auto& s : shards_) s = std::make_unique<Shard>();
@@ -84,11 +82,29 @@ void BlockCache::Configure(const BlockCacheOptions& options) {
   }
   capacity_ = options.capacity_bytes;
   per_shard_capacity_ = capacity_ / shards_.size();
+  policy_ = options.admission_policy;
+  if (policy_ == AdmissionPolicy::kTinyLfu) {
+    uint64_t entries = options.sketch_entries;
+    if (entries == 0) entries = capacity_ / (64ull << 10);
+    sketch_.Reset(entries);
+  }
   for (auto& s : shards_) EvictOverflow(*s);
 }
 
 BlockCache::Shard& BlockCache::ShardFor(const std::string& key) {
-  return *shards_[Fnv1a(key) % shards_.size()];
+  return *shards_[KeyHash(key) % shards_.size()];
+}
+
+void BlockCache::RecordAccess(const std::string& key) {
+  if (policy_ != AdmissionPolicy::kTinyLfu) return;
+  if (CacheTxn* txn = internal::CurrentTxn()) {
+    CacheTxn::Op op;
+    op.key = key;
+    op.access_only = true;
+    txn->ops_.push_back(std::move(op));
+  } else {
+    sketch_.Increment(KeyHash(key));
+  }
 }
 
 void BlockCache::CountHit(bool footer) {
@@ -114,6 +130,7 @@ std::shared_ptr<const RecordBatch> BlockCache::GetBlock(
       const CacheTxn::Op& op = txn->ops_[pit->second];
       if (op.block != nullptr) {
         CountHit(/*footer=*/false);
+        RecordAccess(key);
         return op.block;
       }
     }
@@ -127,6 +144,7 @@ std::shared_ptr<const RecordBatch> BlockCache::GetBlock(
   }
   if (found == nullptr) {
     CountMiss(/*footer=*/false);
+    RecordAccess(key);
     return nullptr;
   }
   CountHit(/*footer=*/false);
@@ -147,6 +165,7 @@ std::shared_ptr<const ParquetFileMeta> BlockCache::GetFooter(
       const CacheTxn::Op& op = txn->ops_[pit->second];
       if (op.footer != nullptr) {
         CountHit(/*footer=*/true);
+        RecordAccess(key);
         return op.footer;
       }
     }
@@ -160,6 +179,7 @@ std::shared_ptr<const ParquetFileMeta> BlockCache::GetFooter(
   }
   if (found == nullptr) {
     CountMiss(/*footer=*/true);
+    RecordAccess(key);
     return nullptr;
   }
   CountHit(/*footer=*/true);
@@ -196,6 +216,10 @@ void BlockCache::PutFooter(const std::string& key,
 }
 
 void BlockCache::ApplyOp(CacheTxn::Op& op) {
+  if (op.access_only) {
+    if (policy_ == AdmissionPolicy::kTinyLfu) sketch_.Increment(KeyHash(op.key));
+    return;
+  }
   if (op.block != nullptr || op.footer != nullptr) {
     ApplyInsert(op.key,
                 Entry{std::move(op.block), std::move(op.footer), op.bytes, 0});
@@ -205,6 +229,7 @@ void BlockCache::ApplyOp(CacheTxn::Op& op) {
 }
 
 void BlockCache::ApplyTouch(const std::string& key) {
+  if (policy_ == AdmissionPolicy::kTinyLfu) sketch_.Increment(KeyHash(key));
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
@@ -231,7 +256,11 @@ void BlockCache::ApplyInsert(const std::string& key, Entry entry) {
   bytes_pinned_->Add(static_cast<int64_t>(entry.bytes));
   shard.lru[entry.stamp] = key;
   shard.entries.emplace(key, std::move(entry));
-  EvictOverflow(shard);
+  if (policy_ == AdmissionPolicy::kTinyLfu) {
+    EvictByFrequency(shard, key);
+  } else {
+    EvictOverflow(shard);
+  }
 }
 
 void BlockCache::EvictOverflow(Shard& shard) {
@@ -245,6 +274,42 @@ void BlockCache::EvictOverflow(Shard& shard) {
     ++eviction_count_;
     evictions_->Increment();
     env_->counters().Add("blockcache.evictions", 1);
+  }
+}
+
+void BlockCache::EvictByFrequency(Shard& shard, const std::string& candidate) {
+  while (shard.bytes_used > per_shard_capacity_ && !shard.entries.empty()) {
+    // Lowest frequency-per-byte loses; compare freq_a/bytes_a <
+    // freq_b/bytes_b by cross-multiplication (freq <= 15, so no overflow and
+    // no floating point), ties broken oldest-stamp-first. Map iteration
+    // order makes the scan deterministic.
+    auto victim = shard.entries.begin();
+    uint64_t victim_freq = sketch_.Estimate(KeyHash(victim->first));
+    for (auto it = std::next(shard.entries.begin());
+         it != shard.entries.end(); ++it) {
+      uint64_t freq = sketch_.Estimate(KeyHash(it->first));
+      uint64_t lhs = freq * victim->second.bytes;
+      uint64_t rhs = victim_freq * it->second.bytes;
+      if (lhs < rhs ||
+          (lhs == rhs && it->second.stamp < victim->second.stamp)) {
+        victim = it;
+        victim_freq = freq;
+      }
+    }
+    const bool rejected_candidate = victim->first == candidate;
+    shard.bytes_used -= victim->second.bytes;
+    bytes_pinned_->Add(-static_cast<int64_t>(victim->second.bytes));
+    shard.lru.erase(victim->second.stamp);
+    shard.entries.erase(victim);
+    if (rejected_candidate) {
+      ++admission_rejection_count_;
+      admission_rejections_->Increment();
+      env_->counters().Add("blockcache.admission_rejected", 1);
+    } else {
+      ++eviction_count_;
+      evictions_->Increment();
+      env_->counters().Add("blockcache.evictions", 1);
+    }
   }
 }
 
@@ -316,6 +381,7 @@ BlockCacheStats BlockCache::Stats() const {
   out.misses = miss_count_.load(std::memory_order_relaxed);
   out.evictions = eviction_count_;
   out.invalidations = invalidation_count_;
+  out.admission_rejections = admission_rejection_count_;
   for (const auto& shard_ptr : shards_) {
     std::lock_guard<std::mutex> lock(shard_ptr->mu);
     out.entries += shard_ptr->entries.size();

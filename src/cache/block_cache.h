@@ -40,9 +40,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "cache/admission.h"
 #include "columnar/batch.h"
 #include "common/sim_env.h"
 #include "format/parquet_lite.h"
@@ -61,15 +63,33 @@ struct BlockCacheOptions {
   uint64_t capacity_bytes = 0;
   /// Number of independently-locked LRU shards.
   uint32_t shard_count = 8;
+  /// Victim selection / admission gating (see cache/admission.h). kLru is
+  /// the original recency-only behavior; kTinyLfu evicts by lowest
+  /// frequency-per-byte and rejects cold candidates outright.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kLru;
+  /// TinyLFU sketch sizing hint: distinct entries to track. 0 = derive from
+  /// capacity (one slot per 64 KiB, min 1024).
+  uint64_t sketch_entries = 0;
 };
 
 /// Order-insensitive fingerprint of a projection (the set of columns a block
 /// was decoded with); part of the block key so different projections of the
-/// same row group never alias.
-uint64_t ProjectionFingerprint(const std::vector<std::string>& columns);
+/// same row group never alias. Duplicate names are ignored, so `[a,a,b]`
+/// and `[b,a]` fingerprint identically (it is a *set* fingerprint).
+uint64_t ProjectionFingerprint(std::span<const std::string> columns);
+/// Braced-list convenience: ProjectionFingerprint({"a", "b"}).
+inline uint64_t ProjectionFingerprint(
+    std::initializer_list<std::string> columns) {
+  return ProjectionFingerprint(
+      std::span<const std::string>(columns.begin(), columns.size()));
+}
 
-/// `<cloud>|<bucket>|<object>@` — the invalidation prefix covering every
-/// generation/projection of one object.
+/// `<cloud>|<len>:<bucket>|<len>:<object>@` — the invalidation prefix
+/// covering every generation/projection of one object. Bucket and object
+/// components are length-prefixed so adversarial names containing `|`, `:`
+/// or `@` cannot alias another (bucket, object) split, and no object's
+/// prefix is a prefix of a different object's keys (the lengths diverge
+/// before the content can), keeping InvalidateObject's prefix scan sound.
 std::string ObjectKeyPrefix(const char* cloud, const std::string& bucket,
                             const std::string& object);
 /// Key of a parsed footer: prefix + generation.
@@ -86,6 +106,9 @@ struct BlockCacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t invalidations = 0;
+  /// Candidates turned away (or immediately reclaimed) by TinyLFU admission
+  /// because a resident entry had a higher frequency-per-byte score.
+  uint64_t admission_rejections = 0;
 };
 
 class BlockCache;
@@ -104,6 +127,10 @@ class CacheTxn {
     std::shared_ptr<const RecordBatch> block;
     std::shared_ptr<const ParquetFileMeta> footer;
     uint64_t bytes = 0;
+    // Frequency-only op: a miss observed under TinyLFU. Applied it bumps
+    // the sketch but never touches the LRU or entry maps, so frequency
+    // updates fold in the same deterministic slot order as inserts.
+    bool access_only = false;
   };
   std::vector<Op> ops_;
   /// key -> index into ops_ of the latest pending *insert*, for
@@ -197,6 +224,12 @@ class BlockCache {
   void ApplyInsert(const std::string& key, Entry entry);
   void ApplyTouch(const std::string& key);
   void EvictOverflow(Shard& shard);
+  /// TinyLFU overflow handling: repeatedly evicts the entry with the lowest
+  /// frequency-per-byte (ties broken oldest-stamp-first). Evicting the
+  /// just-inserted `candidate` itself counts as an admission rejection.
+  void EvictByFrequency(Shard& shard, const std::string& candidate);
+  /// Buffers (or directly applies) one frequency observation for `key`.
+  void RecordAccess(const std::string& key);
   void CountHit(bool footer);
   void CountMiss(bool footer);
 
@@ -208,9 +241,12 @@ class BlockCache {
   std::atomic<uint64_t> miss_count_{0};
   uint64_t eviction_count_ = 0;      // mutated at serial apply points only
   uint64_t invalidation_count_ = 0;  // serial
+  uint64_t admission_rejection_count_ = 0;  // serial
   uint64_t capacity_ = 0;
   uint64_t per_shard_capacity_ = 0;
   uint64_t seq_ = 0;  // logical recency clock; mutated at serial points only
+  AdmissionPolicy policy_ = AdmissionPolicy::kLru;
+  FrequencySketch sketch_;  // mutated at serial apply points only
   std::vector<std::unique_ptr<Shard>> shards_;
 
   obs::Counter* hits_block_;
@@ -219,6 +255,7 @@ class BlockCache {
   obs::Counter* misses_footer_;
   obs::Counter* evictions_;
   obs::Counter* invalidations_;
+  obs::Counter* admission_rejections_;
   obs::Gauge* bytes_pinned_;
 };
 

@@ -115,7 +115,12 @@ Result<uint64_t> BlmtService::Insert(const Principal& principal,
     return Status::InvalidArgument("insert schema does not match table");
   }
   BL_ASSIGN_OR_RETURN(CachedFileMeta file, WriteDataFile(*table, rows));
-  return env_->meta().AppendFiles(table_id, {file});
+  BL_ASSIGN_OR_RETURN(uint64_t txn,
+                      env_->meta().AppendFiles(table_id, {file}));
+  // Every DML commit moves the table generation; reclaim dependent cached
+  // results eagerly (the generation key already fences them).
+  env_->result_cache().InvalidateTable(table_id);
+  return txn;
 }
 
 Result<uint64_t> BlmtService::MultiTableInsert(
@@ -134,7 +139,12 @@ Result<uint64_t> BlmtService::MultiTableInsert(
     BL_ASSIGN_OR_RETURN(CachedFileMeta file, WriteDataFile(*table, rows));
     txn.AddFiles(table_id, {file});
   }
-  return txn.Commit();
+  BL_ASSIGN_OR_RETURN(uint64_t commit_txn, txn.Commit());
+  for (const auto& [table_id, rows] : inserts) {
+    env_->result_cache().InvalidateTable(table_id);
+    (void)rows;
+  }
+  return commit_txn;
 }
 
 Result<uint64_t> BlmtService::Delete(const Principal& principal,
@@ -182,6 +192,7 @@ Result<uint64_t> BlmtService::Delete(const Principal& principal,
                          .SwapFiles(table_id, std::move(removals),
                                     std::move(additions))
                          .status());
+    env_->result_cache().InvalidateTable(table_id);
   }
   return deleted;
 }
@@ -246,6 +257,7 @@ Result<uint64_t> BlmtService::Update(
                          .SwapFiles(table_id, std::move(removals),
                                     std::move(additions))
                          .status());
+    env_->result_cache().InvalidateTable(table_id);
   }
   return updated;
 }
@@ -354,6 +366,7 @@ Result<OptimizeReport> BlmtService::OptimizeStorage(
                        .SwapFiles(table_id, std::move(removals),
                                   std::move(additions))
                        .status());
+  env_->result_cache().InvalidateTable(table_id);
   env_->sim().counters().Add("blmt.optimize_runs", 1);
   return report;
 }
@@ -381,6 +394,12 @@ Result<GcReport> BlmtService::GarbageCollect(const std::string& table_id) {
     env_->block_cache().InvalidateObject(
         CloudProviderName(table->location.provider), table->bucket, obj.name);
     ++report.objects_deleted;
+  }
+  // GC only deletes already-dead objects (no generation change), but sweep
+  // dependent results anyway: defense in depth against a cached result that
+  // outlived its inputs.
+  if (report.objects_deleted > 0) {
+    env_->result_cache().InvalidateTable(table_id);
   }
   obs::MetricsRegistry::Default()
       .GetCounter(METRIC_BLMT_GC_DELETED)

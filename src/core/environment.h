@@ -13,6 +13,7 @@
 #include <string>
 
 #include "cache/block_cache.h"
+#include "cache/result_cache.h"
 #include "catalog/catalog.h"
 #include "meta/bigmeta.h"
 #include "meta/metadata_cache.h"
@@ -23,7 +24,11 @@ namespace biglake {
 
 class LakehouseEnv {
  public:
-  LakehouseEnv() : meta_(&env_), cache_mgr_(&env_, &meta_), block_cache_(&env_) {}
+  LakehouseEnv()
+      : meta_(&env_),
+        cache_mgr_(&env_, &meta_),
+        block_cache_(&env_),
+        result_cache_(&env_) {}
 
   SimEnv& sim() { return env_; }
   Catalog& catalog() { return catalog_; }
@@ -38,6 +43,14 @@ class LakehouseEnv {
   cache::BlockCache& block_cache() { return block_cache_; }
   void ConfigureBlockCache(const cache::BlockCacheOptions& options) {
     block_cache_.Configure(options);
+  }
+
+  /// The environment-wide query result cache (src/cache/result_cache.h).
+  /// Disabled until ConfigureResultCache grants it capacity; shared by every
+  /// engine on this env, and invalidated by the Write API and BLMT commits.
+  cache::ResultCache& result_cache() { return result_cache_; }
+  void ConfigureResultCache(const cache::ResultCacheOptions& options) {
+    result_cache_.Configure(options);
   }
 
   /// Registers an object store for a (cloud, region); returns it.
@@ -72,6 +85,7 @@ class LakehouseEnv {
   MetadataCacheManager cache_mgr_;
   SessionTokenService tokens_{0x42ab5ec7e7fULL};
   cache::BlockCache block_cache_;
+  cache::ResultCache result_cache_;
   std::map<std::string, std::unique_ptr<ObjectStore>> stores_;
 };
 

@@ -147,6 +147,9 @@ Status StorageWriteApi::FlushCommitted(StreamState* stream) {
       stream->table->bucket, file.file.path);
   BL_RETURN_NOT_OK(
       env_->meta().AppendFiles(stream->info.table_id, {file}).status());
+  // The commit moved the table's generation, so dependent result-cache keys
+  // are already unreachable; this reclaims their bytes eagerly.
+  env_->result_cache().InvalidateTable(stream->info.table_id);
   stream->buffered.clear();
   stream->buffered_rows = 0;
   return Status::OK();
@@ -211,7 +214,11 @@ Result<uint64_t> StorageWriteApi::BatchCommit(
     stream->buffered.clear();
     stream->buffered_rows = 0;
   }
-  return txn.Commit();
+  BL_ASSIGN_OR_RETURN(uint64_t commit_txn, txn.Commit());
+  for (StreamState* stream : to_commit) {
+    env_->result_cache().InvalidateTable(stream->info.table_id);
+  }
+  return commit_txn;
 }
 
 Result<WriteStreamInfo> StorageWriteApi::GetStream(

@@ -7,6 +7,7 @@
 #include "columnar/kernels.h"
 #include "common/strings.h"
 #include "engine/operators.h"
+#include "engine/plan_fingerprint.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -122,7 +123,23 @@ Result<QueryResult> QueryEngine::Execute(const Principal& principal,
   QueryResult result;
   SimTimer timer(env_->sim());
   Status exec_status = Status::OK();
-  {
+  // Result-cache probe: key composition is uncharged (watermark reads), the
+  // probe itself charges deterministic virtual time inside ResultCache::Get.
+  cache::ResultCache& result_cache = env_->result_cache();
+  PlanCacheKey cache_key;
+  bool served_from_cache = false;
+  if (options_.enable_result_cache && result_cache.enabled()) {
+    cache_key = MakeResultCacheKey(principal, *plan, options_, env_->meta());
+  }
+  if (cache_key.cacheable) {
+    if (auto cached = result_cache.Get(cache_key.key)) {
+      obs::ScopedSpan stage("resultcache:hit", obs::Span::kStage);
+      result.batch = *cached;
+      stage.AddNum("rows", result.batch.num_rows());
+      served_from_cache = true;
+    }
+  }
+  if (!served_from_cache) {
     obs::ScopedSpan stage("execute", obs::Span::kStage);
     auto batch = ExecuteNode(principal, plan, &result.stats);
     exec_status = batch.status();
@@ -130,6 +147,17 @@ Result<QueryResult> QueryEngine::Execute(const Principal& principal,
   }
   result.stats.rows_returned = result.batch.num_rows();
   result.stats.total_micros = timer.ElapsedMicros();
+  if (served_from_cache) {
+    // The whole hit path (probe + replay) is serial virtual time, charged
+    // identically at any worker count — byte-identical profiles across
+    // 1/2/8 workers by construction.
+    result.stats.wall_micros = result.stats.total_micros;
+  } else if (exec_status.ok() && cache_key.cacheable) {
+    // Admit only results of *successful* executions; a faulted query leaves
+    // no entry behind. Insertion is uncharged simulated time.
+    result_cache.Put(cache_key.key, cache_key.tables,
+                     std::make_shared<const RecordBatch>(result.batch));
+  }
   env_->sim().counters().Add("engine.queries", 1);
 
   auto& reg = obs::MetricsRegistry::Default();

@@ -32,6 +32,7 @@
 #include <optional>
 #include <string>
 
+#include "cache/result_cache.h"
 #include "columnar/selection.h"
 #include "common/thread_pool.h"
 #include "core/read_api.h"
@@ -76,6 +77,16 @@ struct EngineOptions {
   /// vectors (columnar/selection.h). Results are row-identical to the legacy
   /// path; off = per-row boxed evaluation + eager RecordBatch::Filter.
   bool enable_vectorized_kernels = true;
+  /// Serve repeated identical queries from the environment's result cache
+  /// (src/cache/result_cache.h), granting it `result_cache_capacity_bytes`
+  /// when it is not yet configured. Keys bind principal, plan fingerprint,
+  /// per-table commit generations and the row-shaping engine knobs (see
+  /// engine/plan_fingerprint.h), so a hit is always row-identical to a
+  /// fresh execution; the hit path charges deterministic, worker-count-
+  /// independent virtual time.
+  bool enable_result_cache = false;
+  uint64_t result_cache_capacity_bytes = 64ull << 20;  // 64 MiB
+  cache::AdmissionPolicy result_cache_admission = cache::AdmissionPolicy::kLru;
 };
 
 struct QueryStats {
@@ -116,6 +127,12 @@ class QueryEngine {
       cache::BlockCacheOptions cache_options;
       cache_options.capacity_bytes = options_.block_cache_capacity_bytes;
       env_->ConfigureBlockCache(cache_options);
+    }
+    if (options_.enable_result_cache && !env_->result_cache().enabled()) {
+      cache::ResultCacheOptions rc_options;
+      rc_options.capacity_bytes = options_.result_cache_capacity_bytes;
+      rc_options.admission_policy = options_.result_cache_admission;
+      env_->ConfigureResultCache(rc_options);
     }
   }
 

@@ -214,6 +214,16 @@ Result<std::map<std::string, ColumnStats>> BigMetadataStore::TableStats(
   return merged;
 }
 
+Result<uint64_t> BigMetadataStore::TableGeneration(
+    const std::string& table_id) const {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no metadata table `", table_id, "`"));
+  }
+  const TableState& table = it->second;
+  return table.tail.empty() ? table.baseline_txn : table.tail.back().txn;
+}
+
 Result<uint64_t> BigMetadataStore::TailLength(
     const std::string& table_id) const {
   auto it = tables_.find(table_id);

@@ -123,6 +123,14 @@ class BigMetadataStore {
   /// Latest committed transaction id (0 = nothing committed yet).
   uint64_t LatestTxn() const { return next_txn_ - 1; }
 
+  /// Per-table commit generation: the txn id of the last commit that touched
+  /// `table_id` (0 = registered but never committed). Txn ids are global and
+  /// monotonic, so a table's generation never repeats — any CAS commit, DML
+  /// or BLMT optimize moves it forward. An uncharged watermark read; the
+  /// result cache keys entries to it so stale results become unreachable by
+  /// construction.
+  Result<uint64_t> TableGeneration(const std::string& table_id) const;
+
   /// Snapshot list of live files in the table as of `txn` (0 = latest).
   /// Charges baseline + tail reconcile costs.
   Result<std::vector<CachedFileMeta>> Snapshot(const std::string& table_id,

@@ -72,6 +72,19 @@
 #define METRIC_CACHE_INVALIDATIONS "biglake_blockcache_invalidations_total"
 // gauge: decoded bytes currently resident across every block cache
 #define METRIC_CACHE_BYTES_PINNED "biglake_blockcache_bytes_pinned"
+// labels: cache ("block" | "result") — candidates turned away by TinyLFU
+// admission because every resident victim scored higher frequency/byte
+#define METRIC_CACHE_ADMISSION_REJECTED "biglake_cache_admission_rejected_total"
+
+// --- Query result cache (src/cache/result_cache.cc) ---
+#define METRIC_RESULTCACHE_HITS "biglake_resultcache_hits_total"
+#define METRIC_RESULTCACHE_MISSES "biglake_resultcache_misses_total"
+#define METRIC_RESULTCACHE_INSERTS "biglake_resultcache_inserts_total"
+#define METRIC_RESULTCACHE_EVICTIONS "biglake_resultcache_evictions_total"
+#define METRIC_RESULTCACHE_INVALIDATIONS \
+  "biglake_resultcache_invalidations_total"
+// gauge: result bytes currently resident across every result cache
+#define METRIC_RESULTCACHE_BYTES_PINNED "biglake_resultcache_bytes_pinned"
 
 // --- Read API prefetch pipeline (src/core/read_api.cc) ---
 #define METRIC_PREFETCH_ISSUED "biglake_readapi_prefetch_issued_total"

@@ -37,6 +37,41 @@ TEST(BlockCacheKeysTest, ProjectionFingerprintIsOrderInsensitive) {
   EXPECT_NE(ab, ProjectionFingerprint({}));
 }
 
+TEST(BlockCacheKeysTest, ProjectionFingerprintIsASetFingerprint) {
+  // Duplicates are ignored: [a,a,b] and [a,b] name the same column *set*, so
+  // they must hit the same cached block.
+  EXPECT_EQ(ProjectionFingerprint({"a", "a", "b"}),
+            ProjectionFingerprint({"a", "b"}));
+  EXPECT_EQ(ProjectionFingerprint({"b", "a", "b", "a"}),
+            ProjectionFingerprint({"a", "b"}));
+  // ...but the fingerprint is not just a bag-size collapse.
+  EXPECT_NE(ProjectionFingerprint({"a", "a"}), ProjectionFingerprint({"b"}));
+  // The span overload sees through any contiguous container.
+  std::vector<std::string> v = {"a", "b"};
+  EXPECT_EQ(ProjectionFingerprint(v), ProjectionFingerprint({"a", "b"}));
+}
+
+TEST(BlockCacheKeysTest, AdversarialNamesCannotAliasAnotherObject) {
+  // Length-prefixed components: a `|` inside a bucket or object name cannot
+  // re-split into a different (bucket, object) pair.
+  EXPECT_NE(ObjectKeyPrefix("gcp", "a|b", "c"),
+            ObjectKeyPrefix("gcp", "a", "b|c"));
+  EXPECT_NE(ObjectKeyPrefix("gcp", "a", "b|c@1"),
+            ObjectKeyPrefix("gcp", "a|b", "c@1"));
+  // A name that *contains* the `@` generation marker cannot make one
+  // object's keys parse as another's generations.
+  std::string plain = ObjectKeyPrefix("gcp", "b", "o");
+  std::string tricky = ObjectKeyPrefix("gcp", "b", "o@2");
+  EXPECT_NE(FooterKey(tricky, 1), FooterKey(plain, 21));
+  // No object's invalidation prefix is a prefix of a *different* object's
+  // keys (the length digits diverge before the content can), so the prefix
+  // scan in InvalidateObject can never over-drop.
+  std::string p_short = ObjectKeyPrefix("gcp", "b", "o");
+  std::string p_long = ObjectKeyPrefix("gcp", "b", "o@1/x");
+  EXPECT_NE(FooterKey(p_long, 3).compare(0, p_short.size(), p_short), 0);
+  EXPECT_NE(BlockKey(p_long, 3, 0, 7).compare(0, p_short.size(), p_short), 0);
+}
+
 TEST(BlockCacheKeysTest, KeysSeparateGenerationRowGroupAndProjection) {
   std::string p = ObjectKeyPrefix("gcp", "lake", "t/part-0.plk");
   // Generation is part of every key: a rewrite changes the key, so stale
@@ -112,6 +147,69 @@ TEST(BlockCacheUnitTest, BufferedTxnOpsAreInvisibleUntilFolded) {
   c.FoldTxn(&txn);
   EXPECT_EQ(c.Stats().entries, 1u);
   EXPECT_NE(c.GetBlock(key), nullptr);
+}
+
+TEST(FrequencySketchTest, EstimatesSaturateAndAgeByHalving) {
+  cache::FrequencySketch sketch;
+  sketch.Reset(1024);
+  uint64_t hot = cache::KeyHash("hot");
+  uint64_t cold = cache::KeyHash("cold");
+  EXPECT_EQ(sketch.Estimate(hot), 0u);
+  for (int i = 0; i < 40; ++i) sketch.Increment(hot);
+  EXPECT_EQ(sketch.Estimate(hot), 15u);  // 4-bit counters saturate
+  sketch.Increment(cold);
+  uint64_t cold_est = sketch.Estimate(cold);
+  EXPECT_GE(cold_est, 1u);  // count-min never under-counts
+  EXPECT_LT(cold_est, sketch.Estimate(hot));
+  // Drive past the sample period: every counter halves, so history decays
+  // (aging is by logical access count, never wall time).
+  uint64_t hot_before = sketch.Estimate(hot);
+  for (uint64_t i = 0; i < sketch.sample_period(); ++i) {
+    sketch.Increment(cache::KeyHash("filler" + std::to_string(i % 997)));
+  }
+  EXPECT_LT(sketch.Estimate(hot), hot_before);
+}
+
+TEST(BlockCacheUnitTest, TinyLfuRejectsOneHitWondersAndKeepsHotEntries) {
+  LakehouseEnv lake;
+  auto probe = MakeBlock(64, 0);
+  uint64_t bytes = probe->MemoryBytes();
+  BlockCacheOptions opts;
+  opts.shard_count = 1;
+  opts.capacity_bytes = 2 * bytes + bytes / 2;  // room for exactly two
+  opts.admission_policy = cache::AdmissionPolicy::kTinyLfu;
+  lake.ConfigureBlockCache(opts);
+  cache::BlockCache& c = lake.block_cache();
+
+  std::string p = ObjectKeyPrefix("gcp", "lake", "t/f.plk");
+  std::string hot_a = BlockKey(p, 1, 0, 0);
+  std::string hot_b = BlockKey(p, 1, 1, 0);
+  c.PutBlock(hot_a, MakeBlock(64, 0));
+  c.PutBlock(hot_b, MakeBlock(64, 100));
+  // Build frequency on the residents (hits feed the sketch).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(c.GetBlock(hot_a), nullptr);
+    EXPECT_NE(c.GetBlock(hot_b), nullptr);
+  }
+  // A stream of cold, never-repeated candidates must not displace them.
+  for (int i = 0; i < 8; ++i) {
+    std::string cold = BlockKey(p, 1, 10 + i, 0);
+    EXPECT_EQ(c.GetBlock(cold), nullptr);  // one sketch observation
+    c.PutBlock(cold, MakeBlock(64, 1000 + i * 100));
+  }
+  EXPECT_NE(c.GetBlock(hot_a), nullptr);
+  EXPECT_NE(c.GetBlock(hot_b), nullptr);
+  cache::BlockCacheStats stats = c.Stats();
+  EXPECT_GT(stats.admission_rejections, 0u);
+  EXPECT_LE(stats.bytes_pinned, opts.capacity_bytes);
+
+  // A candidate that *earns* frequency (repeated misses) is admitted once
+  // its estimate beats the colder resident's.
+  std::string riser = BlockKey(p, 1, 99, 0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c.GetBlock(riser), nullptr);
+  for (int i = 0; i < 8; ++i) EXPECT_NE(c.GetBlock(hot_a), nullptr);
+  c.PutBlock(riser, MakeBlock(64, 9900));
+  EXPECT_NE(c.GetBlock(riser), nullptr);
 }
 
 // ---- End-to-end: scans through the engine ---------------------------------

@@ -297,6 +297,88 @@ TEST(ChaosTest, SeededSweepWithBlockCacheNeverServesStaleBlocks) {
   EXPECT_GT(total_injected, 0u);
 }
 
+// The sweep again with the *result* cache on: faulted commits must never
+// leave a stale result servable, and the cache's own sim counters must be
+// bit-identical across worker counts for every seed. Per seed the workload
+// runs at 1, 2 and 8 workers (stream fan-out pinned) — recovered state must
+// match the cache-free fault-free baseline in all of them, the DML table
+// re-scan must reflect every replayed commit (first scan a miss keyed by the
+// recovered generation, an immediate re-scan a hit with identical rows).
+TEST(ChaosTest, SeededSweepWithResultCacheNeverServesStaleResults) {
+  TpcdsScale scale = SmallScale();
+  EngineOptions plain;
+  plain.num_workers = 4;
+  ChaosWorld base(scale);
+  QueryEngine base_engine(&base.lake, &base.api, plain);
+  WorkloadOutcome baseline = RunChaosWorkload(base, base_engine, std::nullopt);
+  ASSERT_TRUE(baseline.failures.empty());
+  auto base_dml = base_engine.Execute("u", Plan::Scan(kDmlTable));
+  ASSERT_TRUE(base_dml.ok());
+  std::vector<int64_t> baseline_dml_ids = SortedIds(base_dml->batch);
+
+  uint64_t total_injected = 0;
+  for (uint64_t seed = 200; seed < 208; ++seed) {
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.fault_probability = 0.25;
+    chaos.latency_probability = 0.1;
+    chaos.max_extra_latency = 4'000;
+
+    struct Run {
+      WorkloadOutcome out;
+      uint64_t rc_hits = 0, rc_misses = 0;
+    };
+    std::vector<Run> runs;
+    for (uint32_t workers : {1u, 2u, 8u}) {
+      ChaosWorld w(scale);
+      EngineOptions cached;
+      cached.num_workers = workers;
+      cached.max_read_streams = 8;  // pin the shape (and so the cache key)
+      cached.enable_result_cache = true;
+      QueryEngine engine(&w.lake, &w.api, cached);
+      Run run;
+      run.out = RunChaosWorkload(w, engine, chaos);
+
+      // A faulted commit must never leave a stale servable entry: the
+      // post-recovery DML scan is keyed by the *recovered* generation, so
+      // it reflects every replayed commit; a re-scan is a pure hit and
+      // still row-identical.
+      auto first = engine.Execute("u", Plan::Scan(kDmlTable));
+      ASSERT_TRUE(first.ok()) << first.status().ToString();
+      EXPECT_EQ(SortedIds(first->batch), baseline_dml_ids)
+          << "seed " << seed << " workers " << workers;
+      uint64_t hits_before = w.lake.result_cache().Stats().hits;
+      auto again = engine.Execute("u", Plan::Scan(kDmlTable));
+      ASSERT_TRUE(again.ok()) << again.status().ToString();
+      EXPECT_EQ(w.lake.result_cache().Stats().hits, hits_before + 1)
+          << "seed " << seed << " workers " << workers;
+      EXPECT_EQ(SerializeBatch(again->batch), SerializeBatch(first->batch));
+
+      run.rc_hits = w.lake.sim().counters().Get("resultcache.hits");
+      run.rc_misses = w.lake.sim().counters().Get("resultcache.misses");
+      total_injected += run.out.injected;
+      runs.push_back(std::move(run));
+    }
+    for (size_t i = 0; i < runs.size(); ++i) {
+      // Recovered state matches the cache-free fault-free baseline...
+      EXPECT_EQ(runs[i].out.scan_bytes, baseline.scan_bytes)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].out.star_bytes, baseline.star_bytes)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].out.dml_ids, baseline.dml_ids)
+          << "seed " << seed << " run " << i;
+      // ...and the cache's hit/miss schedule is worker-count independent.
+      EXPECT_EQ(runs[i].rc_hits, runs[0].rc_hits)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].rc_misses, runs[0].rc_misses)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].out.failures, runs[0].out.failures)
+          << "seed " << seed << " run " << i;
+    }
+  }
+  EXPECT_GT(total_injected, 0u);
+}
+
 // Property (c), worker-count half: the same seed produces the same fault
 // schedule, the same op outcomes, the same recovered bytes and the same
 // fault/retry counter totals whether the pool has 1, 2 or 8 workers.
