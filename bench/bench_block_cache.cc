@@ -12,7 +12,7 @@
 //      synchronous depth-0 pipeline on the analytic wall estimate while
 //      burning identical resource time.
 //
-// One JSON line per configuration (aggregated into BENCH_PR6.json by
+// One JSON line per configuration (aggregated into BENCH_PR7.json by
 // scripts/run_benches.sh).
 
 #include <cstdio>

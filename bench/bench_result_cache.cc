@@ -14,7 +14,7 @@
 //      must be at least LRU's (in this workload it is far higher: one-hit
 //      wonders are rejected instead of flushing the dashboards).
 //
-// One JSON line per configuration (aggregated into BENCH_PR6.json by
+// One JSON line per configuration (aggregated into BENCH_PR7.json by
 // scripts/run_benches.sh).
 
 #include <cstdio>

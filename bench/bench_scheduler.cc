@@ -1,0 +1,236 @@
+// Multi-tenant scheduler: fair queueing + priority lanes vs a FIFO
+// baseline on a batch-heavy mix.
+//
+// One interactive tenant fires small dashboard-style queries into a slot
+// pool that thirty batch tenants keep saturated with expensive scans. The
+// identical trace replays twice — once under the blind FIFO baseline, once
+// under weighted fair queueing with lane priority — and the experiment
+// compares the interactive lane's p99 queueing latency. The paper's
+// operating point (protect interactive price/performance while batch soaks
+// spare capacity) requires fair queueing to cut interactive p99 by >= 2x;
+// the bench fails below that.
+//
+// One JSON line per mode (aggregated into BENCH_PR7.json by
+// scripts/run_benches.sh).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/engine.h"
+#include "obs/profile.h"
+#include "sched/scheduler.h"
+
+namespace biglake {
+namespace bench {
+namespace {
+
+constexpr int kBatchTenants = 30;
+constexpr int kBatchQueriesPerTenant = 3;
+constexpr int kInteractiveQueries = 60;
+constexpr uint32_t kSlots = 8;
+
+SchemaPtr TableSchema() {
+  return MakeSchema({{"id", DataType::kInt64, false},
+                     {"grp", DataType::kInt64, false},
+                     {"v", DataType::kDouble, false}});
+}
+
+void BuildTable(BenchLakehouse* env, const std::string& prefix, int files,
+                size_t rows_per_file, uint64_t seed) {
+  Random rng(seed);
+  for (int f = 0; f < files; ++f) {
+    BatchBuilder b(TableSchema());
+    for (size_t r = 0; r < rows_per_file; ++r) {
+      (void)b.AppendRow({Value::Int64(f * 100000 + static_cast<int64_t>(r)),
+                         Value::Int64(static_cast<int64_t>(rng.Uniform(64))),
+                         Value::Double(rng.NextDouble())});
+    }
+    auto bytes = WriteParquetFile(b.Finish());
+    PutOptions po;
+    po.content_type = "application/x-parquet-lite";
+    (void)env->store->Put(env->Caller(), "lake",
+                          prefix + "date=" + std::to_string(f) + "/p.plk",
+                          std::move(bytes).value(), po);
+  }
+}
+
+struct World {
+  BenchLakehouse env;
+  BigLakeTableService biglake{&env.lake};
+  StorageReadApi api{&env.lake};
+
+  World() {
+    BuildTable(&env, "dim/", /*files=*/2, /*rows_per_file=*/200, 7);
+    BuildTable(&env, "fact/", /*files=*/8, /*rows_per_file=*/2000, 11);
+    for (const char* name : {"dim", "fact"}) {
+      TableDef def;
+      def.dataset = "ds";
+      def.name = name;
+      def.kind = TableKind::kBigLake;
+      def.schema = TableSchema();
+      def.connection = "us.lake-conn";
+      def.location = env.gcp;
+      def.bucket = "lake";
+      def.prefix = std::string(name) + "/";
+      def.partition_columns = {"date"};
+      def.metadata_cache_enabled = true;
+      def.iam.Grant("*", Role::kReader);
+      if (!biglake.CreateBigLakeTable(def).ok()) {
+        std::printf("table creation failed\n");
+        std::exit(1);
+      }
+    }
+  }
+};
+
+// The batch-heavy mix. Batch floods arrive in bursts that keep every slot
+// busy; interactive queries trickle in throughout.
+std::vector<sched::QueryRequest> BuildTrace() {
+  std::vector<sched::QueryRequest> trace;
+  for (int t = 0; t < kBatchTenants; ++t) {
+    for (int q = 0; q < kBatchQueriesPerTenant; ++q) {
+      sched::QueryRequest r;
+      r.tenant = "batch" + std::to_string(t);
+      r.lane = sched::Lane::kBatch;
+      r.principal = "u";
+      r.plan = Plan::Scan("ds.fact");
+      r.arrive_micros = static_cast<SimMicros>(q) * 200'000 +
+                        static_cast<SimMicros>(t) * 37;
+      r.cost_hint_micros = 50'000;
+      trace.push_back(std::move(r));
+    }
+  }
+  for (int i = 0; i < kInteractiveQueries; ++i) {
+    sched::QueryRequest r;
+    r.tenant = "dashboard";
+    r.lane = sched::Lane::kInteractive;
+    r.principal = "u";
+    r.plan = Plan::Scan("ds.dim");
+    r.arrive_micros = static_cast<SimMicros>(i) * 50'000 + 500;
+    r.cost_hint_micros = 2'000;
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+struct ModeResult {
+  SimMicros interactive_p50 = 0;
+  SimMicros interactive_p99 = 0;
+  SimMicros batch_p99 = 0;
+  SimMicros makespan = 0;
+  double occupancy = 0.0;
+  uint64_t completed = 0;
+};
+
+ModeResult RunMode(bool fair) {
+  World w;
+  EngineOptions eopts;
+  eopts.num_workers = 4;
+  eopts.max_read_streams = 4;
+  QueryEngine engine(&w.env.lake, &w.api, eopts);
+
+  sched::SchedulerOptions opts;
+  opts.total_slots = kSlots;
+  opts.fair_queueing = fair;
+  opts.default_quota = {.weight = 1, .max_slots = 2, .max_queued = 256};
+  opts.tenant_quotas["dashboard"] = {.weight = 4, .max_slots = 4,
+                                     .max_queued = 256};
+  sched::QueryScheduler scheduler(&w.env.lake, &engine, opts);
+
+  auto outcomes = scheduler.RunAll(BuildTrace());
+  ModeResult res;
+  for (const auto& out : outcomes) {
+    if (out.state != sched::QueryState::kCompleted) {
+      std::printf("unexpected outcome: %s (%s)\n",
+                  sched::QueryStateName(out.state),
+                  out.status.ToString().c_str());
+      std::exit(1);
+    }
+    ++res.completed;
+  }
+  const sched::SchedulerReport& report = scheduler.report();
+  res.interactive_p50 = report.interactive.queue_p50_micros;
+  res.interactive_p99 = report.interactive.queue_p99_micros;
+  res.batch_p99 = report.batch.queue_p99_micros;
+  res.makespan = report.makespan_micros;
+  res.occupancy = report.slot_occupancy;
+  return res;
+}
+
+void EmitJson(const char* mode, const ModeResult& r, double improvement) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("scheduler");
+  w.Key("mode");
+  w.String(mode);
+  w.Key("interactive_queue_p50_micros");
+  w.Uint(r.interactive_p50);
+  w.Key("interactive_queue_p99_micros");
+  w.Uint(r.interactive_p99);
+  w.Key("batch_queue_p99_micros");
+  w.Uint(r.batch_p99);
+  w.Key("makespan_micros");
+  w.Uint(r.makespan);
+  w.Key("slot_occupancy");
+  w.Double(r.occupancy);
+  w.Key("interactive_p99_improvement");
+  w.Double(improvement);
+  w.EndObject();
+  std::printf("%s\n", w.str().c_str());
+}
+
+int Run() {
+  PrintHeader("Multi-tenant scheduler: FIFO vs weighted fair queueing");
+  std::printf(
+      "%d batch tenants x %d heavy scans + %d interactive queries, "
+      "%u slots\n\n",
+      kBatchTenants, kBatchQueriesPerTenant, kInteractiveQueries, kSlots);
+
+  ModeResult fifo = RunMode(/*fair=*/false);
+  ModeResult fair = RunMode(/*fair=*/true);
+
+  // A p99 of zero means the interactive lane never queued at all; clamp so
+  // the improvement factor stays finite (it is a floor, not a cap).
+  SimMicros fair_p99 = fair.interactive_p99 > 0 ? fair.interactive_p99 : 1;
+  double improvement = static_cast<double>(fifo.interactive_p99) /
+                       static_cast<double>(fair_p99);
+
+  PrintRow({"mode", "inter p50", "inter p99", "batch p99", "makespan"},
+           {8, 12, 12, 12, 12});
+  PrintRow({"fifo", Ms(fifo.interactive_p50), Ms(fifo.interactive_p99),
+            Ms(fifo.batch_p99), Ms(fifo.makespan)},
+           {8, 12, 12, 12, 12});
+  PrintRow({"fair", Ms(fair.interactive_p50), Ms(fair.interactive_p99),
+            Ms(fair.batch_p99), Ms(fair.makespan)},
+           {8, 12, 12, 12, 12});
+  std::printf("occupancy: fifo %.2f, fair %.2f\n", fifo.occupancy,
+              fair.occupancy);
+  std::printf("interactive p99 improvement: %.2fx\n\n", improvement);
+
+  EmitJson("fifo", fifo, 1.0);
+  EmitJson("fair", fair, improvement);
+
+  if (fifo.interactive_p99 == 0) {
+    std::printf("FAIL: FIFO interactive p99 is zero — the batch mix never "
+                "saturated the pool, so the comparison is vacuous\n");
+    return 1;
+  }
+  if (improvement < 2.0) {
+    std::printf("FAIL: fair queueing must cut interactive p99 >= 2x vs "
+                "FIFO (got %.2fx)\n",
+                improvement);
+    return 1;
+  }
+  std::printf("OK: fair queueing cuts interactive p99 %.2fx vs FIFO\n",
+              improvement);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace biglake
+
+int main() { return biglake::bench::Run(); }

@@ -4,7 +4,7 @@
 # Each sanitizer uses its own build dir so the plain `build/` cache (and its
 # generator choice) is never disturbed.
 #
-# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|resultcache|bench|docs]...
+# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|resultcache|sched|bench|docs]...
 # (default: all)
 set -eu
 
@@ -37,7 +37,7 @@ do_novec() {
 }
 
 # Bench smoke: every bench binary runs to completion and its acceptance
-# thresholds hold; results aggregate into BENCH_PR6.json at the repo root.
+# thresholds hold; results aggregate into BENCH_PR7.json at the repo root.
 do_bench() {
   if [[ ! -d "$ROOT/build" ]]; then
     echo "bench: build/ missing — run the plain stage first" >&2
@@ -72,9 +72,23 @@ do_resultcache() {
   done
 }
 
+# Scheduler suite (`ctest -L sched`), plain and under TSan: admission/WFQ
+# unit coverage, the 5k-query multi-tenant replay (bit-identical across runs
+# and worker counts), and mid-scan cancellation races — cooperative-cancel
+# checkpoints that read shared state racily show up as diffs or TSan reports.
+do_sched() {
+  for dir in build build-tsan; do
+    if [[ ! -d "$ROOT/$dir" ]]; then
+      echo "sched: $dir/ missing — run the plain/tsan stage first" >&2
+      exit 1
+    fi
+    ctest --test-dir "$ROOT/$dir" -L sched --output-on-failure
+  done
+}
+
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(plain novec asan tsan chaos resultcache bench docs)
+  stages=(plain novec asan tsan chaos resultcache sched bench docs)
 fi
 
 for stage in "${stages[@]}"; do

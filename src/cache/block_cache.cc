@@ -375,6 +375,16 @@ void BlockCache::Clear() {
   }
 }
 
+double BlockCache::FillFraction() const {
+  if (capacity_ == 0) return 0.0;
+  uint64_t bytes = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    bytes += shard_ptr->bytes_used;
+  }
+  return static_cast<double>(bytes) / static_cast<double>(capacity_);
+}
+
 BlockCacheStats BlockCache::Stats() const {
   BlockCacheStats out;
   out.hits = hit_count_.load(std::memory_order_relaxed);

@@ -172,6 +172,11 @@ class BlockCache {
   bool enabled() const { return capacity_ > 0; }
   uint64_t capacity_bytes() const { return capacity_; }
 
+  /// Fraction of capacity currently pinned, in [0, 1] (0 when disabled).
+  /// Serial context only — the scheduler polls this at admission as its
+  /// memory-pressure backpressure signal (docs/SCHEDULING.md).
+  double FillFraction() const;
+
   /// Lookup a decoded block / parsed footer. A hit bumps hit counters and
   /// records an LRU touch (buffered when a CacheTxn is installed); a miss
   /// bumps miss counters and returns nullptr.

@@ -1,0 +1,116 @@
+// Cooperative cancellation for schedulable work.
+//
+// A CancelToken carries a manual cancel flag plus an optional deadline on
+// the simulation's virtual clock. Nothing is ever interrupted: well-known
+// checkpoints — ThreadPool::ParallelFor chunk boundaries, the engine's
+// operator entries, the Read API's per-file fetch loops — poll Check() and
+// unwind with a non-retryable status (kCancelled / kDeadlineExceeded, both
+// excluded from IsRetryable so the fault-injection retry loops give up
+// immediately instead of re-running a withdrawn attempt).
+//
+// Installation mirrors ScopedChargeShard: the scheduler (or any front-end)
+// installs a ScopedCancelToken around a query, and every layer underneath
+// discovers it through CurrentCancelToken() without plumbing a parameter
+// through each call. ThreadPool re-installs the current token inside the
+// chunk tasks it submits, so checkpoints below a parallel region see the
+// same token as the launching thread.
+//
+// Determinism. Deadline checks compare the token's expiry against the
+// calling thread's *view* of the virtual clock (the installed ChargeShard's
+// base + own advance inside a parallel region — see common/sim_env.h). The
+// checkpoint at which a deadline fires is therefore a pure function of the
+// charges made before it, never of thread scheduling or worker count — the
+// scheduler's cancellation tests assert bit-identical outcomes at 1/2/8
+// workers. The manual flag is an atomic; setting it from a serial point
+// keeps the workload deterministic, while setting it concurrently from a
+// live front-end is safe but makes *which* checkpoint observes it first
+// scheduling-dependent.
+
+#ifndef BIGLAKE_COMMON_CANCEL_H_
+#define BIGLAKE_COMMON_CANCEL_H_
+
+#include <atomic>
+
+#include "common/sim_env.h"
+#include "common/status.h"
+
+namespace biglake {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// `deadline` is an absolute virtual time; 0 means "no deadline".
+  explicit CancelToken(const SimClock* clock, SimMicros deadline = 0)
+      : clock_(clock), deadline_(deadline) {}
+
+  /// (Re)arms the token for a fresh query. Serial context only.
+  void Arm(const SimClock* clock, SimMicros deadline) {
+    clock_ = clock;
+    deadline_ = deadline;
+    cancelled_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Requests cancellation; every subsequent Check() fails. Thread-safe.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  SimMicros deadline() const { return deadline_; }
+
+  /// OK, or the status the query must unwind with. The flag outranks the
+  /// deadline so an explicit Cancel() reports kCancelled even after expiry.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    if (clock_ != nullptr && deadline_ != 0 && clock_->Now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const SimClock* clock_ = nullptr;
+  SimMicros deadline_ = 0;
+  std::atomic<bool> cancelled_{false};
+};
+
+namespace cancel_internal {
+inline const CancelToken*& CurrentTokenSlot() {
+  static thread_local const CancelToken* token = nullptr;
+  return token;
+}
+}  // namespace cancel_internal
+
+/// The token governing work on this thread, or nullptr (the common case:
+/// nothing installed, checkpoints are a single thread-local load).
+inline const CancelToken* CurrentCancelToken() {
+  return cancel_internal::CurrentTokenSlot();
+}
+
+/// Checkpoint helper: OK when no token is installed.
+inline Status CheckCancel() {
+  if (const CancelToken* token = CurrentCancelToken()) return token->Check();
+  return Status::OK();
+}
+
+/// Installs a token as this thread's cancellation scope for its lifetime
+/// (restores the previous scope on destruction). Passing nullptr masks any
+/// outer token — used to shield maintenance work from a query's deadline.
+class ScopedCancelToken {
+ public:
+  explicit ScopedCancelToken(const CancelToken* token)
+      : prev_(cancel_internal::CurrentTokenSlot()) {
+    cancel_internal::CurrentTokenSlot() = token;
+  }
+  ~ScopedCancelToken() { cancel_internal::CurrentTokenSlot() = prev_; }
+
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  const CancelToken* prev_;
+};
+
+}  // namespace biglake
+
+#endif  // BIGLAKE_COMMON_CANCEL_H_

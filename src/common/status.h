@@ -37,6 +37,7 @@ enum class StatusCode {
   kDataLoss,           // checksum / corruption failures
   kDeadlineExceeded,
   kUnavailable,        // transient substrate failures; safe to retry
+  kCancelled,          // caller withdrew the request (cooperative cancel)
 };
 
 /// Human-readable name of a StatusCode ("NotFound", "Ok", ...).
@@ -93,6 +94,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -117,6 +121,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "Ok" or "NotFound: table `x` does not exist".
   std::string ToString() const;
@@ -135,6 +140,8 @@ class Status {
 /// throttling (kResourceExhausted) and optimistic-concurrency conflicts
 /// (kAborted). kDeadlineExceeded is deliberately NOT retryable — it means a
 /// caller-imposed deadline expired, so retrying would only exceed it further.
+/// kCancelled is likewise NOT retryable: the caller withdrew the request, so
+/// a retry loop must unwind immediately instead of re-running the attempt.
 inline bool IsRetryable(const Status& s) {
   return s.code() == StatusCode::kUnavailable ||
          s.code() == StatusCode::kResourceExhausted ||

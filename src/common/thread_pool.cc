@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "common/cancel.h"
+
 namespace biglake {
 
 namespace {
@@ -118,10 +120,31 @@ Status ThreadPool::ParallelFor(size_t n,
                                size_t grain) {
   if (n == 0) return Status::OK();
   if (grain == 0) grain = 1;
+  // The launching thread's cancellation scope governs the whole region:
+  // re-installed inside each chunk task so checkpoints below see it.
+  const CancelToken* token = CurrentCancelToken();
   if (workers_.empty() || n <= grain) {
+    // Inline mode emulates the threaded chunking exactly: every chunk runs
+    // to its own first failure even after an earlier chunk failed, and the
+    // lowest-indexed chunk's failure wins. (The token is already installed
+    // on this thread, so only the per-chunk checkpoint is needed.)
     tasks_inline_.fetch_add(n, std::memory_order_relaxed);
-    for (size_t i = 0; i < n; ++i) BL_RETURN_NOT_OK(fn(i));
-    return Status::OK();
+    Status first_error;
+    for (size_t begin = 0; begin < n; begin += grain) {
+      size_t end = std::min(n, begin + grain);
+      Status chunk_status;
+      if (token != nullptr) chunk_status = token->Check();
+      if (chunk_status.ok()) {
+        for (size_t i = begin; i < end; ++i) {
+          chunk_status = fn(i);
+          if (!chunk_status.ok()) break;
+        }
+      }
+      if (!chunk_status.ok() && first_error.ok()) {
+        first_error = std::move(chunk_status);
+      }
+    }
+    return first_error;
   }
 
   struct ChunkResult {
@@ -140,11 +163,18 @@ Status ThreadPool::ParallelFor(size_t n,
       size_t begin = c * grain;
       size_t end = std::min(n, begin + grain);
       try {
-        for (size_t i = begin; i < end; ++i) {
-          Status s = fn(i);
-          if (!s.ok()) {
-            results[c].status = std::move(s);
-            break;
+        ScopedCancelToken cancel_scope(token);
+        Status checkpoint =
+            token != nullptr ? token->Check() : Status::OK();
+        if (!checkpoint.ok()) {
+          results[c].status = std::move(checkpoint);
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            Status s = fn(i);
+            if (!s.ok()) {
+              results[c].status = std::move(s);
+              break;
+            }
           }
         }
       } catch (...) {

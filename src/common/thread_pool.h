@@ -68,7 +68,18 @@ class ThreadPool {
   /// participates in execution. Error handling is deterministic regardless
   /// of scheduling: the failure (exception rethrown, or non-OK Status
   /// returned) from the lowest-indexed failing chunk wins. Every chunk runs
-  /// to its own first failure even if an earlier chunk already failed.
+  /// to its own first failure even if an earlier chunk already failed —
+  /// including in inline mode, which emulates the same chunking so
+  /// accounting (every stream charged, partial failures folded identically)
+  /// matches the threaded execution at any worker count.
+  ///
+  /// Cooperative cancellation: when the launching thread has a CancelToken
+  /// installed (common/cancel.h), the token is re-installed inside every
+  /// chunk task (so checkpoints in `fn` see it) and checked at each chunk
+  /// boundary before the chunk's first index runs; a tripped token fails
+  /// the chunk without running it. Deadline checks at chunk boundaries read
+  /// the launching region's frozen clock view (charges made inside `fn` go
+  /// to per-task shards), so they fire identically at any worker count.
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn,
                      size_t grain = 1);
 

@@ -8,6 +8,7 @@
 #include "columnar/ipc.h"
 #include "columnar/kernels.h"
 #include "columnar/selection.h"
+#include "common/cancel.h"
 #include "common/strings.h"
 #include "format/object_source.h"
 #include "format/parquet_lite.h"
@@ -764,10 +765,15 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
   const size_t num_files = stream.files.size();
   const uint32_t depth = static_cast<uint32_t>(std::min<size_t>(
       state.options.readahead_depth, num_files));
+  // Per-file cancellation checkpoints. Inside a scan region this thread's
+  // clock view is its stream shard (base + own charges), so a deadline
+  // expires after the same file at any worker count.
+  const CancelToken* cancel_token = CurrentCancelToken();
   if (depth <= 1) {
     // Synchronous path: fetch+decode inline, exactly the pre-pipeline
     // behavior (and bit-identical to it when the cache is disabled).
     for (const CachedFileMeta& fm : stream.files) {
+      if (cancel_token != nullptr) BL_RETURN_NOT_OK(cancel_token->Check());
       std::optional<obs::ScopedSpan> cache_span;
       if (cache != nullptr) {
         cache_span.emplace("cache:file", obs::Span::kObjstore);
@@ -814,11 +820,21 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
       env_->sim().counters().Add("readapi.prefetch_issued", 1);
       const CachedFileMeta* fmp = &stream.files[j];
       pool->Submit([this, u, fmp, &state, &table, store, ctx, cache,
-                    projection_fp] {
+                    projection_fp, cancel_token] {
         ScopedChargeShard charge_scope(&u->shard);
         cache::ScopedCacheTxn txn_scope(&u->txn);
-        u->result = FetchFileBlocks(state, table, store, ctx, *fmp, cache,
-                                    projection_fp);
+        ScopedCancelToken cancel_scope(cancel_token);
+        // Checkpoint against the unit's issue-time clock view (its shard
+        // base): a unit issued after the deadline expired fails without
+        // fetching, deterministically at any worker count.
+        Status admitted =
+            cancel_token != nullptr ? cancel_token->Check() : Status::OK();
+        if (admitted.ok()) {
+          u->result = FetchFileBlocks(state, table, store, ctx, *fmp, cache,
+                                      projection_fp);
+        } else {
+          u->result = std::move(admitted);
+        }
         u->done.set_value();
       });
     };
@@ -831,6 +847,13 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
     for (size_t i = 0; i < issued; ++i) {
       PrefetchUnit& u = *units[i];
       u.ready.wait();
+      // Consumer-side checkpoint, before this unit is processed: units
+      // already in flight still fold below (their charges are real), they
+      // just count as wasted once the stream is being torn down.
+      if (first_error.ok() && cancel_token != nullptr) {
+        Status c = cancel_token->Check();
+        if (!c.ok()) first_error = std::move(c);
+      }
       std::optional<obs::ScopedSpan> prefetch_span;
       if (first_error.ok()) {
         prefetch_span.emplace("prefetch:file", obs::Span::kObjstore);

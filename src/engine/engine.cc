@@ -102,12 +102,17 @@ uint64_t QueryEngine::EstimateRows(const PlanPtr& plan) {
 
 Result<QueryResult> QueryEngine::Execute(const Principal& principal,
                                          const PlanPtr& plan,
-                                         obs::QueryProfile* profile) {
+                                         obs::QueryProfile* profile,
+                                         const CancelToken* cancel) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   // A fresh query must not inherit fractional CPU micros carried over from a
   // previous query on a reused engine — that made repeated identical queries
   // charge slightly different amounts depending on session history.
   cpu_carry_ = 0.0;
+  // The token governs everything below — operator entries, ParallelFor
+  // chunks, Read API fetch loops — for the lifetime of this call.
+  std::optional<ScopedCancelToken> cancel_scope;
+  if (cancel != nullptr) cancel_scope.emplace(cancel);
   ThreadPoolStats pool_before;
   if (pool_ != nullptr) pool_before = pool_->Stats();
 
@@ -206,6 +211,10 @@ Result<QueryResult> QueryEngine::Execute(const Principal& principal,
 Result<SelectedBatch> QueryEngine::ExecuteNode(const Principal& principal,
                                                const PlanPtr& plan,
                                                QueryStats* stats) {
+  // Operator entry is a serial point (the clock view here is the merged
+  // global clock), so this checkpoint fires at the same operator at any
+  // worker count.
+  BL_RETURN_NOT_OK(CheckCancel());
   obs::ScopedSpan span(StrCat("op:", PlanKindName(plan->kind)),
                        obs::Span::kOperator);
   auto out = ExecuteNodeInner(principal, plan, stats);
@@ -395,66 +404,43 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
           trace.span->NewChild(StrCat("stream:", s), obs::Span::kStream);
     }
   }
-  if (num_streams > 1 && options_.num_workers > 1) {
-    std::vector<ChargeShard> shards = env_->sim().MakeShards(num_streams);
-    std::vector<obs::MetricsDelta> deltas(num_streams);
-    std::vector<cache::CacheTxn> cache_txns(num_streams);
-    Status read_status =
-        pool()->ParallelFor(num_streams, [&](size_t s) -> Status {
-          // Order matters: the span activation must end while the shard is
-          // still installed so its end stamp reads the shard-local clock,
-          // and metric increments must land in this slot's delta.
-          ScopedChargeShard scope(&shards[s]);
-          std::optional<obs::ScopedSpanActivation> span_scope;
-          if (stream_spans[s] != nullptr) {
-            span_scope.emplace(trace.tracer, stream_spans[s]);
-          }
-          obs::ScopedMetricsDelta delta_scope(&deltas[s]);
-          cache::ScopedCacheTxn cache_scope(&cache_txns[s]);
-          BL_ASSIGN_OR_RETURN(batches[s],
-                              read_api_->ReadStreamBatch(session, s));
-          obs::AddCurrentSpanNum("rows", batches[s].num_rows());
-          return Status::OK();
-        });
-    env_->sim().MergeShards(&shards);            // charge even partial failures
-    obs::FoldDeltas(&deltas);                    // fold metrics in slot order
-    env_->block_cache().FoldTxns(&cache_txns);   // and cache ops likewise
-    BL_RETURN_NOT_OK(read_status);
-    for (size_t s = 0; s < num_streams; ++s) {
-      stats->total_micros += shards[s].advanced;
-      // The prefetch window hides part of a stream's I/O behind its own
-      // compute: subtract the Read API's analytic overlap from the wall
-      // estimate (resource time above is untouched).
-      SimMicros saved = read_api_->StreamOverlapSaved(session.session_id, s);
-      stream_elapsed[s] =
-          shards[s].advanced > saved ? shards[s].advanced - saved : 0;
-    }
-  } else {
-    // Pool-size-1 compatibility mode: inline, no threads, direct charges.
-    // Like the parallel fold above, every stream is evaluated even after a
-    // failure and the first error (in slot order) is reported, so fault and
-    // retry accounting is identical at any worker count.
-    Status first_error;
-    for (size_t s = 0; s < num_streams; ++s) {
-      SimTimer t(env_->sim());
-      std::optional<obs::ScopedSpanActivation> span_scope;
-      if (stream_spans[s] != nullptr) {
-        span_scope.emplace(trace.tracer, stream_spans[s]);
-      }
-      auto stream_batch = read_api_->ReadStreamBatch(session, s);
-      if (stream_batch.ok()) {
-        batches[s] = std::move(*stream_batch);
+  // Every worker count takes the same sharded path (ParallelFor runs the
+  // chunks inline when the pool has no threads, with identical chunking and
+  // run-every-chunk error semantics), so charges, cache mutations, metric
+  // folds and cancellation checkpoints are bit-identical at 1, 2 or 8
+  // workers by construction rather than by keeping two branches in sync.
+  std::vector<ChargeShard> shards = env_->sim().MakeShards(num_streams);
+  std::vector<obs::MetricsDelta> deltas(num_streams);
+  std::vector<cache::CacheTxn> cache_txns(num_streams);
+  Status read_status =
+      pool()->ParallelFor(num_streams, [&](size_t s) -> Status {
+        // Order matters: the span activation must end while the shard is
+        // still installed so its end stamp reads the shard-local clock,
+        // and metric increments must land in this slot's delta.
+        ScopedChargeShard scope(&shards[s]);
+        std::optional<obs::ScopedSpanActivation> span_scope;
+        if (stream_spans[s] != nullptr) {
+          span_scope.emplace(trace.tracer, stream_spans[s]);
+        }
+        obs::ScopedMetricsDelta delta_scope(&deltas[s]);
+        cache::ScopedCacheTxn cache_scope(&cache_txns[s]);
+        BL_ASSIGN_OR_RETURN(batches[s],
+                            read_api_->ReadStreamBatch(session, s));
         obs::AddCurrentSpanNum("rows", batches[s].num_rows());
-      } else if (first_error.ok()) {
-        first_error = stream_batch.status();
-      }
-      span_scope.reset();
-      SimMicros elapsed = t.ElapsedMicros();
-      stats->total_micros += elapsed;
-      SimMicros saved = read_api_->StreamOverlapSaved(session.session_id, s);
-      stream_elapsed[s] = elapsed > saved ? elapsed - saved : 0;
-    }
-    BL_RETURN_NOT_OK(first_error);
+        return Status::OK();
+      });
+  env_->sim().MergeShards(&shards);            // charge even partial failures
+  obs::FoldDeltas(&deltas);                    // fold metrics in slot order
+  env_->block_cache().FoldTxns(&cache_txns);   // and cache ops likewise
+  BL_RETURN_NOT_OK(read_status);
+  for (size_t s = 0; s < num_streams; ++s) {
+    stats->total_micros += shards[s].advanced;
+    // The prefetch window hides part of a stream's I/O behind its own
+    // compute: subtract the Read API's analytic overlap from the wall
+    // estimate (resource time above is untouched).
+    SimMicros saved = read_api_->StreamOverlapSaved(session.session_id, s);
+    stream_elapsed[s] =
+        shards[s].advanced > saved ? shards[s].advanced - saved : 0;
   }
   // Reported wall time: the max per-stream virtual elapsed within each wave
   // of `num_workers` streams.

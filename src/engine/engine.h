@@ -34,6 +34,7 @@
 
 #include "cache/result_cache.h"
 #include "columnar/selection.h"
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "core/read_api.h"
 #include "engine/plan.h"
@@ -146,8 +147,17 @@ class QueryEngine {
   /// layers below. Simulated durations in the profile are deterministic
   /// (byte-identical JSON across runs via include_wall=false); tracing does
   /// not change query results, counters, or the virtual clock.
+  ///
+  /// When `cancel` is non-null the query becomes a schedulable unit: the
+  /// token is installed for the whole execution (common/cancel.h) and
+  /// polled cooperatively at operator entries, ParallelFor chunk boundaries
+  /// and the Read API's per-file fetch loops. A tripped flag unwinds with
+  /// kCancelled, an expired virtual-clock deadline with kDeadlineExceeded —
+  /// both non-retryable, both at deterministic checkpoints, and a cancelled
+  /// query never admits partial rows into the result cache.
   Result<QueryResult> Execute(const Principal& principal, const PlanPtr& plan,
-                              obs::QueryProfile* profile = nullptr);
+                              obs::QueryProfile* profile = nullptr,
+                              const CancelToken* cancel = nullptr);
 
  private:
   /// Wraps ExecuteNodeInner in an `operator` span annotated with the node's

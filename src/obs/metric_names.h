@@ -131,6 +131,31 @@
 #define METRIC_THREADPOOL_QUEUE_DEPTH_PEAK \
   "biglake_threadpool_queue_depth_peak"
 
+// --- Multi-tenant query scheduler (src/sched/scheduler.cc) ---
+// labels: lane ("interactive" | "batch")
+#define METRIC_SCHED_SUBMITTED "biglake_sched_submitted_total"
+// labels: lane
+#define METRIC_SCHED_ADMITTED "biglake_sched_admitted_total"
+// labels: lane, reason ("lane_queue_full" | "tenant_queue_full" |
+// "cache_pressure" | "quota_impossible")
+#define METRIC_SCHED_REJECTED "biglake_sched_rejected_total"
+// labels: lane
+#define METRIC_SCHED_COMPLETED "biglake_sched_completed_total"
+// labels: lane  (queries that dispatched and failed with a real error)
+#define METRIC_SCHED_FAILED "biglake_sched_failed_total"
+// labels: lane, phase ("queued" | "running")
+#define METRIC_SCHED_CANCELLED "biglake_sched_cancelled_total"
+// labels: lane — histogram of virtual admission→dispatch queueing latency
+#define METRIC_SCHED_QUEUE_SIM_MICROS "biglake_sched_queue_sim_micros"
+// labels: lane — histogram of virtual dispatch→completion service time
+#define METRIC_SCHED_SERVICE_SIM_MICROS "biglake_sched_service_sim_micros"
+// gauge: slots occupied right now (last dispatched/completed state)
+#define METRIC_SCHED_SLOTS_BUSY "biglake_sched_slots_busy"
+// gauge: high-water mark of occupied slots across the replay
+#define METRIC_SCHED_SLOTS_BUSY_PEAK "biglake_sched_slots_busy_peak"
+// gauge: high-water mark of queued (admitted, not yet dispatched) queries
+#define METRIC_SCHED_QUEUE_DEPTH_PEAK "biglake_sched_queue_depth_peak"
+
 // --- Omni (src/omni/omni.cc) ---
 #define METRIC_OMNI_SUBQUERIES "biglake_omni_subqueries_total"
 #define METRIC_OMNI_CROSS_CLOUD_BYTES "biglake_omni_cross_cloud_bytes_total"

@@ -1,0 +1,457 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace biglake {
+namespace sched {
+
+namespace {
+
+constexpr SimMicros kNoEvent = std::numeric_limits<SimMicros>::max();
+
+size_t LaneIndex(Lane lane) { return lane == Lane::kInteractive ? 0 : 1; }
+
+uint64_t CountPlanNodes(const Plan& plan) {
+  uint64_t n = 1;
+  for (const PlanPtr& child : plan.children) {
+    if (child != nullptr) n += CountPlanNodes(*child);
+  }
+  return n;
+}
+
+SimMicros NearestRank(const std::vector<SimMicros>& sorted, double pct) {
+  if (sorted.empty()) return 0;
+  if (pct <= 0.0) pct = 1e-9;
+  if (pct > 100.0) pct = 100.0;
+  auto rank = static_cast<size_t>(
+      std::max<double>(1.0, std::ceil(pct / 100.0 *
+                                      static_cast<double>(sorted.size()))));
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+const char* LaneName(Lane lane) {
+  return lane == Lane::kInteractive ? "interactive" : "batch";
+}
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kCompleted:
+      return "completed";
+    case QueryState::kRejected:
+      return "rejected";
+    case QueryState::kCancelledQueued:
+      return "cancelled_queued";
+    case QueryState::kCancelledRunning:
+      return "cancelled_running";
+    case QueryState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+QueryScheduler::QueryScheduler(LakehouseEnv* env, QueryEngine* engine,
+                               SchedulerOptions options)
+    : env_(env), engine_(engine), options_(std::move(options)) {
+  if (options_.total_slots == 0) options_.total_slots = 1;
+  if (options_.slots_per_query == 0) options_.slots_per_query = 1;
+}
+
+const TenantQuota& QueryScheduler::QuotaFor(const std::string& tenant) const {
+  auto it = options_.tenant_quotas.find(tenant);
+  return it == options_.tenant_quotas.end() ? options_.default_quota
+                                            : it->second;
+}
+
+SimMicros QueryScheduler::EstimateCost(const QueryRequest& request) const {
+  if (request.cost_hint_micros > 0) return request.cost_hint_micros;
+  // Crude optimizer stand-in: plan size. Good enough to order a queue; the
+  // WFQ guarantees below do not depend on estimate accuracy.
+  if (request.plan == nullptr) return 1;
+  return 1000 * CountPlanNodes(*request.plan);
+}
+
+void QueryScheduler::NoteQueueDepth() {
+  if (queued_total_ > report_.peak_queue_depth) {
+    report_.peak_queue_depth = queued_total_;
+    obs::MetricsRegistry::Default()
+        .GetGauge(METRIC_SCHED_QUEUE_DEPTH_PEAK)
+        ->SetMax(static_cast<int64_t>(queued_total_));
+  }
+}
+
+void QueryScheduler::NoteSlots(SimMicros now) {
+  // Integrate *before* a slot-count change: the old occupancy held from the
+  // previous stamp until now.
+  if (now > last_slot_stamp_) {
+    busy_integral_ +=
+        static_cast<SimMicros>(slots_busy_) * (now - last_slot_stamp_);
+    last_slot_stamp_ = now;
+  }
+}
+
+void QueryScheduler::Reject(const QueryRequest& request, size_t index,
+                            const char* reason, SimMicros now,
+                            std::vector<QueryOutcome>* outcomes) {
+  QueryOutcome& out = (*outcomes)[index];
+  out.state = QueryState::kRejected;
+  out.status = Status::ResourceExhausted(
+      std::string("scheduler backpressure: ") + reason);
+  out.finish_micros = now;
+  LaneReport& lane_report =
+      request.lane == Lane::kInteractive ? report_.interactive : report_.batch;
+  ++lane_report.rejected;
+  obs::MetricsRegistry::Default()
+      .GetCounter(METRIC_SCHED_REJECTED,
+                  {{"lane", LaneName(request.lane)}, {"reason", reason}})
+      ->Increment();
+  obs::ScopedSpan span("sched:reject", obs::Span::kStage);
+  span.SetAttr("tenant", request.tenant);
+  span.SetAttr("reason", reason);
+}
+
+void QueryScheduler::Admit(const std::vector<QueryRequest>& requests,
+                           size_t index, SimMicros now,
+                           std::vector<QueryOutcome>* outcomes) {
+  const QueryRequest& request = requests[index];
+  const size_t lane = LaneIndex(request.lane);
+  auto& reg = obs::MetricsRegistry::Default();
+  LaneReport& lane_report =
+      request.lane == Lane::kInteractive ? report_.interactive : report_.batch;
+  ++lane_report.submitted;
+  reg.GetCounter(METRIC_SCHED_SUBMITTED, {{"lane", LaneName(request.lane)}})
+      ->Increment();
+
+  const TenantQuota& quota = QuotaFor(request.tenant);
+  if (quota.max_slots == 0) {
+    // A query that could never acquire a slot must be bounced at admission,
+    // not parked forever (it would deadlock the drain loop).
+    Reject(request, index, "quota_impossible", now, outcomes);
+    return;
+  }
+  // Backpressure, cheapest signal first. Batch traffic sheds when the block
+  // cache is saturated — the paper's "protect interactive price/perf" knob.
+  if (request.lane == Lane::kBatch &&
+      options_.cache_pressure_threshold < 1.0 &&
+      env_->block_cache().enabled() &&
+      env_->block_cache().FillFraction() >= options_.cache_pressure_threshold) {
+    Reject(request, index, "cache_pressure", now, outcomes);
+    return;
+  }
+  uint64_t lane_depth = 0;
+  if (options_.fair_queueing) {
+    lane_depth = queues_[lane].size();
+  } else {
+    // One shared FIFO queue; the cap still applies per requested lane.
+    for (const auto& [key, entry] : queues_[0]) {
+      (void)key;
+      if (LaneIndex(requests[entry.index].lane) == lane) ++lane_depth;
+    }
+  }
+  if (lane_depth >= options_.max_queued_per_lane) {
+    Reject(request, index, "lane_queue_full", now, outcomes);
+    return;
+  }
+  TenantState& tenant = tenants_[request.tenant];
+  if (tenant.queued >= quota.max_queued) {
+    Reject(request, index, "tenant_queue_full", now, outcomes);
+    return;
+  }
+
+  QueueEntry entry;
+  entry.index = index;
+  entry.seq = admit_seq_++;
+  std::pair<SimMicros, uint64_t> key;
+  if (options_.fair_queueing) {
+    // Start-time/finish-tag WFQ: a tenant's next query starts where its
+    // backlog ends (or at the lane's virtual now if it has none), and
+    // finishes cost/weight later — heavier backlogs and lower weights push
+    // a tenant's tags (and thus its turn) further out.
+    const uint32_t weight = std::max<uint32_t>(1, quota.weight);
+    entry.vstart = std::max(lane_vnow_[lane], tenant.last_vfinish);
+    entry.vfinish =
+        entry.vstart + std::max<SimMicros>(1, EstimateCost(request) / weight);
+    tenant.last_vfinish = entry.vfinish;
+    key = {entry.vfinish, entry.seq};
+    queues_[lane].emplace(key, entry);
+  } else {
+    // FIFO baseline: arrival order, blind to lanes/tenants/weights.
+    key = {now, entry.seq};
+    queues_[0].emplace(key, entry);
+  }
+  ++tenant.queued;
+  ++queued_total_;
+  NoteQueueDepth();
+  (*outcomes)[index].admit_micros = now;
+  ++lane_report.admitted;
+  reg.GetCounter(METRIC_SCHED_ADMITTED, {{"lane", LaneName(request.lane)}})
+      ->Increment();
+}
+
+SimMicros QueryScheduler::ExecuteQuery(const QueryRequest& request,
+                                       SimMicros now, SimMicros queue_micros,
+                                       uint32_t slots, QueryOutcome* outcome) {
+  auto& reg = obs::MetricsRegistry::Default();
+  LaneReport& lane_report =
+      request.lane == Lane::kInteractive ? report_.interactive : report_.batch;
+  // Remaining budget on the replay timeline, converted to the engine's
+  // resource-time clock: a query on k slots retires resource micros k× as
+  // fast as replay micros, so its resource budget is k× the replay budget.
+  CancelToken token;
+  SimMicros engine_deadline = 0;
+  if (request.deadline_micros > 0) {
+    const SimMicros abs_deadline =
+        request.arrive_micros + request.deadline_micros;
+    const SimMicros remaining = abs_deadline > now ? abs_deadline - now : 0;
+    engine_deadline = env_->sim().clock().Now() +
+                      remaining * static_cast<SimMicros>(slots);
+  }
+  token.Arm(&env_->sim().clock(), engine_deadline);
+
+  obs::ScopedSpan span("sched:query", obs::Span::kStage);
+  span.SetAttr("tenant", request.tenant);
+  span.SetAttr("lane", LaneName(request.lane));
+  span.AddNum("queue_sim_micros", queue_micros);
+  span.AddNum("slots", slots);
+
+  SimTimer timer(env_->sim());
+  auto result =
+      engine_->Execute(request.principal, request.plan, request.profile,
+                       &token);
+  const SimMicros resource_micros = timer.ElapsedMicros();
+
+  if (result.ok()) {
+    outcome->state = QueryState::kCompleted;
+    outcome->status = Status::OK();
+    outcome->rows = result->batch.num_rows();
+    ++lane_report.completed;
+    reg.GetCounter(METRIC_SCHED_COMPLETED,
+                   {{"lane", LaneName(request.lane)}})
+        ->Increment();
+  } else {
+    const Status& s = result.status();
+    outcome->status = s;
+    if (s.IsCancelled() || s.IsDeadlineExceeded()) {
+      outcome->state = QueryState::kCancelledRunning;
+      ++lane_report.cancelled_running;
+      reg.GetCounter(
+             METRIC_SCHED_CANCELLED,
+             {{"lane", LaneName(request.lane)}, {"phase", "running"}})
+          ->Increment();
+      span.SetAttr("cancelled", s.ToString());
+    } else {
+      outcome->state = QueryState::kFailed;
+      ++lane_report.failed;
+      reg.GetCounter(METRIC_SCHED_FAILED,
+                     {{"lane", LaneName(request.lane)}})
+          ->Increment();
+    }
+  }
+  // The slot pool models throughput: k slots retire the measured resource
+  // time k× faster on the replay timeline. Resource time is worker-count
+  // invariant (serial-equivalent shard folds), so service — and with it the
+  // whole replay — is too.
+  const SimMicros service =
+      std::max<SimMicros>(1, resource_micros / static_cast<SimMicros>(slots));
+  span.AddNum("service_sim_micros", service);
+  reg.GetHistogram(METRIC_SCHED_SERVICE_SIM_MICROS,
+                   {{"lane", LaneName(request.lane)}},
+                   &obs::DefaultSimMicrosBounds())
+      ->Observe(service);
+  return service;
+}
+
+void QueryScheduler::DispatchRunnable(
+    const std::vector<QueryRequest>& requests, SimMicros now,
+    std::vector<QueryOutcome>* outcomes) {
+  auto& reg = obs::MetricsRegistry::Default();
+  // Interactive before batch (strict lane priority) under fair queueing;
+  // the FIFO baseline keeps everything in queues_[0].
+  const size_t num_queues = options_.fair_queueing ? 2 : 1;
+  for (size_t lane_queue = 0; lane_queue < num_queues; ++lane_queue) {
+    auto& queue = queues_[lane_queue];
+    for (auto it = queue.begin(); it != queue.end();) {
+      const QueueEntry entry = it->second;
+      const QueryRequest& request = requests[entry.index];
+      const size_t lane = LaneIndex(request.lane);
+      QueryOutcome& out = (*outcomes)[entry.index];
+      TenantState& tenant = tenants_[request.tenant];
+      // Expired in the queue: drop it now (even while the pool is full) so
+      // a doomed query never occupies a slot.
+      if (request.deadline_micros > 0 &&
+          now >= request.arrive_micros + request.deadline_micros) {
+        out.state = QueryState::kCancelledQueued;
+        out.status = Status::DeadlineExceeded("deadline expired in queue");
+        out.queue_micros = now - out.admit_micros;
+        out.finish_micros = now;
+        LaneReport& lane_report = request.lane == Lane::kInteractive
+                                      ? report_.interactive
+                                      : report_.batch;
+        ++lane_report.cancelled_queued;
+        reg.GetCounter(
+               METRIC_SCHED_CANCELLED,
+               {{"lane", LaneName(request.lane)}, {"phase", "queued"}})
+            ->Increment();
+        --tenant.queued;
+        --queued_total_;
+        it = queue.erase(it);
+        continue;
+      }
+      if (slots_busy_ >= options_.total_slots) {
+        // Pool full: keep sweeping for expired entries, dispatch nothing.
+        ++it;
+        continue;
+      }
+      const TenantQuota& quota = QuotaFor(request.tenant);
+      const uint32_t slots =
+          std::min({options_.slots_per_query, quota.max_slots,
+                    options_.total_slots});
+      if (tenant.slots_busy + slots > quota.max_slots ||
+          slots_busy_ + slots > options_.total_slots) {
+        // Quota-blocked (or pool nearly full): backfill from later entries
+        // rather than head-of-line blocking the whole lane.
+        ++it;
+        continue;
+      }
+
+      // Dispatch.
+      if (options_.fair_queueing && entry.vstart > lane_vnow_[lane]) {
+        lane_vnow_[lane] = entry.vstart;
+      }
+      const SimMicros queue_micros = now - out.admit_micros;
+      out.queue_micros = queue_micros;
+      out.dispatch_micros = now;
+      out.slots = slots;
+      queue_latency_[lane].push_back(queue_micros);
+      reg.GetHistogram(METRIC_SCHED_QUEUE_SIM_MICROS,
+                       {{"lane", LaneName(request.lane)}},
+                       &obs::DefaultSimMicrosBounds())
+          ->Observe(queue_micros);
+      --tenant.queued;
+      --queued_total_;
+      NoteSlots(now);
+      tenant.slots_busy += slots;
+      slots_busy_ += slots;
+      reg.GetGauge(METRIC_SCHED_SLOTS_BUSY)
+          ->Set(static_cast<int64_t>(slots_busy_));
+      if (slots_busy_ > report_.peak_slots_busy) {
+        report_.peak_slots_busy = slots_busy_;
+        reg.GetGauge(METRIC_SCHED_SLOTS_BUSY_PEAK)
+            ->SetMax(static_cast<int64_t>(slots_busy_));
+      }
+
+      const SimMicros service =
+          ExecuteQuery(request, now, queue_micros, slots, &out);
+      out.service_micros = service;
+      out.finish_micros = now + service;
+      running_.emplace(out.finish_micros, RunningEntry{entry.index, slots});
+      it = queue.erase(it);
+    }
+  }
+}
+
+std::vector<QueryOutcome> QueryScheduler::RunAll(
+    const std::vector<QueryRequest>& requests) {
+  // Reset replay state.
+  for (auto& q : queues_) q.clear();
+  running_.clear();
+  tenants_.clear();
+  lane_vnow_[0] = lane_vnow_[1] = 0;
+  admit_seq_ = 0;
+  slots_busy_ = 0;
+  queued_total_ = 0;
+  busy_integral_ = 0;
+  last_slot_stamp_ = 0;
+  queue_latency_[0].clear();
+  queue_latency_[1].clear();
+  report_ = SchedulerReport{};
+
+  std::vector<QueryOutcome> outcomes(requests.size());
+  std::vector<size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return requests[a].arrive_micros < requests[b].arrive_micros;
+  });
+
+  size_t next_arrival = 0;
+  SimMicros now = 0;
+  while (next_arrival < order.size() || !running_.empty() ||
+         queued_total_ > 0) {
+    // Advance to the next event on the replay timeline.
+    SimMicros t = kNoEvent;
+    if (!running_.empty()) t = running_.begin()->first;
+    if (next_arrival < order.size()) {
+      t = std::min(t, requests[order[next_arrival]].arrive_micros);
+    }
+    if (t == kNoEvent) {
+      // Only queued entries remain and the pool is empty; dispatch at the
+      // current time (admission guarantees every queued entry can run on an
+      // empty pool, so this always makes progress).
+      t = now;
+    }
+    if (t > now) now = t;
+
+    // 1. Completions at or before `now` free their slots.
+    while (!running_.empty() && running_.begin()->first <= now) {
+      const auto [finish, run] = *running_.begin();
+      running_.erase(running_.begin());
+      NoteSlots(finish);
+      const QueryRequest& request = requests[run.index];
+      TenantState& tenant = tenants_[request.tenant];
+      tenant.slots_busy -= run.slots;
+      slots_busy_ -= run.slots;
+      obs::MetricsRegistry::Default()
+          .GetGauge(METRIC_SCHED_SLOTS_BUSY)
+          ->Set(static_cast<int64_t>(slots_busy_));
+      if (finish > report_.makespan_micros) report_.makespan_micros = finish;
+    }
+    // 2. Arrivals at or before `now` go through admission control.
+    while (next_arrival < order.size() &&
+           requests[order[next_arrival]].arrive_micros <= now) {
+      Admit(requests, order[next_arrival], now, &outcomes);
+      ++next_arrival;
+    }
+    // 3. Fill free slots from the queues.
+    DispatchRunnable(requests, now, &outcomes);
+  }
+
+  // Close the books.
+  for (const QueryOutcome& out : outcomes) {
+    if (out.finish_micros > report_.makespan_micros) {
+      report_.makespan_micros = out.finish_micros;
+    }
+  }
+  NoteSlots(report_.makespan_micros);
+  if (report_.makespan_micros > 0) {
+    report_.slot_occupancy =
+        static_cast<double>(busy_integral_) /
+        (static_cast<double>(options_.total_slots) *
+         static_cast<double>(report_.makespan_micros));
+  }
+  for (size_t lane = 0; lane < 2; ++lane) {
+    std::sort(queue_latency_[lane].begin(), queue_latency_[lane].end());
+    LaneReport& lane_report =
+        lane == 0 ? report_.interactive : report_.batch;
+    lane_report.queue_p50_micros = NearestRank(queue_latency_[lane], 50.0);
+    lane_report.queue_p99_micros = NearestRank(queue_latency_[lane], 99.0);
+    lane_report.queue_max_micros =
+        queue_latency_[lane].empty() ? 0 : queue_latency_[lane].back();
+  }
+  return outcomes;
+}
+
+SimMicros QueryScheduler::QueueLatencyPercentile(Lane lane, double pct) const {
+  return NearestRank(queue_latency_[LaneIndex(lane)], pct);
+}
+
+}  // namespace sched
+}  // namespace biglake

@@ -1,0 +1,235 @@
+// Multi-tenant admission control + scheduling over a fixed slot pool.
+//
+// A production Dremel front-end multiplexes thousands of concurrent
+// sessions over a shared slot pool; QueryScheduler is that layer for
+// biglake-lite. It sits in front of QueryEngine::Execute and decides, per
+// query: admit or reject (backpressure), when to dispatch (weighted fair
+// queueing across tenants, interactive-over-batch priority lanes,
+// per-tenant slot quotas), and when to give up (virtual-clock deadlines
+// with cooperative cancellation threaded through the engine via
+// common/cancel.h).
+//
+// The scheduler is a *discrete-event replay* on the environment's virtual
+// clock: RunAll consumes a whole traffic trace (arrival times are virtual
+// micros) and simulates the contention a live front-end would see, while
+// each dispatched query physically executes through the engine — real
+// rows, real cache effects, real charges. Queries run one at a time on the
+// driving thread (each may still fan out over the engine's worker pool);
+// what overlaps in *virtual* time is modeled by the slot pool: a query
+// holding k slots is assumed to complete its measured resource time k×
+// faster. Because every admission/dispatch/completion decision happens at
+// a serial point and all inputs (arrivals, costs, deadlines) are virtual,
+// an identical trace replays bit-identically across runs and across engine
+// worker counts (see tests/sched_replay_test.cc).
+//
+// See docs/SCHEDULING.md for the full model and knob reference.
+
+#ifndef BIGLAKE_SCHED_SCHEDULER_H_
+#define BIGLAKE_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/sim_env.h"
+#include "common/status.h"
+#include "core/environment.h"
+#include "engine/engine.h"
+#include "engine/plan.h"
+#include "obs/profile.h"
+#include "security/security.h"
+
+namespace biglake {
+namespace sched {
+
+/// Priority lanes. Interactive has strict dispatch priority over batch;
+/// per-tenant slot quotas are what keep a chatty interactive tenant from
+/// starving batch work entirely.
+enum class Lane { kInteractive = 0, kBatch = 1 };
+
+const char* LaneName(Lane lane);
+
+/// Per-tenant scheduling contract.
+struct TenantQuota {
+  /// Weighted-fair-queueing share inside a lane (relative; >= 1).
+  uint32_t weight = 1;
+  /// Most slots this tenant's running queries may hold at once.
+  uint32_t max_slots = 4;
+  /// Most queries this tenant may have queued (admitted, undispatched);
+  /// the excess is rejected with kResourceExhausted (retryable).
+  uint32_t max_queued = 64;
+};
+
+struct SchedulerOptions {
+  /// Size of the shared slot pool the replay multiplexes.
+  uint32_t total_slots = 16;
+  /// Weighted fair queueing + priority lanes. Off = one arrival-ordered
+  /// FIFO queue, blind to lanes, tenants and weights (the baseline
+  /// bench_scheduler contrasts; quotas and backpressure still apply).
+  bool fair_queueing = true;
+  /// Queue-depth cap per lane; admissions beyond it are rejected with
+  /// kResourceExhausted (retryable backpressure).
+  uint32_t max_queued_per_lane = 1024;
+  /// Reject *batch* admissions while the block cache is fuller than this
+  /// fraction (interactive traffic still admits). >= 1.0 disables.
+  double cache_pressure_threshold = 1.0;
+  /// Quota for tenants without an explicit entry in `tenant_quotas`.
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Slots a dispatched query occupies (capped by tenant + pool limits).
+  uint32_t slots_per_query = 1;
+};
+
+/// One query in the traffic trace.
+struct QueryRequest {
+  std::string tenant;
+  Lane lane = Lane::kInteractive;
+  Principal principal;
+  PlanPtr plan;
+  /// Virtual arrival time (absolute micros on the replay timeline).
+  SimMicros arrive_micros = 0;
+  /// Queueing + execution budget in virtual micros; 0 = no deadline. An
+  /// expired queued query is dropped; an expired running query is
+  /// cooperatively cancelled mid-scan (kDeadlineExceeded).
+  SimMicros deadline_micros = 0;
+  /// WFQ cost estimate in virtual micros (an optimizer estimate in a real
+  /// front-end). 0 = derive a crude one from the plan's node count. Only
+  /// orders the queue — never consulted for slot accounting.
+  SimMicros cost_hint_micros = 0;
+  /// Optional per-query profile, passed through to the engine.
+  obs::QueryProfile* profile = nullptr;
+};
+
+/// Terminal state of one request.
+enum class QueryState {
+  kCompleted = 0,
+  kRejected,          // never admitted (backpressure)
+  kCancelledQueued,   // deadline expired before a slot freed up
+  kCancelledRunning,  // cooperatively cancelled mid-execution
+  kFailed,            // dispatched, failed with a non-cancellation error
+};
+
+const char* QueryStateName(QueryState state);
+
+struct QueryOutcome {
+  QueryState state = QueryState::kRejected;
+  Status status;
+  /// Rows the query returned (0 unless kCompleted).
+  uint64_t rows = 0;
+  /// admission → dispatch (0 for rejected; arrival → drop for a queued
+  /// cancellation).
+  SimMicros queue_micros = 0;
+  /// dispatch → completion on the replay timeline.
+  SimMicros service_micros = 0;
+  /// Absolute replay-timeline stamps (0 when the phase never happened).
+  SimMicros admit_micros = 0;
+  SimMicros dispatch_micros = 0;
+  SimMicros finish_micros = 0;
+  uint32_t slots = 0;
+};
+
+/// Per-lane aggregates for one RunAll (exact values, computed from the
+/// full latency vectors — not histogram-bucket approximations).
+struct LaneReport {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled_queued = 0;
+  uint64_t cancelled_running = 0;
+  /// Nearest-rank percentiles over dispatched queries' queueing latency.
+  SimMicros queue_p50_micros = 0;
+  SimMicros queue_p99_micros = 0;
+  SimMicros queue_max_micros = 0;
+};
+
+struct SchedulerReport {
+  LaneReport interactive;
+  LaneReport batch;
+  /// End of the last completion on the replay timeline.
+  SimMicros makespan_micros = 0;
+  /// Integral of busy slots over time / (total_slots × makespan).
+  double slot_occupancy = 0.0;
+  uint32_t peak_slots_busy = 0;
+  uint64_t peak_queue_depth = 0;
+};
+
+class QueryScheduler {
+ public:
+  QueryScheduler(LakehouseEnv* env, QueryEngine* engine,
+                 SchedulerOptions options = {});
+
+  /// Replays the whole trace (any order; sorted by arrival internally) and
+  /// returns one outcome per request, index-aligned with `requests`.
+  /// Serial context only; not reentrant.
+  std::vector<QueryOutcome> RunAll(const std::vector<QueryRequest>& requests);
+
+  const SchedulerOptions& options() const { return options_; }
+  /// Aggregates for the most recent RunAll.
+  const SchedulerReport& report() const { return report_; }
+  /// Exact nearest-rank percentile (pct in (0,100]) of queueing latency
+  /// over the most recent RunAll's dispatched queries in `lane`.
+  SimMicros QueueLatencyPercentile(Lane lane, double pct) const;
+
+ private:
+  struct QueueEntry {
+    size_t index = 0;        // into the request vector
+    uint64_t seq = 0;        // admission order, the deterministic tiebreak
+    SimMicros vstart = 0;    // WFQ virtual start tag
+    SimMicros vfinish = 0;   // WFQ virtual finish tag (the sort key)
+  };
+  struct TenantState {
+    uint32_t slots_busy = 0;
+    uint32_t queued = 0;
+    SimMicros last_vfinish = 0;  // lane-agnostic WFQ backlog tag
+  };
+  struct RunningEntry {
+    size_t index = 0;
+    uint32_t slots = 0;
+  };
+
+  const TenantQuota& QuotaFor(const std::string& tenant) const;
+  /// WFQ cost estimate for ordering (micros): plan-shape heuristic, never
+  /// a measured runtime (ordering must not depend on execution).
+  SimMicros EstimateCost(const QueryRequest& request) const;
+  void Admit(const std::vector<QueryRequest>& requests, size_t index,
+             SimMicros now, std::vector<QueryOutcome>* outcomes);
+  void DispatchRunnable(const std::vector<QueryRequest>& requests,
+                        SimMicros now, std::vector<QueryOutcome>* outcomes);
+  /// Physically executes one dispatched query; returns its virtual service
+  /// time on `slots` slots and fills the outcome's terminal state.
+  SimMicros ExecuteQuery(const QueryRequest& request, SimMicros now,
+                         SimMicros queue_micros, uint32_t slots,
+                         QueryOutcome* outcome);
+  void Reject(const QueryRequest& request, size_t index, const char* reason,
+              SimMicros now, std::vector<QueryOutcome>* outcomes);
+  void NoteQueueDepth();
+  void NoteSlots(SimMicros now);
+
+  LakehouseEnv* env_;
+  QueryEngine* engine_;
+  SchedulerOptions options_;
+
+  // Replay state (reset by RunAll).
+  // Queue key: (vfinish, seq) under fair queueing, (arrival, seq) FIFO —
+  // strict-weak, unique, and independent of thread scheduling either way.
+  std::map<std::pair<SimMicros, uint64_t>, QueueEntry> queues_[2];
+  std::multimap<SimMicros, RunningEntry> running_;  // completion time → query
+  std::map<std::string, TenantState> tenants_;
+  SimMicros lane_vnow_[2] = {0, 0};
+  uint64_t admit_seq_ = 0;
+  uint32_t slots_busy_ = 0;
+  uint64_t queued_total_ = 0;
+  SimMicros busy_integral_ = 0;   // slot-micros accumulated so far
+  SimMicros last_slot_stamp_ = 0;
+  std::vector<SimMicros> queue_latency_[2];  // dispatched queries only
+  SchedulerReport report_;
+};
+
+}  // namespace sched
+}  // namespace biglake
+
+#endif  // BIGLAKE_SCHED_SCHEDULER_H_

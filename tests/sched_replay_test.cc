@@ -1,0 +1,216 @@
+// Deterministic traffic replay at scale: a synthetic multi-tenant trace
+// (120 tenants, 5280 queries, mixed lanes/plans/deadlines) replayed through
+// QueryScheduler must produce bit-identical outcomes and reports across
+// independent runs AND across engine worker counts 1/2/8. Every admission,
+// rejection, dispatch, cancellation and latency percentile is folded into
+// one digest, so any nondeterminism anywhere in the stack trips the test.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "engine/engine.h"
+#include "lakehouse_fixture.h"
+#include "sched/scheduler.h"
+
+namespace biglake {
+namespace sched {
+namespace {
+
+constexpr int kTenants = 120;
+constexpr int kQueries = 5280;
+constexpr int kTables = 6;
+
+class ReplayWorld : public LakehouseFixture {
+ public:
+  using LakehouseFixture::lake_;
+
+  ReplayWorld() : api_(&lake_), biglake_(&lake_) {
+    for (int t = 0; t < kTables; ++t) {
+      std::string name = "t" + std::to_string(t);
+      std::string prefix = name + "/";
+      BuildLake(prefix, /*num_files=*/2, /*rows_per_file=*/64);
+      EXPECT_TRUE(
+          biglake_.CreateBigLakeTable(MakeBigLakeDef(name, prefix)).ok());
+    }
+  }
+  void TestBody() override {}
+
+  StorageReadApi api_;
+  BigLakeTableService biglake_;
+};
+
+// xorshift64*: a tiny deterministic generator so the trace is identical on
+// every platform and standard library.
+struct TraceRng {
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+};
+
+std::vector<QueryRequest> BuildTrace() {
+  TraceRng rng;
+  std::vector<QueryRequest> trace;
+  trace.reserve(kQueries);
+  SimMicros arrive = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    QueryRequest r;
+    r.tenant = "tenant" + std::to_string(rng.Uniform(kTenants));
+    r.lane = rng.Uniform(3) == 0 ? Lane::kInteractive : Lane::kBatch;
+    r.principal = "u";
+    std::string table = "ds.t" + std::to_string(rng.Uniform(kTables));
+    switch (rng.Uniform(3)) {
+      case 0:
+        r.plan = Plan::Scan(table);
+        break;
+      case 1:
+        r.plan = Plan::Scan(
+            table, {},
+            Expr::Eq(Expr::Col("region"), Expr::Lit(Value::String("east"))));
+        break;
+      default:
+        r.plan = Plan::Aggregate(Plan::Scan(table), {"region"},
+                                 {{AggOp::kSum, "qty", "total_qty"}});
+        break;
+    }
+    arrive += rng.Uniform(400);  // mean inter-arrival ~200 virtual micros
+    r.arrive_micros = arrive;
+    // A slice of tight deadlines exercises both queued and running
+    // cancellation; a slice of generous ones never fires.
+    uint64_t d = rng.Uniform(10);
+    if (d == 0) {
+      r.deadline_micros = 20 + rng.Uniform(100);
+    } else if (d == 1) {
+      r.deadline_micros = 2'000'000;
+    }
+    r.cost_hint_micros = 200 + rng.Uniform(2000);
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+SchedulerOptions ReplayOptions() {
+  SchedulerOptions opts;
+  opts.total_slots = 32;
+  opts.fair_queueing = true;
+  opts.max_queued_per_lane = 512;
+  opts.default_quota = {.weight = 1, .max_slots = 2, .max_queued = 8};
+  for (int t = 0; t < kTenants; t += 7) {
+    opts.tenant_quotas["tenant" + std::to_string(t)] = {
+        .weight = 3, .max_slots = 4, .max_queued = 16};
+  }
+  return opts;
+}
+
+void HashU64(uint64_t v, uint64_t* h) {
+  *h ^= v + 0x9e3779b97f4a7c15ull + (*h << 6) + (*h >> 2);
+}
+
+uint64_t DigestRun(const std::vector<QueryOutcome>& outcomes,
+                   const QueryScheduler& sched) {
+  uint64_t h = 14695981039346656037ull;
+  for (const auto& out : outcomes) {
+    HashU64(static_cast<uint64_t>(out.state), &h);
+    HashU64(static_cast<uint64_t>(out.status.code()), &h);
+    HashU64(out.rows, &h);
+    HashU64(out.queue_micros, &h);
+    HashU64(out.service_micros, &h);
+    HashU64(out.admit_micros, &h);
+    HashU64(out.dispatch_micros, &h);
+    HashU64(out.finish_micros, &h);
+    HashU64(out.slots, &h);
+  }
+  const SchedulerReport& r = sched.report();
+  for (const LaneReport* lane : {&r.interactive, &r.batch}) {
+    HashU64(lane->submitted, &h);
+    HashU64(lane->admitted, &h);
+    HashU64(lane->rejected, &h);
+    HashU64(lane->completed, &h);
+    HashU64(lane->failed, &h);
+    HashU64(lane->cancelled_queued, &h);
+    HashU64(lane->cancelled_running, &h);
+    HashU64(lane->queue_p50_micros, &h);
+    HashU64(lane->queue_p99_micros, &h);
+    HashU64(lane->queue_max_micros, &h);
+  }
+  HashU64(r.makespan_micros, &h);
+  HashU64(r.peak_slots_busy, &h);
+  HashU64(r.peak_queue_depth, &h);
+  return h;
+}
+
+struct RunResult {
+  uint64_t digest = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;
+};
+
+RunResult Replay(uint32_t workers) {
+  ReplayWorld world;
+  EngineOptions eopts;
+  eopts.num_workers = workers;
+  // Pinned fan-out: stream partitioning (and with it per-query resource
+  // time) must not depend on the pool size, or the replay would diverge.
+  eopts.max_read_streams = 4;
+  QueryEngine engine(&world.lake_, &world.api_, eopts);
+  QueryScheduler sched(&world.lake_, &engine, ReplayOptions());
+
+  auto trace = BuildTrace();
+  auto outcomes = sched.RunAll(trace);
+  RunResult rr;
+  rr.digest = DigestRun(outcomes, sched);
+  for (const auto& out : outcomes) {
+    switch (out.state) {
+      case QueryState::kCompleted:
+        ++rr.completed;
+        break;
+      case QueryState::kRejected:
+        ++rr.rejected;
+        break;
+      case QueryState::kCancelledQueued:
+      case QueryState::kCancelledRunning:
+        ++rr.cancelled;
+        break;
+      case QueryState::kFailed:
+        ++rr.failed;
+        break;
+    }
+  }
+  return rr;
+}
+
+TEST(SchedReplayTest, TraceIsBitIdenticalAcrossRunsAndWorkerCounts) {
+  RunResult base = Replay(/*workers=*/1);
+  // The trace must actually exercise every scheduler path.
+  EXPECT_EQ(base.completed + base.rejected + base.cancelled + base.failed,
+            static_cast<uint64_t>(kQueries));
+  EXPECT_GT(base.completed, 0u);
+  EXPECT_GT(base.rejected, 0u);
+  EXPECT_GT(base.cancelled, 0u);
+  EXPECT_EQ(base.failed, 0u);
+
+  RunResult again = Replay(/*workers=*/1);
+  EXPECT_EQ(base.digest, again.digest) << "same-config replay diverged";
+
+  for (uint32_t workers : {2u, 8u}) {
+    RunResult other = Replay(workers);
+    EXPECT_EQ(base.digest, other.digest)
+        << "replay diverged at num_workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace sched
+}  // namespace biglake

@@ -1,0 +1,418 @@
+// QueryScheduler unit suite: admission control, weighted fair queueing,
+// priority lanes, quotas, backpressure and deadline cancellation — all on
+// the deterministic discrete-event replay (docs/SCHEDULING.md).
+
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/blmt.h"
+#include "engine/engine.h"
+#include "lakehouse_fixture.h"
+
+namespace biglake {
+namespace sched {
+namespace {
+
+class SchedulerTest : public LakehouseFixture {
+ protected:
+  SchedulerTest() : api_(&lake_), biglake_(&lake_), blmt_(&lake_) {}
+
+  void CreateLakeTable(const std::string& name, int files, size_t rows) {
+    std::string prefix = name + "/";
+    BuildLake(prefix, files, rows);
+    ASSERT_TRUE(
+        biglake_.CreateBigLakeTable(MakeBigLakeDef(name, prefix)).ok());
+  }
+
+  QueryEngine MakeEngine(EngineOptions opts = {}) {
+    // Pin the stream fan-out so query shape (and with it resource time and
+    // the replay) does not depend on the worker count.
+    if (opts.max_read_streams == 0) opts.max_read_streams = 4;
+    return QueryEngine(&lake_, &api_, opts);
+  }
+
+  static QueryRequest Req(const std::string& tenant, Lane lane, PlanPtr plan,
+                          SimMicros arrive = 0, SimMicros deadline = 0,
+                          SimMicros cost_hint = 0) {
+    QueryRequest r;
+    r.tenant = tenant;
+    r.lane = lane;
+    r.principal = "u";
+    r.plan = std::move(plan);
+    r.arrive_micros = arrive;
+    r.deadline_micros = deadline;
+    r.cost_hint_micros = cost_hint;
+    return r;
+  }
+
+  StorageReadApi api_;
+  BigLakeTableService biglake_;
+  BlmtService blmt_;
+};
+
+TEST_F(SchedulerTest, FifoCompletesEveryQueryWithCorrectRows) {
+  CreateLakeTable("sales", 4, 50);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  opts.total_slots = 2;
+  opts.fair_queueing = false;
+  QueryScheduler sched(&lake_, &engine, opts);
+
+  std::vector<QueryRequest> trace;
+  for (int i = 0; i < 6; ++i) {
+    trace.push_back(Req("t" + std::to_string(i % 2), Lane::kBatch,
+                        Plan::Scan("ds.sales"),
+                        /*arrive=*/static_cast<SimMicros>(i) * 10));
+  }
+  auto outcomes = sched.RunAll(trace);
+  ASSERT_EQ(outcomes.size(), trace.size());
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.state, QueryState::kCompleted) << out.status.ToString();
+    EXPECT_EQ(out.rows, 200u);
+    EXPECT_LE(out.admit_micros, out.dispatch_micros);
+    EXPECT_LT(out.dispatch_micros, out.finish_micros);
+    EXPECT_EQ(out.finish_micros, out.dispatch_micros + out.service_micros);
+    EXPECT_EQ(out.slots, 1u);
+  }
+  const SchedulerReport& report = sched.report();
+  EXPECT_EQ(report.batch.submitted, 6u);
+  EXPECT_EQ(report.batch.admitted, 6u);
+  EXPECT_EQ(report.batch.completed, 6u);
+  EXPECT_EQ(report.batch.rejected, 0u);
+  EXPECT_GT(report.makespan_micros, 0u);
+  EXPECT_GT(report.slot_occupancy, 0.0);
+  EXPECT_LE(report.slot_occupancy, 1.0);
+  EXPECT_LE(report.peak_slots_busy, opts.total_slots);
+}
+
+TEST_F(SchedulerTest, SchedulerResultMatchesDirectEngineExecution) {
+  CreateLakeTable("sales", 3, 40);
+  QueryEngine engine = MakeEngine();
+  auto direct = engine.Execute("u", Plan::Scan("ds.sales"));
+  ASSERT_TRUE(direct.ok());
+
+  QueryScheduler sched(&lake_, &engine, {});
+  auto outcomes =
+      sched.RunAll({Req("t0", Lane::kInteractive, Plan::Scan("ds.sales"))});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].state, QueryState::kCompleted);
+  EXPECT_EQ(outcomes[0].rows, direct->batch.num_rows());
+}
+
+// With one slot and equal per-query costs, WFQ interleaves tenants: a
+// single-query tenant's finish tag beats the heavy tenant's backlog, so it
+// dispatches second. The FIFO baseline makes it wait behind the entire
+// backlog.
+TEST_F(SchedulerTest, FairQueueingInterleavesTenantsFifoDoesNot) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+
+  std::vector<QueryRequest> trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.push_back(Req("heavy", Lane::kBatch, Plan::Scan("ds.sales"),
+                        /*arrive=*/0, /*deadline=*/0, /*cost_hint=*/1000));
+  }
+  trace.push_back(Req("light", Lane::kBatch, Plan::Scan("ds.sales"),
+                      /*arrive=*/0, /*deadline=*/0, /*cost_hint=*/1000));
+
+  SchedulerOptions fair;
+  fair.total_slots = 1;
+  fair.fair_queueing = true;
+  QueryScheduler fair_sched(&lake_, &engine, fair);
+  auto fair_out = fair_sched.RunAll(trace);
+
+  SchedulerOptions fifo = fair;
+  fifo.fair_queueing = false;
+  QueryScheduler fifo_sched(&lake_, &engine, fifo);
+  auto fifo_out = fifo_sched.RunAll(trace);
+
+  // Under fair queueing exactly one heavy query precedes light.
+  int heavy_before_light_fair = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (fair_out[i].dispatch_micros < fair_out[5].dispatch_micros) {
+      ++heavy_before_light_fair;
+    }
+  }
+  EXPECT_EQ(heavy_before_light_fair, 1);
+  // Under FIFO light dispatches dead last.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_LT(fifo_out[i].dispatch_micros, fifo_out[5].dispatch_micros);
+  }
+}
+
+TEST_F(SchedulerTest, HigherWeightGetsEarlierTurns) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+
+  SchedulerOptions opts;
+  opts.total_slots = 1;
+  opts.tenant_quotas["gold"] = {.weight = 4, .max_slots = 4, .max_queued = 64};
+  opts.tenant_quotas["bronze"] = {.weight = 1, .max_slots = 4,
+                                  .max_queued = 64};
+  QueryScheduler sched(&lake_, &engine, opts);
+
+  std::vector<QueryRequest> trace;
+  for (int i = 0; i < 4; ++i) {
+    trace.push_back(Req("bronze", Lane::kBatch, Plan::Scan("ds.sales"), 0, 0,
+                        /*cost_hint=*/1000));
+  }
+  for (int i = 0; i < 4; ++i) {
+    trace.push_back(Req("gold", Lane::kBatch, Plan::Scan("ds.sales"), 0, 0,
+                        /*cost_hint=*/1000));
+  }
+  auto out = sched.RunAll(trace);
+  // gold tags: 250, 500, 750, 1000; bronze tags: 1000, 2000, 3000, 4000.
+  // All four gold queries dispatch before bronze's second query.
+  SimMicros bronze_second = out[1].dispatch_micros;
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_LT(out[i].dispatch_micros, bronze_second) << i;
+  }
+}
+
+TEST_F(SchedulerTest, InteractiveLaneHasStrictPriority) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  opts.total_slots = 1;
+  QueryScheduler sched(&lake_, &engine, opts);
+
+  std::vector<QueryRequest> trace;
+  for (int i = 0; i < 4; ++i) {
+    trace.push_back(Req("b", Lane::kBatch, Plan::Scan("ds.sales")));
+  }
+  // Admitted last, dispatched first: the interactive lane drains first.
+  trace.push_back(Req("i", Lane::kInteractive, Plan::Scan("ds.sales")));
+
+  auto out = sched.RunAll(trace);
+  EXPECT_EQ(out[4].dispatch_micros, 0u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(out[i].dispatch_micros, 0u) << i;
+  }
+}
+
+TEST_F(SchedulerTest, TenantSlotQuotaSerializesItsQueries) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  opts.total_slots = 8;
+  opts.tenant_quotas["capped"] = {.weight = 1, .max_slots = 1,
+                                  .max_queued = 64};
+  QueryScheduler sched(&lake_, &engine, opts);
+
+  std::vector<QueryRequest> trace;
+  for (int i = 0; i < 3; ++i) {
+    trace.push_back(Req("capped", Lane::kBatch, Plan::Scan("ds.sales")));
+  }
+  for (int i = 0; i < 3; ++i) {
+    trace.push_back(Req("free", Lane::kBatch, Plan::Scan("ds.sales")));
+  }
+  auto out = sched.RunAll(trace);
+  // "free" (max_slots=4 default) runs all three at t=0; "capped" serializes.
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(out[i].dispatch_micros, 0u) << i;
+  }
+  EXPECT_EQ(out[0].dispatch_micros, 0u);
+  EXPECT_GE(out[1].dispatch_micros, out[0].finish_micros);
+  EXPECT_GE(out[2].dispatch_micros, out[1].finish_micros);
+}
+
+TEST_F(SchedulerTest, TenantQueueCapRejectsExcessAsRetryable) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  opts.total_slots = 1;
+  opts.default_quota.max_queued = 2;
+  QueryScheduler sched(&lake_, &engine, opts);
+
+  std::vector<QueryRequest> trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.push_back(Req("t", Lane::kBatch, Plan::Scan("ds.sales")));
+  }
+  auto out = sched.RunAll(trace);
+  int completed = 0, rejected = 0;
+  for (const auto& o : out) {
+    if (o.state == QueryState::kCompleted) ++completed;
+    if (o.state == QueryState::kRejected) {
+      ++rejected;
+      EXPECT_TRUE(o.status.IsResourceExhausted()) << o.status.ToString();
+      EXPECT_TRUE(IsRetryable(o.status));
+      EXPECT_EQ(o.rows, 0u);
+    }
+  }
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(rejected, 3);
+  EXPECT_EQ(sched.report().batch.rejected, 3u);
+}
+
+TEST_F(SchedulerTest, LaneQueueCapRejectsExcess) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  opts.total_slots = 1;
+  opts.max_queued_per_lane = 3;
+  QueryScheduler sched(&lake_, &engine, opts);
+
+  std::vector<QueryRequest> trace;
+  for (int i = 0; i < 6; ++i) {
+    trace.push_back(
+        Req("t" + std::to_string(i), Lane::kBatch, Plan::Scan("ds.sales")));
+  }
+  auto out = sched.RunAll(trace);
+  int rejected = 0;
+  for (const auto& o : out) {
+    if (o.state == QueryState::kRejected) ++rejected;
+  }
+  EXPECT_EQ(rejected, 3);
+}
+
+TEST_F(SchedulerTest, ZeroSlotQuotaRejectsInsteadOfDeadlocking) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  opts.tenant_quotas["banned"] = {.weight = 1, .max_slots = 0,
+                                  .max_queued = 64};
+  QueryScheduler sched(&lake_, &engine, opts);
+  auto out =
+      sched.RunAll({Req("banned", Lane::kInteractive, Plan::Scan("ds.sales")),
+                    Req("ok", Lane::kInteractive, Plan::Scan("ds.sales"))});
+  EXPECT_EQ(out[0].state, QueryState::kRejected);
+  EXPECT_EQ(out[1].state, QueryState::kCompleted);
+}
+
+TEST_F(SchedulerTest, CachePressureShedsBatchButAdmitsInteractive) {
+  CreateLakeTable("sales", 4, 50);
+  EngineOptions eopts;
+  eopts.enable_block_cache = true;
+  eopts.block_cache_capacity_bytes = 1 << 20;
+  QueryEngine engine = MakeEngine(eopts);
+  ASSERT_TRUE(engine.Execute("u", Plan::Scan("ds.sales")).ok());
+  const double fill = lake_.block_cache().FillFraction();
+  ASSERT_GT(fill, 0.0);
+
+  // Threshold below the warmed fill: batch sheds, interactive still admits.
+  SchedulerOptions opts;
+  opts.cache_pressure_threshold = fill * 0.5;
+  QueryScheduler sched(&lake_, &engine, opts);
+  auto out =
+      sched.RunAll({Req("t", Lane::kBatch, Plan::Scan("ds.sales")),
+                    Req("t", Lane::kInteractive, Plan::Scan("ds.sales"))});
+  EXPECT_EQ(out[0].state, QueryState::kRejected);
+  EXPECT_TRUE(out[0].status.IsResourceExhausted());
+  EXPECT_EQ(out[1].state, QueryState::kCompleted);
+  EXPECT_EQ(sched.report().batch.rejected, 1u);
+  EXPECT_EQ(sched.report().interactive.completed, 1u);
+}
+
+TEST_F(SchedulerTest, QueuedDeadlineExpiresWithoutEverHoldingASlot) {
+  CreateLakeTable("sales", 4, 50);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  opts.total_slots = 1;
+  QueryScheduler sched(&lake_, &engine, opts);
+
+  // The head query holds the only slot well past the second query's budget.
+  auto out = sched.RunAll(
+      {Req("t", Lane::kBatch, Plan::Scan("ds.sales")),
+       Req("t", Lane::kBatch, Plan::Scan("ds.sales"), /*arrive=*/0,
+           /*deadline=*/1)});
+  ASSERT_EQ(out[0].state, QueryState::kCompleted);
+  EXPECT_EQ(out[1].state, QueryState::kCancelledQueued);
+  EXPECT_TRUE(out[1].status.IsDeadlineExceeded());
+  EXPECT_EQ(out[1].rows, 0u);
+  EXPECT_EQ(out[1].dispatch_micros, 0u);
+  EXPECT_EQ(sched.report().batch.cancelled_queued, 1u);
+}
+
+TEST_F(SchedulerTest, RunningDeadlineCancelsCooperativelyWithZeroRows) {
+  CreateLakeTable("sales", 6, 80);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  QueryScheduler sched(&lake_, &engine, opts);
+
+  // Dispatches immediately (empty pool) with a budget far below the scan's
+  // resource time, so the engine trips a checkpoint mid-execution.
+  auto out = sched.RunAll({Req("t", Lane::kInteractive, Plan::Scan("ds.sales"),
+                               /*arrive=*/0, /*deadline=*/50)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].state, QueryState::kCancelledRunning);
+  EXPECT_TRUE(out[0].status.IsDeadlineExceeded()) << out[0].status.ToString();
+  EXPECT_EQ(out[0].rows, 0u);
+  EXPECT_GT(out[0].service_micros, 0u);
+  EXPECT_EQ(sched.report().interactive.cancelled_running, 1u);
+}
+
+TEST_F(SchedulerTest, PercentilesAreMonotonicAndReported) {
+  CreateLakeTable("sales", 2, 30);
+  QueryEngine engine = MakeEngine();
+  SchedulerOptions opts;
+  opts.total_slots = 1;
+  QueryScheduler sched(&lake_, &engine, opts);
+  std::vector<QueryRequest> trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.push_back(Req("t" + std::to_string(i % 3), Lane::kBatch,
+                        Plan::Scan("ds.sales")));
+  }
+  sched.RunAll(trace);
+  const LaneReport& lane = sched.report().batch;
+  EXPECT_LE(lane.queue_p50_micros, lane.queue_p99_micros);
+  EXPECT_LE(lane.queue_p99_micros, lane.queue_max_micros);
+  EXPECT_EQ(sched.QueueLatencyPercentile(Lane::kBatch, 50.0),
+            lane.queue_p50_micros);
+  EXPECT_EQ(sched.QueueLatencyPercentile(Lane::kBatch, 99.0),
+            lane.queue_p99_micros);
+  EXPECT_GT(lane.queue_max_micros, 0u);
+}
+
+// The replay is a pure function of the trace: identical traces replayed on
+// identical worlds give bit-identical outcomes at any engine worker count.
+TEST_F(SchedulerTest, OutcomesAreIdenticalAcrossWorkerCounts) {
+  auto run = [](uint32_t workers) {
+    class W : public SchedulerTest {
+     public:
+      using SchedulerTest::CreateLakeTable;
+      using SchedulerTest::lake_;
+      using SchedulerTest::MakeEngine;
+      void TestBody() override {}
+    };
+    W w;
+    w.CreateLakeTable("sales", 4, 60);
+    EngineOptions eopts;
+    eopts.num_workers = workers;
+    QueryEngine engine = w.MakeEngine(eopts);
+    SchedulerOptions opts;
+    opts.total_slots = 3;
+    opts.tenant_quotas["a"] = {.weight = 2, .max_slots = 2, .max_queued = 8};
+    QueryScheduler sched(&w.lake_, &engine, opts);
+    std::vector<QueryRequest> trace;
+    for (int i = 0; i < 24; ++i) {
+      trace.push_back(Req(i % 2 == 0 ? "a" : "b",
+                          i % 3 == 0 ? Lane::kInteractive : Lane::kBatch,
+                          Plan::Scan("ds.sales"),
+                          /*arrive=*/static_cast<SimMicros>(i) * 50,
+                          /*deadline=*/i % 5 == 0 ? 40u : 0u,
+                          /*cost_hint=*/500 + (i % 4) * 250));
+    }
+    return sched.RunAll(trace);
+  };
+  auto base = run(1);
+  for (uint32_t workers : {2u, 8u}) {
+    auto other = run(workers);
+    ASSERT_EQ(base.size(), other.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(base[i].state, other[i].state) << "w=" << workers << " " << i;
+      EXPECT_EQ(base[i].rows, other[i].rows) << i;
+      EXPECT_EQ(base[i].queue_micros, other[i].queue_micros) << i;
+      EXPECT_EQ(base[i].service_micros, other[i].service_micros) << i;
+      EXPECT_EQ(base[i].dispatch_micros, other[i].dispatch_micros) << i;
+      EXPECT_EQ(base[i].finish_micros, other[i].finish_micros) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sched
+}  // namespace biglake

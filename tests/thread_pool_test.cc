@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
+#include "common/sim_env.h"
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -188,6 +191,98 @@ TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock) {
   });
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPoolTest, CancelTokenCheckpointSkipsChunksIdenticallyInlineAndThreaded) {
+  // A pre-tripped token: every chunk's boundary checkpoint fails before any
+  // index runs, at 0 workers and at 4 workers alike.
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    CancelToken token;
+    token.Cancel();
+    ScopedCancelToken scope(&token);
+    std::atomic<size_t> ran{0};
+    Status s = pool.ParallelFor(
+        64,
+        [&](size_t) {
+          ran.fetch_add(1);
+          return Status::OK();
+        },
+        /*grain=*/8);
+    EXPECT_TRUE(s.IsCancelled()) << "threads=" << threads << " "
+                                 << s.ToString();
+    EXPECT_EQ(ran.load(), 0u) << threads;
+  }
+}
+
+TEST(ThreadPoolTest, CancelMidRegionStopsAtChunkBoundaries) {
+  // Tripping the token from inside the region cancels not-yet-checked
+  // chunks; chunks already past their checkpoint run to completion. Inline
+  // mode (deterministic): the first chunk runs, trips the token, and every
+  // later chunk is skipped at its boundary checkpoint.
+  ThreadPool pool(1);
+  CancelToken token;
+  ScopedCancelToken scope(&token);
+  std::vector<int> ran(64, 0);
+  Status s = pool.ParallelFor(
+      64,
+      [&](size_t i) {
+        ran[i] = 1;
+        if (i == 0) token.Cancel();
+        return Status::OK();
+      },
+      /*grain=*/8);
+  EXPECT_TRUE(s.IsCancelled()) << s.ToString();
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(ran[i], i < 8 ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPoolTest, InlineModeRunsEveryChunkAfterAFailure) {
+  // Inline execution emulates the threaded chunk semantics: a failing chunk
+  // does not short-circuit later chunks (each runs to its own first
+  // failure), and the lowest-indexed chunk's failure wins.
+  ThreadPool pool(1);
+  std::vector<int> ran(32, 0);
+  Status s = pool.ParallelFor(
+      32,
+      [&](size_t i) {
+        ran[i] = 1;
+        if (i == 12 || i == 4) {
+          return Status::Internal("boom at " + std::to_string(i));
+        }
+        return Status::OK();
+      },
+      /*grain=*/8);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom at 4");
+  // Chunk [0,8) stopped at its failure (index 4); all other chunks ran
+  // fully except [8,16), which stopped at its own failure (index 12).
+  for (size_t i = 0; i < 32; ++i) {
+    bool expect_ran = !((i > 4 && i < 8) || (i > 12 && i < 16));
+    EXPECT_EQ(ran[i], expect_ran ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPoolTest, DeadlineTokenTripsAtChunkBoundary) {
+  // A deadline measured on a SimClock view: once the clock passes it, the
+  // next chunk boundary returns kDeadlineExceeded.
+  SimEnv env;
+  env.clock().Advance(100);
+  ThreadPool pool(1);
+  CancelToken token(&env.clock(), /*deadline=*/150);
+  ScopedCancelToken scope(&token);
+  std::atomic<size_t> ran{0};
+  Status s = pool.ParallelFor(
+      32,
+      [&](size_t i) {
+        ran.fetch_add(1);
+        if (i == 7) env.clock().Advance(100);  // now 200 >= 150
+        return Status::OK();
+      },
+      /*grain=*/8);
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_EQ(ran.load(), 8u);  // only the first chunk ran
 }
 
 }  // namespace
