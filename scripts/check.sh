@@ -4,7 +4,7 @@
 # Each sanitizer uses its own build dir so the plain `build/` cache (and its
 # generator choice) is never disturbed.
 #
-# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|resultcache|sched|bench|docs]...
+# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|resultcache|txn|sched|bench|docs]...
 # (default: all)
 set -eu
 
@@ -72,6 +72,20 @@ do_resultcache() {
   done
 }
 
+# Multi-table transaction suite (`ctest -L txn`), plain and under TSan:
+# coordinator unit/integration tests plus the log-replay property suite.
+# The concurrent-writer sweep lives under the chaos label; this stage covers
+# the commit protocol itself (CAS conflicts, crash points, ordered apply).
+do_txn() {
+  for dir in build build-tsan; do
+    if [[ ! -d "$ROOT/$dir" ]]; then
+      echo "txn: $dir/ missing — run the plain/tsan stage first" >&2
+      exit 1
+    fi
+    ctest --test-dir "$ROOT/$dir" -L txn --output-on-failure
+  done
+}
+
 # Scheduler suite (`ctest -L sched`), plain and under TSan: admission/WFQ
 # unit coverage, the 5k-query multi-tenant replay (bit-identical across runs
 # and worker counts), and mid-scan cancellation races — cooperative-cancel
@@ -88,7 +102,7 @@ do_sched() {
 
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(plain novec asan tsan chaos resultcache sched bench docs)
+  stages=(plain novec asan tsan chaos resultcache txn sched bench docs)
 fi
 
 for stage in "${stages[@]}"; do

@@ -27,6 +27,10 @@ const char* FaultSiteName(FaultSite site) {
       return "write_commit";
     case FaultSite::kVpnTransfer:
       return "vpn_transfer";
+    case FaultSite::kTxnIntent:
+      return "txn_intent";
+    case FaultSite::kTxnLog:
+      return "txn_log";
     case FaultSite::kNumFaultSites:
       break;
   }

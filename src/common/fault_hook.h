@@ -41,6 +41,8 @@ enum class FaultSite {
   kReadRows,      // Read API: one stream read attempt
   kWriteCommit,   // Write API: stream flush / batch commit
   kVpnTransfer,   // Omni: one cross-realm VPN transfer
+  kTxnIntent,     // txn coordinator: one write-intent manifest put
+  kTxnLog,        // txn coordinator: transaction-log read / CAS append
   kNumFaultSites,
 };
 

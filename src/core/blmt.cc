@@ -128,6 +128,24 @@ Result<uint64_t> BlmtService::MultiTableInsert(
     const std::vector<std::pair<std::string, RecordBatch>>& inserts) {
   obs::ScopedSpan span("blmt:multi_table_insert", obs::Span::kRpc);
   CountDml("multi_table_insert");
+  if (transactional()) {
+    std::vector<std::string> tables;
+    tables.reserve(inserts.size());
+    for (const auto& [table_id, rows] : inserts) {
+      tables.push_back(table_id);
+      (void)rows;
+    }
+    BL_ASSIGN_OR_RETURN(std::unique_ptr<meta::LakehouseTxn> txn,
+                        BeginTransaction(tables));
+    for (const auto& [table_id, rows] : inserts) {
+      Status s = TxnInsert(txn.get(), principal, table_id, rows);
+      if (!s.ok()) {
+        (void)AbortTransaction(txn.get());
+        return s;
+      }
+    }
+    return CommitTransaction(txn.get());
+  }
   MetaTransaction txn = env_->meta().BeginTransaction();
   for (const auto& [table_id, rows] : inserts) {
     BL_ASSIGN_OR_RETURN(const TableDef* table,
@@ -152,6 +170,18 @@ Result<uint64_t> BlmtService::Delete(const Principal& principal,
                                      const ExprPtr& predicate) {
   obs::ScopedSpan span("blmt:delete", obs::Span::kRpc);
   CountDml("delete");
+  if (transactional()) {
+    BL_ASSIGN_OR_RETURN(std::unique_ptr<meta::LakehouseTxn> txn,
+                        BeginTransaction({table_id}));
+    Result<uint64_t> staged = TxnDelete(txn.get(), principal, table_id,
+                                        predicate);
+    if (!staged.ok()) {
+      (void)AbortTransaction(txn.get());
+      return staged.status();
+    }
+    BL_RETURN_NOT_OK(CommitTransaction(txn.get()).status());
+    return staged;
+  }
   BL_ASSIGN_OR_RETURN(const TableDef* table,
                       CheckedTable(principal, table_id, Role::kWriter));
   if (predicate == nullptr) {
@@ -203,6 +233,18 @@ Result<uint64_t> BlmtService::Update(
     const std::map<std::string, Value>& assignments) {
   obs::ScopedSpan span("blmt:update", obs::Span::kRpc);
   CountDml("update");
+  if (transactional()) {
+    BL_ASSIGN_OR_RETURN(std::unique_ptr<meta::LakehouseTxn> txn,
+                        BeginTransaction({table_id}));
+    Result<uint64_t> staged =
+        TxnUpdate(txn.get(), principal, table_id, predicate, assignments);
+    if (!staged.ok()) {
+      (void)AbortTransaction(txn.get());
+      return staged.status();
+    }
+    BL_RETURN_NOT_OK(CommitTransaction(txn.get()).status());
+    return staged;
+  }
   BL_ASSIGN_OR_RETURN(const TableDef* table,
                       CheckedTable(principal, table_id, Role::kWriter));
   if (predicate == nullptr) {
@@ -275,6 +317,164 @@ Result<RecordBatch> BlmtService::ReadAll(const std::string& table_id,
   }
   if (batches.empty()) return RecordBatch::Empty(table->schema);
   return RecordBatch::Concat(batches);
+}
+
+Result<std::unique_ptr<meta::LakehouseTxn>> BlmtService::BeginTransaction(
+    const std::vector<std::string>& tables) {
+  if (!transactional()) {
+    return Status::FailedPrecondition(
+        "multi-table transactions are not enabled on this environment "
+        "(LakehouseEnv::EnableTransactions)");
+  }
+  return env_->txn()->BeginTransaction(tables);
+}
+
+Status BlmtService::TxnInsert(meta::LakehouseTxn* txn,
+                              const Principal& principal,
+                              const std::string& table_id,
+                              const RecordBatch& rows) {
+  if (txn->state() != meta::LakehouseTxn::State::kOpen) {
+    return Status::FailedPrecondition("transaction is not open");
+  }
+  BL_ASSIGN_OR_RETURN(const TableDef* table,
+                      CheckedTable(principal, table_id, Role::kWriter));
+  if (!rows.schema()->Equals(*table->schema)) {
+    return Status::InvalidArgument(
+        StrCat("insert schema does not match table `", table_id, "`"));
+  }
+  BL_ASSIGN_OR_RETURN(CachedFileMeta file, WriteDataFile(*table, rows));
+  txn->AddFiles(table_id, {std::move(file)});
+  return Status::OK();
+}
+
+Result<uint64_t> BlmtService::TxnDelete(meta::LakehouseTxn* txn,
+                                        const Principal& principal,
+                                        const std::string& table_id,
+                                        const ExprPtr& predicate) {
+  if (txn->state() != meta::LakehouseTxn::State::kOpen) {
+    return Status::FailedPrecondition("transaction is not open");
+  }
+  if (txn->HasRemoves(table_id)) {
+    return Status::InvalidArgument(
+        StrCat("transaction already rewrites `", table_id,
+               "` (one rewriting statement per table per transaction)"));
+  }
+  BL_ASSIGN_OR_RETURN(const TableDef* table,
+                      CheckedTable(principal, table_id, Role::kWriter));
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("DELETE requires a predicate");
+  }
+  // Candidates resolve against the transaction's pinned snapshot: the
+  // statement sees the world as of Begin, and the commit-time liveness check
+  // turns any concurrent rewrite of these files into a conflict abort.
+  BL_ASSIGN_OR_RETURN(PrunedFiles candidates,
+                      env_->meta().PruneFiles(table_id, predicate,
+                                              txn->snapshot().meta_txn));
+  uint64_t deleted = 0;
+  std::vector<std::string> removals;
+  std::vector<CachedFileMeta> additions;
+  for (const CachedFileMeta& file : candidates.files) {
+    BL_ASSIGN_OR_RETURN(RecordBatch data, ReadFile(*table, file));
+    BL_ASSIGN_OR_RETURN(Column match, predicate->Evaluate(data));
+    std::vector<uint8_t> mask = BoolColumnToMask(match);
+    uint64_t matches =
+        std::accumulate(mask.begin(), mask.end(), uint64_t{0});
+    if (matches == 0) continue;
+    deleted += matches;
+    removals.push_back(file.file.path);
+    for (auto& m : mask) m = m ? 0 : 1;
+    RecordBatch remainder = data.Filter(mask);
+    if (remainder.num_rows() > 0) {
+      BL_ASSIGN_OR_RETURN(CachedFileMeta rewritten,
+                          WriteDataFile(*table, remainder));
+      additions.push_back(std::move(rewritten));
+    }
+  }
+  if (!removals.empty()) {
+    txn->RemoveFiles(table_id, std::move(removals));
+    txn->AddFiles(table_id, std::move(additions));
+  }
+  return deleted;
+}
+
+Result<uint64_t> BlmtService::TxnUpdate(
+    meta::LakehouseTxn* txn, const Principal& principal,
+    const std::string& table_id, const ExprPtr& predicate,
+    const std::map<std::string, Value>& assignments) {
+  if (txn->state() != meta::LakehouseTxn::State::kOpen) {
+    return Status::FailedPrecondition("transaction is not open");
+  }
+  if (txn->HasRemoves(table_id)) {
+    return Status::InvalidArgument(
+        StrCat("transaction already rewrites `", table_id,
+               "` (one rewriting statement per table per transaction)"));
+  }
+  BL_ASSIGN_OR_RETURN(const TableDef* table,
+                      CheckedTable(principal, table_id, Role::kWriter));
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("UPDATE requires a predicate");
+  }
+  for (const auto& [col, val] : assignments) {
+    if (table->schema->FieldIndex(col) < 0) {
+      return Status::NotFound(StrCat("no column `", col, "`"));
+    }
+    (void)val;
+  }
+  BL_ASSIGN_OR_RETURN(PrunedFiles candidates,
+                      env_->meta().PruneFiles(table_id, predicate,
+                                              txn->snapshot().meta_txn));
+  uint64_t updated = 0;
+  std::vector<std::string> removals;
+  std::vector<CachedFileMeta> additions;
+  for (const CachedFileMeta& file : candidates.files) {
+    BL_ASSIGN_OR_RETURN(RecordBatch data, ReadFile(*table, file));
+    BL_ASSIGN_OR_RETURN(Column match, predicate->Evaluate(data));
+    std::vector<uint8_t> mask = BoolColumnToMask(match);
+    uint64_t matches =
+        std::accumulate(mask.begin(), mask.end(), uint64_t{0});
+    if (matches == 0) continue;
+    updated += matches;
+    removals.push_back(file.file.path);
+    std::vector<Column> cols;
+    for (size_t c = 0; c < data.num_columns(); ++c) {
+      const Field& f = data.schema()->field(c);
+      auto ait = assignments.find(f.name);
+      if (ait == assignments.end()) {
+        cols.push_back(data.column(c));
+        continue;
+      }
+      ColumnBuilder builder(f.type);
+      for (size_t r = 0; r < data.num_rows(); ++r) {
+        BL_RETURN_NOT_OK(builder.AppendValue(
+            mask[r] ? ait->second : data.GetValue(r, c)));
+      }
+      cols.push_back(builder.Finish());
+    }
+    RecordBatch rewritten(data.schema(), std::move(cols));
+    BL_ASSIGN_OR_RETURN(CachedFileMeta meta, WriteDataFile(*table, rewritten));
+    additions.push_back(std::move(meta));
+  }
+  if (!removals.empty()) {
+    txn->RemoveFiles(table_id, std::move(removals));
+    txn->AddFiles(table_id, std::move(additions));
+  }
+  return updated;
+}
+
+Result<uint64_t> BlmtService::CommitTransaction(meta::LakehouseTxn* txn) {
+  if (!transactional()) {
+    return Status::FailedPrecondition(
+        "multi-table transactions are not enabled on this environment");
+  }
+  return env_->txn()->Commit(txn);
+}
+
+Status BlmtService::AbortTransaction(meta::LakehouseTxn* txn) {
+  if (!transactional()) {
+    return Status::FailedPrecondition(
+        "multi-table transactions are not enabled on this environment");
+  }
+  return env_->txn()->Abort(txn);
 }
 
 Result<OptimizeReport> BlmtService::OptimizeStorage(

@@ -17,6 +17,7 @@
 #define BIGLAKE_CORE_BLMT_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -95,7 +96,48 @@ class BlmtService {
   /// Metadata; used by tests/examples — queries normally go through the
   /// Read API or the engine).
   Result<RecordBatch> ReadAll(const std::string& table_id,
-                              uint64_t snapshot_txn = 0);
+                              uint64_t snapshot_txn = kLatestTxn);
+
+  // --- Multi-table transactions (meta/txn.h) ---
+  // Available once LakehouseEnv::EnableTransactions has configured the
+  // coordinator; MultiTableInsert/Delete/Update then commit through the
+  // write-intent + txn-log protocol automatically. Single-table Insert keeps
+  // its direct append path: appends never conflict, so mixing it with
+  // transactions is safe by construction.
+
+  /// True when this environment has a transaction coordinator.
+  bool transactional() const { return env_->txn() != nullptr; }
+
+  /// Opens a transaction with a snapshot pinned over `tables`.
+  Result<std::unique_ptr<meta::LakehouseTxn>> BeginTransaction(
+      const std::vector<std::string>& tables);
+
+  /// Stages an INSERT (the data file is written now but stays invisible
+  /// until commit). Appends never conflict.
+  Status TxnInsert(meta::LakehouseTxn* txn, const Principal& principal,
+                   const std::string& table_id, const RecordBatch& rows);
+
+  /// Stages DELETE ... WHERE predicate, resolving candidate files against
+  /// the transaction's snapshot. First-committer-wins: if a concurrent
+  /// commit rewrites any of the files this statement removes, Commit aborts
+  /// with kFailedPrecondition. One rewriting statement per table per
+  /// transaction. Returns rows staged for deletion.
+  Result<uint64_t> TxnDelete(meta::LakehouseTxn* txn,
+                             const Principal& principal,
+                             const std::string& table_id,
+                             const ExprPtr& predicate);
+
+  /// Stages UPDATE ... SET ... WHERE predicate (same rules as TxnDelete).
+  Result<uint64_t> TxnUpdate(meta::LakehouseTxn* txn,
+                             const Principal& principal,
+                             const std::string& table_id,
+                             const ExprPtr& predicate,
+                             const std::map<std::string, Value>& assignments);
+
+  /// Commits via the coordinator; returns the metadata txn id every staged
+  /// table became visible at (atomically).
+  Result<uint64_t> CommitTransaction(meta::LakehouseTxn* txn);
+  Status AbortTransaction(meta::LakehouseTxn* txn);
 
   /// Background storage optimization: coalesces small files into
   /// target-sized files, sorting by the clustering columns.

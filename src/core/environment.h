@@ -17,6 +17,7 @@
 #include "catalog/catalog.h"
 #include "meta/bigmeta.h"
 #include "meta/metadata_cache.h"
+#include "meta/txn.h"
 #include "objstore/objstore.h"
 #include "security/security.h"
 
@@ -78,6 +79,39 @@ class LakehouseEnv {
     return s;
   }
 
+  /// Opts this environment into multi-table transactions (meta/txn.h): the
+  /// coordinator keeps its log + intent manifests under `prefix` in `bucket`
+  /// on `store`, and its invalidation hook drops result-cache entries and
+  /// block-cache blocks for every table/file a committed record touches — in
+  /// the same atomic step as the metadata apply, so no cached plan can mix
+  /// per-table generations across a commit. BlmtService reroutes multi-table
+  /// DML through the coordinator once this is configured.
+  meta::TxnCoordinator* EnableTransactions(
+      ObjectStore* store, const std::string& bucket,
+      meta::TxnCoordinatorOptions options = {}) {
+    options.bucket = bucket;
+    txn_ = std::make_unique<meta::TxnCoordinator>(&env_, &meta_, store,
+                                                  std::move(options));
+    txn_->set_invalidation_hook([this](const meta::TxnLogRecord& rec) {
+      for (const meta::TxnTableOps& ops : rec.tables) {
+        result_cache_.InvalidateTable(ops.table_id);
+        if (ops.removes.empty()) continue;
+        auto table = catalog_.GetTable(ops.table_id);
+        if (!table.ok()) continue;  // replayed into an env without catalog
+        const char* cloud = CloudProviderName((*table)->location.provider);
+        for (const std::string& path : ops.removes) {
+          // Staged remove paths are full object names (they include the
+          // table prefix), matching BLMT's own invalidation calls.
+          block_cache_.InvalidateObject(cloud, (*table)->bucket, path);
+        }
+      }
+    });
+    return txn_.get();
+  }
+
+  /// The transaction coordinator, or nullptr when not enabled.
+  meta::TxnCoordinator* txn() { return txn_.get(); }
+
  private:
   SimEnv env_;
   Catalog catalog_;
@@ -87,6 +121,7 @@ class LakehouseEnv {
   cache::BlockCache block_cache_;
   cache::ResultCache result_cache_;
   std::map<std::string, std::unique_ptr<ObjectStore>> stores_;
+  std::unique_ptr<meta::TxnCoordinator> txn_;
 };
 
 }  // namespace biglake

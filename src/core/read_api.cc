@@ -256,8 +256,9 @@ Result<ReadSession> StorageReadApi::CreateReadSession(
   ReadSession session;
   session.session_id = StrCat("rs-", next_session_++);
   session.table_id = table_id;
-  session.snapshot_txn = options.snapshot_txn == 0 ? env_->meta().LatestTxn()
-                                                   : options.snapshot_txn;
+  session.snapshot_txn = options.snapshot_txn == kLatestTxn
+                             ? env_->meta().LatestTxn()
+                             : options.snapshot_txn;
 
   // Collect + prune files, then shard into streams.
   uint64_t files_total = 0;
@@ -268,7 +269,7 @@ Result<ReadSession> StorageReadApi::CreateReadSession(
                            table->kind == TableKind::kBigLakeManaged ||
                            table->metadata_cache_enabled
                        ? options.snapshot_txn
-                       : 0,
+                       : kLatestTxn,
                    &files_total,
                    options.use_block_cache &&
                        !options.use_row_oriented_reader));

@@ -41,8 +41,9 @@ struct ReadSessionOptions {
   std::vector<std::string> columns;
   /// Predicate pushed down into the scan (may be nullptr).
   ExprPtr predicate;
-  /// Point-in-time snapshot: Big Metadata txn id (0 = latest).
-  uint64_t snapshot_txn = 0;
+  /// Point-in-time snapshot: Big Metadata txn id (kLatestTxn = latest,
+  /// resolved to a concrete txn at session creation; 0 = before any commit).
+  uint64_t snapshot_txn = kLatestTxn;
   /// Desired read parallelism; actual stream count <= this.
   uint32_t max_streams = 8;
   /// Use the legacy row-oriented reader + transcode path instead of the

@@ -103,12 +103,21 @@ uint64_t QueryEngine::EstimateRows(const PlanPtr& plan) {
 Result<QueryResult> QueryEngine::Execute(const Principal& principal,
                                          const PlanPtr& plan,
                                          obs::QueryProfile* profile,
-                                         const CancelToken* cancel) {
+                                         const CancelToken* cancel,
+                                         const meta::TxnSnapshot* snapshot) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   // A fresh query must not inherit fractional CPU micros carried over from a
   // previous query on a reused engine — that made repeated identical queries
   // charge slightly different amounts depending on session history.
   cpu_carry_ = 0.0;
+  // Pin the whole query to one metadata snapshot: caller-supplied (a
+  // transaction's consistent view) or the latest commit. Every scan and the
+  // result-cache key derive from this single value, so cross-table reads are
+  // snapshot-isolated even with commits landing mid-session.
+  // (A snapshot pinned before any commit has meta_txn 0, which is a real
+  // pin — an empty view — not "latest": see meta::kLatestTxn.)
+  snapshot_txn_ =
+      snapshot != nullptr ? snapshot->meta_txn : env_->meta().LatestTxn();
   // The token governs everything below — operator entries, ParallelFor
   // chunks, Read API fetch loops — for the lifetime of this call.
   std::optional<ScopedCancelToken> cancel_scope;
@@ -134,7 +143,8 @@ Result<QueryResult> QueryEngine::Execute(const Principal& principal,
   PlanCacheKey cache_key;
   bool served_from_cache = false;
   if (options_.enable_result_cache && result_cache.enabled()) {
-    cache_key = MakeResultCacheKey(principal, *plan, options_, env_->meta());
+    cache_key = MakeResultCacheKey(principal, *plan, options_, env_->meta(),
+                                   snapshot_txn_);
   }
   if (cache_key.cacheable) {
     if (auto cached = result_cache.Get(cache_key.key)) {
@@ -364,6 +374,7 @@ Result<RecordBatch> QueryEngine::ExecuteScan(const Principal& principal,
   ReadSessionOptions opts;
   opts.columns = scan.scan_columns;
   opts.predicate = scan.scan_predicate;
+  opts.snapshot_txn = snapshot_txn_;
   opts.max_streams = options_.max_read_streams > 0 ? options_.max_read_streams
                                                    : options_.num_workers;
   opts.caller_location = options_.engine_location;

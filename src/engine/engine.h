@@ -38,6 +38,7 @@
 #include "common/thread_pool.h"
 #include "core/read_api.h"
 #include "engine/plan.h"
+#include "meta/txn.h"
 #include "obs/profile.h"
 
 namespace biglake {
@@ -155,9 +156,17 @@ class QueryEngine {
   /// kCancelled, an expired virtual-clock deadline with kDeadlineExceeded —
   /// both non-retryable, both at deterministic checkpoints, and a cancelled
   /// query never admits partial rows into the result cache.
+  ///
+  /// Snapshot isolation: every Execute pins one metadata snapshot up front —
+  /// `snapshot->meta_txn` when the caller passes a meta::TxnSnapshot handle,
+  /// the store's latest txn otherwise — and resolves *all* scans (and the
+  /// result-cache key's per-table generation vector) against it. A
+  /// multi-table join therefore never observes one table's new generation
+  /// with another's old one, regardless of commits landing around the query.
   Result<QueryResult> Execute(const Principal& principal, const PlanPtr& plan,
                               obs::QueryProfile* profile = nullptr,
-                              const CancelToken* cancel = nullptr);
+                              const CancelToken* cancel = nullptr,
+                              const meta::TxnSnapshot* snapshot = nullptr);
 
  private:
   /// Wraps ExecuteNodeInner in an `operator` span annotated with the node's
@@ -191,6 +200,9 @@ class QueryEngine {
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   double cpu_carry_ = 0.0;
+  /// The metadata snapshot the running query is pinned to (set at Execute
+  /// entry, read by every ExecuteScan): one consistent cross-table view.
+  uint64_t snapshot_txn_ = kLatestTxn;
 };
 
 }  // namespace biglake

@@ -211,7 +211,8 @@ uint64_t EngineKnobFingerprint(const EngineOptions& options) {
 
 PlanCacheKey MakeResultCacheKey(const Principal& principal, const Plan& plan,
                                 const EngineOptions& options,
-                                const BigMetadataStore& meta) {
+                                const BigMetadataStore& meta,
+                                uint64_t snapshot_txn) {
   PlanCacheKey out;
   uint64_t h = kFnvOffset;
   if (!HashPlan(&h, plan, &out.tables)) {
@@ -227,7 +228,7 @@ PlanCacheKey MakeResultCacheKey(const Principal& principal, const Plan& plan,
   std::string key = StrCat("p", principal.size(), ":", principal, "|f",
                            out.plan_fp, "|k", EngineKnobFingerprint(options));
   for (const std::string& t : out.tables) {
-    auto gen = meta.TableGeneration(t);
+    auto gen = meta.TableGenerationAt(t, snapshot_txn);
     // Unknown table (e.g. an external lake never cached into Big Metadata)
     // or never-committed table: no generation to key on — bypass the cache.
     if (!gen.ok() || *gen == 0) return out;

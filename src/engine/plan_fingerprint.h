@@ -64,11 +64,15 @@ struct PlanCacheKey {
 };
 
 /// Composes the full result-cache key for `plan` executed by `principal`
-/// under `options`, binding in each scanned table's current commit
-/// generation from `meta`.
+/// under `options`, binding in each scanned table's commit generation from
+/// `meta` as of `snapshot_txn` (kLatestTxn = latest). The engine passes its
+/// pinned snapshot here so the key's generation vector is exactly the one every
+/// scan of the query resolves against — a cached multi-table result can
+/// never mix one table's new generation with another's old one.
 PlanCacheKey MakeResultCacheKey(const Principal& principal, const Plan& plan,
                                 const EngineOptions& options,
-                                const BigMetadataStore& meta);
+                                const BigMetadataStore& meta,
+                                uint64_t snapshot_txn = kLatestTxn);
 
 }  // namespace biglake
 

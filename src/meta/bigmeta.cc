@@ -126,7 +126,6 @@ Result<std::vector<CachedFileMeta>> BigMetadataStore::Snapshot(
     return Status::NotFound(StrCat("no metadata table `", table_id, "`"));
   }
   const TableState& table = it->second;
-  if (txn == 0) txn = LatestTxn();
   if (txn < table.baseline_txn) {
     return Status::OutOfRange(
         StrCat("snapshot txn ", txn, " predates compacted baseline txn ",
@@ -222,6 +221,27 @@ Result<uint64_t> BigMetadataStore::TableGeneration(
   }
   const TableState& table = it->second;
   return table.tail.empty() ? table.baseline_txn : table.tail.back().txn;
+}
+
+Result<uint64_t> BigMetadataStore::TableGenerationAt(
+    const std::string& table_id, uint64_t txn) const {
+  if (txn == kLatestTxn) return TableGeneration(table_id);
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no metadata table `", table_id, "`"));
+  }
+  const TableState& table = it->second;
+  if (txn < table.baseline_txn) {
+    return Status::OutOfRange(
+        StrCat("generation txn ", txn, " predates compacted baseline txn ",
+               table.baseline_txn));
+  }
+  uint64_t gen = table.baseline_txn;
+  for (const LogRecord& rec : table.tail) {
+    if (rec.txn > txn) break;
+    gen = rec.txn;
+  }
+  return gen;
 }
 
 Result<uint64_t> BigMetadataStore::TailLength(

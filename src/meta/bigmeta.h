@@ -97,6 +97,12 @@ class MetaTransaction {
   bool committed_ = false;
 };
 
+/// Snapshot sentinel: "as of the latest commit". Txn ids are >= 1, and
+/// `txn = 0` means "before any commit" (an empty view) — so a snapshot
+/// pinned on a store with no commits yet (LatestTxn() == 0) stays empty
+/// even after later commits land, instead of silently reading latest.
+inline constexpr uint64_t kLatestTxn = ~uint64_t{0};
+
 /// The metadata service. Tables are identified by opaque string ids
 /// ("dataset.table"). Single-threaded simulation.
 class BigMetadataStore {
@@ -131,22 +137,39 @@ class BigMetadataStore {
   /// construction.
   Result<uint64_t> TableGeneration(const std::string& table_id) const;
 
-  /// Snapshot list of live files in the table as of `txn` (0 = latest).
-  /// Charges baseline + tail reconcile costs.
+  /// Like TableGeneration, but as of snapshot `txn` (kLatestTxn = latest):
+  /// the id of the last commit that touched `table_id` with id <= `txn`
+  /// (0 when no commit that old touched the table). Lets a caller
+  /// holding a pinned TxnSnapshot derive per-table generations consistent
+  /// with that snapshot (the result cache keys on these). OutOfRange if `txn`
+  /// predates the compacted baseline, mirroring Snapshot().
+  Result<uint64_t> TableGenerationAt(const std::string& table_id,
+                                     uint64_t txn) const;
+
+  /// Watermark of the highest external transaction-log record applied to
+  /// this store (see meta/txn.h). 0 = none. The coordinator advances it in
+  /// the same atomic step that applies a committed record, so recovery knows
+  /// exactly which log suffix is missing.
+  uint64_t txn_log_applied_seq() const { return txn_log_applied_seq_; }
+  void set_txn_log_applied_seq(uint64_t seq) { txn_log_applied_seq_ = seq; }
+
+  /// Snapshot list of live files in the table as of `txn` (kLatestTxn =
+  /// latest; 0 = before any commit, i.e. empty). Charges baseline + tail
+  /// reconcile costs.
   Result<std::vector<CachedFileMeta>> Snapshot(const std::string& table_id,
-                                               uint64_t txn = 0) const;
+                                               uint64_t txn = kLatestTxn) const;
 
   /// Snapshot + partition/statistics pruning with `predicate` (nullptr = no
   /// pruning). Files whose partition values or column stats prove the
   /// predicate unsatisfiable are skipped without touching the object store.
   Result<PrunedFiles> PruneFiles(const std::string& table_id,
                                  const ExprPtr& predicate,
-                                 uint64_t txn = 0) const;
+                                 uint64_t txn = kLatestTxn) const;
 
   /// Aggregated per-column statistics across live files — handed to query
   /// planners via CreateReadSession (Sec 3.4).
   Result<std::map<std::string, ColumnStats>> TableStats(
-      const std::string& table_id, uint64_t txn = 0) const;
+      const std::string& table_id, uint64_t txn = kLatestTxn) const;
 
   /// Number of records currently in the (uncompacted) tail.
   Result<uint64_t> TailLength(const std::string& table_id) const;
@@ -180,6 +203,7 @@ class BigMetadataStore {
   BigMetadataOptions options_;
   std::map<std::string, TableState> tables_;
   uint64_t next_txn_ = 1;
+  uint64_t txn_log_applied_seq_ = 0;
 };
 
 }  // namespace biglake

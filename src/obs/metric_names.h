@@ -156,6 +156,14 @@
 // gauge: high-water mark of queued (admitted, not yet dispatched) queries
 #define METRIC_SCHED_QUEUE_DEPTH_PEAK "biglake_sched_queue_depth_peak"
 
+// --- Multi-table transaction coordinator (src/meta/txn.cc) ---
+#define METRIC_TXN_COMMITS "biglake_txn_commits_total"
+// labels: reason ("conflict" | "fault" | "crash" | "user")
+#define METRIC_TXN_ABORTS "biglake_txn_aborts_total"
+#define METRIC_TXN_INTENTS_WRITTEN "biglake_txn_intents_written_total"
+#define METRIC_TXN_INTENTS_GCED "biglake_txn_intents_gced_total"
+#define METRIC_TXN_RECOVERED "biglake_txn_recovered_total"
+
 // --- Omni (src/omni/omni.cc) ---
 #define METRIC_OMNI_SUBQUERIES "biglake_omni_subqueries_total"
 #define METRIC_OMNI_CROSS_CLOUD_BYTES "biglake_omni_cross_cloud_bytes_total"

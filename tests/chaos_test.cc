@@ -32,6 +32,8 @@
 #include "engine/engine.h"
 #include "fault/fault.h"
 #include "format/parquet_lite.h"
+#include "lakehouse_fixture.h"
+#include "meta/txn.h"
 #include "obs/profile.h"
 #include "omni/omni.h"
 #include "workload/tpcds_lite.h"
@@ -673,6 +675,323 @@ TEST(ChaosTest, OmniTransferSurvivesSingleFaultWithRetrySpanInProfile) {
   EXPECT_EQ(w.lake.sim().counters().Get("fault.injected.vpn_transfer"), 1u);
   ASSERT_NE(profile.root(), nullptr);
   EXPECT_NE(profile.ToText().find("retry:vpn_transfer"), std::string::npos);
+}
+
+// ---- Multi-table transactions: concurrent-writer chaos ---------------------
+//
+// Three logical writers round-robin two-table transactions against
+// ds.orders/ds.order_items (TxnLakeWorld): a fixed 16-round schedule of
+// insert pairs (a fresh tag into both tables) and tag deletes (the tag
+// removed from both), with engine joins interleaved. The *logical* schedule
+// is fixed; only faults (every site, including the new kTxnIntent/kTxnLog)
+// and seed-chosen coordinator crashes vary. Recovery = drain the schedule,
+// Recover() (applies committed-but-unapplied records), replay exactly the
+// rounds that provably did not land, then age-based GC. Asserts:
+//   * every chaotic failure is retryable or a kCancelled crash — never a
+//     conflict (writers are disjoint), never corruption;
+//   * recovered content is identical to the fault-free baseline for every
+//     seed, and *bit-identical* (serialized rows, log length, txn/fault
+//     counters, failure schedule) across 1/2/8-worker runs of one seed;
+//   * replaying the txn log into an empty store reproduces the recovered
+//     snapshots byte-for-byte, and GC leaves zero intent objects.
+
+PlanPtr TxnJoinQuery() {
+  return Plan::HashJoin(Plan::Scan(TxnLakeWorld::kOrders),
+                        Plan::Scan(TxnLakeWorld::kItems), {"tag"}, {"tag"});
+}
+
+ExprPtr TxnTagEq(int64_t tag) {
+  return Expr::Eq(Expr::Col("tag"), Expr::Lit(Value::Int64(tag)));
+}
+
+struct TxnSweepOutcome {
+  // (round name, status code) of every chaotic-phase failure.
+  std::vector<std::pair<std::string, StatusCode>> failures;
+  std::string orders_rows, items_rows;  // serialized recovered ReadAll
+  std::vector<std::pair<int64_t, int64_t>> orders_content, items_content;
+  uint64_t injected = 0;
+  uint64_t log_records = 0;
+  std::map<std::string, uint64_t> txn_counters;
+};
+
+std::vector<std::pair<int64_t, int64_t>> SortedIdTags(const RecordBatch& b) {
+  auto ids = b.ColumnByName("id");
+  auto tags = b.ColumnByName("tag");
+  EXPECT_TRUE(ids.ok() && tags.ok());
+  std::vector<int64_t> id_data = (*ids)->Decode().int64_data();
+  std::vector<int64_t> tag_data = (*tags)->Decode().int64_data();
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (size_t i = 0; i < id_data.size(); ++i) {
+    out.emplace_back(id_data[i], tag_data[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Rounds 3, 7, 11, 15 delete the tag inserted two rounds earlier; the rest
+// insert. Each insert puts 3 rows into orders and 2 into items (one data
+// file each), ids disjoint per round.
+bool IsDeleteRound(int r) { return r % 4 == 3; }
+int64_t RoundTag(int r) { return r + 1; }
+
+// Runs round `r` as one two-table transaction. Returns {commit status,
+// complete}: complete means the round's full effect is durably committed
+// (for deletes: all 5 rows of the target tag were actually staged — a
+// trivially-empty delete whose target insert hasn't landed yet is
+// incomplete and must be replayed after that insert).
+std::pair<Status, bool> RunTxnRound(TxnLakeWorld& w, int r, Random* crash_rng) {
+  const std::string who = "w" + std::to_string(r % 3);
+  auto txn = w.blmt.BeginTransaction(
+      {TxnLakeWorld::kOrders, TxnLakeWorld::kItems});
+  if (!txn.ok()) return {txn.status(), false};
+  uint64_t staged = 5;
+  if (IsDeleteRound(r)) {
+    const int64_t tag = RoundTag(r - 2);
+    auto d1 = w.blmt.TxnDelete(txn->get(), who, TxnLakeWorld::kOrders,
+                               TxnTagEq(tag));
+    if (!d1.ok()) {
+      EXPECT_TRUE(w.blmt.AbortTransaction(txn->get()).ok());
+      return {d1.status(), false};
+    }
+    auto d2 = w.blmt.TxnDelete(txn->get(), who, TxnLakeWorld::kItems,
+                               TxnTagEq(tag));
+    if (!d2.ok()) {
+      EXPECT_TRUE(w.blmt.AbortTransaction(txn->get()).ok());
+      return {d2.status(), false};
+    }
+    staged = *d1 + *d2;
+  } else {
+    const int64_t tag = RoundTag(r);
+    Status s1 = w.blmt.TxnInsert(txn->get(), who, TxnLakeWorld::kOrders,
+                                 w.TxnRows(r * 100, 3, tag));
+    if (!s1.ok()) {
+      EXPECT_TRUE(w.blmt.AbortTransaction(txn->get()).ok());
+      return {s1, false};
+    }
+    Status s2 = w.blmt.TxnInsert(txn->get(), who, TxnLakeWorld::kItems,
+                                 w.TxnRows(r * 100 + 50, 2, tag));
+    if (!s2.ok()) {
+      EXPECT_TRUE(w.blmt.AbortTransaction(txn->get()).ok());
+      return {s2, false};
+    }
+  }
+  if (crash_rng != nullptr && crash_rng->Uniform(3) == 0) {
+    w.coord->set_crash_point(crash_rng->Uniform(2) == 0
+                                 ? meta::TxnCrashPoint::kAfterIntents
+                                 : meta::TxnCrashPoint::kAfterLogCas);
+  }
+  auto committed = w.blmt.CommitTransaction(txn->get());
+  // A fault may abort the commit before the armed crash point fires; the
+  // crash must not leak into a later round.
+  w.coord->set_crash_point(meta::TxnCrashPoint::kNone);
+  const bool commit_landed =
+      committed.ok() ||
+      (*txn)->state() == meta::LakehouseTxn::State::kCommitted;
+  return {committed.status(), commit_landed && staged == 5};
+}
+
+TxnSweepOutcome RunTxnChaosWorkload(TxnLakeWorld& w, QueryEngine& engine,
+                                    const std::optional<ChaosOptions>& chaos,
+                                    bool with_crashes = true) {
+  FaultInjector* injector = FaultInjector::InstallOn(&w.lake.sim());
+  if (chaos) {
+    injector->SetPlan(FaultPlan::Chaos(*chaos));
+  } else {
+    injector->Clear();
+  }
+  Random crash_rng(chaos ? chaos->seed * 31 + 7 : 0);
+
+  TxnSweepOutcome out;
+  constexpr int kRounds = 16;
+  std::vector<int> incomplete;
+  for (int r = 0; r < kRounds; ++r) {
+    auto [status, complete] =
+        RunTxnRound(w, r, (chaos && with_crashes) ? &crash_rng : nullptr);
+    if (!status.ok()) {
+      // Chaotic failures are retryable faults or simulated crashes — never
+      // a conflict (writers are disjoint) or corruption.
+      EXPECT_TRUE(IsRetryable(status) ||
+                  status.code() == StatusCode::kCancelled ||
+                  status.code() == StatusCode::kDeadlineExceeded)
+          << "round " << r << ": " << status.ToString();
+      out.failures.emplace_back("round" + std::to_string(r), status.code());
+    }
+    if (!complete) incomplete.push_back(r);
+    if (r % 4 == 1) {
+      auto q = engine.Execute("u", TxnJoinQuery());
+      if (!q.ok()) {
+        EXPECT_TRUE(IsRetryable(q.status()))
+            << "query@" << r << ": " << q.status().ToString();
+        out.failures.emplace_back("query" + std::to_string(r),
+                                  q.status().code());
+      }
+    }
+  }
+
+  // ---- Recovery: drain, apply the log, replay what never landed, GC. ----
+  out.injected = injector->total_injected();
+  injector->Clear();
+  auto recovered = w.coord->Recover();
+  EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
+  for (int r : incomplete) {
+    auto [status, complete] = RunTxnRound(w, r, nullptr);
+    EXPECT_TRUE(status.ok()) << "replay round " << r << ": "
+                             << status.ToString();
+    EXPECT_TRUE(complete) << "replay round " << r;
+  }
+  w.lake.sim().clock().Advance(w.coord->options().intent_gc_min_age + 1);
+  EXPECT_TRUE(w.coord->GcOrphanedIntents().ok());
+  EXPECT_EQ(w.IntentCount(), 0u);
+
+  auto orders = w.blmt.ReadAll(TxnLakeWorld::kOrders);
+  auto items = w.blmt.ReadAll(TxnLakeWorld::kItems);
+  EXPECT_TRUE(orders.ok() && items.ok());
+  if (orders.ok()) {
+    out.orders_rows = SerializeBatch(*orders);
+    out.orders_content = SortedIdTags(*orders);
+  }
+  if (items.ok()) {
+    out.items_rows = SerializeBatch(*items);
+    out.items_content = SortedIdTags(*items);
+  }
+  auto log = w.coord->ReadLog();
+  EXPECT_TRUE(log.ok());
+  if (log.ok()) out.log_records = log->size();
+  for (const auto& [key, value] : w.lake.sim().counters().all()) {
+    if (key.rfind("txn.", 0) == 0 || key.rfind("fault.", 0) == 0) {
+      out.txn_counters[key] = value;
+    }
+  }
+
+  // Replay determinism inside this world: the txn log alone reproduces the
+  // recovered snapshots byte-for-byte in an empty metadata store.
+  if (log.ok()) {
+    SimEnv fresh_env;
+    BigMetadataStore fresh(&fresh_env);
+    EXPECT_TRUE(meta::TxnCoordinator::Replay(*log, &fresh).ok());
+    for (const char* table :
+         {TxnLakeWorld::kOrders, TxnLakeWorld::kItems}) {
+      auto live_files = w.lake.meta().Snapshot(table);
+      auto replayed_files = fresh.Snapshot(table);
+      EXPECT_TRUE(live_files.ok() && replayed_files.ok());
+      if (live_files.ok() && replayed_files.ok()) {
+        std::string live_bytes, replay_bytes;
+        for (const CachedFileMeta& f : *live_files) {
+          meta::EncodeCachedFileMeta(&live_bytes, f);
+        }
+        for (const CachedFileMeta& f : *replayed_files) {
+          meta::EncodeCachedFileMeta(&replay_bytes, f);
+        }
+        EXPECT_EQ(live_bytes, replay_bytes) << table;
+      }
+    }
+  }
+  return out;
+}
+
+// The fault-free final content: tags {1..16} \ deleted {2, 6, 10, 14},
+// minus delete-round tags (rounds 3/7/11/15 insert nothing).
+TEST(ChaosTest, TxnConcurrentWriterSweepRecoversBitIdenticalState) {
+  // Fault-free baseline (worker count is irrelevant to content; use 4).
+  TxnLakeWorld base;
+  EngineOptions base_opts;
+  base_opts.num_workers = 4;
+  base_opts.max_read_streams = 8;
+  QueryEngine base_engine(&base.lake, &base.api, base_opts);
+  TxnSweepOutcome baseline =
+      RunTxnChaosWorkload(base, base_engine, std::nullopt);
+  ASSERT_TRUE(baseline.failures.empty());
+  ASSERT_EQ(baseline.log_records, 16u);  // every round commits exactly once
+  ASSERT_EQ(baseline.orders_content.size(), 3u * 12 - 3u * 4);
+  ASSERT_EQ(baseline.items_content.size(), 2u * 12 - 2u * 4);
+
+  uint64_t total_injected = 0;
+  size_t total_failures = 0;
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.fault_probability = 0.25;
+    chaos.latency_probability = 0.1;
+    chaos.max_extra_latency = 4'000;
+
+    std::vector<TxnSweepOutcome> runs;
+    for (uint32_t workers : {1u, 2u, 8u}) {
+      TxnLakeWorld w;
+      EngineOptions opts;
+      opts.num_workers = workers;
+      opts.max_read_streams = 8;  // pin the query shape across pool sizes
+      QueryEngine engine(&w.lake, &w.api, opts);
+      runs.push_back(RunTxnChaosWorkload(w, engine, chaos));
+    }
+    for (const TxnSweepOutcome& run : runs) {
+      // Recovered content converges to the fault-free final state.
+      EXPECT_EQ(run.orders_content, baseline.orders_content)
+          << "seed " << seed;
+      EXPECT_EQ(run.items_content, baseline.items_content) << "seed " << seed;
+      total_injected += run.injected;
+      total_failures += run.failures.size();
+    }
+    for (size_t i = 1; i < runs.size(); ++i) {
+      // Bit-identical across worker counts: rows, log, counters, failures.
+      EXPECT_EQ(runs[i].orders_rows, runs[0].orders_rows)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].items_rows, runs[0].items_rows)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].log_records, runs[0].log_records)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].txn_counters, runs[0].txn_counters)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].failures, runs[0].failures)
+          << "seed " << seed << " run " << i;
+      EXPECT_EQ(runs[i].injected, runs[0].injected)
+          << "seed " << seed << " run " << i;
+    }
+  }
+  EXPECT_GT(total_injected, 0u);
+  SUCCEED() << total_injected << " faults injected, " << total_failures
+            << " clean failures across 24 txn chaos schedules x 3 pools";
+}
+
+// Chaos focused on the two new coordinator sites only: every commit either
+// lands or fails retryably, and after recovery the content and the log
+// agree with the fault-free baseline exactly (no crashes in this variant,
+// so the log must be byte-comparable in *length* and the content equal).
+TEST(ChaosTest, TxnSiteFocusedChaosNeverLosesOrDuplicatesACommit) {
+  TxnLakeWorld base;
+  EngineOptions opts;
+  opts.num_workers = 2;
+  opts.max_read_streams = 8;
+  QueryEngine base_engine(&base.lake, &base.api, opts);
+  TxnSweepOutcome baseline =
+      RunTxnChaosWorkload(base, base_engine, std::nullopt);
+  ASSERT_TRUE(baseline.failures.empty());
+
+  for (uint64_t seed = 300; seed < 308; ++seed) {
+    TxnLakeWorld w;
+    QueryEngine engine(&w.lake, &w.api, opts);
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.fault_probability = 0.5;
+    chaos.sites = {FaultSite::kTxnIntent, FaultSite::kTxnLog};
+    // No crash schedule, so every round must fully converge through
+    // retries alone (bounded per-key faults vs. 8 attempts).
+    TxnSweepOutcome out =
+        RunTxnChaosWorkload(w, engine, chaos, /*with_crashes=*/false);
+    for (const auto& [name, code] : out.failures) {
+      EXPECT_TRUE(code == StatusCode::kUnavailable ||
+                  code == StatusCode::kResourceExhausted ||
+                  code == StatusCode::kAborted ||
+                  code == StatusCode::kDeadlineExceeded ||
+                  code == StatusCode::kCancelled)
+          << "seed " << seed << " " << name;
+    }
+    EXPECT_EQ(out.orders_content, baseline.orders_content) << "seed " << seed;
+    EXPECT_EQ(out.items_content, baseline.items_content) << "seed " << seed;
+    // Exactly one log record per logical round — a retried CAS never
+    // double-appends (the put is conditional) and a replayed round's
+    // original attempt provably never committed.
+    EXPECT_EQ(out.log_records, baseline.log_records) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -7,9 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/random.h"
 #include "core/biglake.h"
+#include "core/blmt.h"
 #include "core/environment.h"
+#include "core/read_api.h"
 #include "format/parquet_lite.h"
 
 namespace biglake {
@@ -93,6 +101,100 @@ class LakehouseFixture : public ::testing::Test {
   LakehouseEnv lake_;
   CloudLocation gcp_;
   ObjectStore* store_ = nullptr;
+};
+
+/// A two-BLMT world with the multi-table transaction coordinator enabled:
+/// `ds.orders` and `ds.order_items` share an {id, tag} schema so a
+/// transaction that inserts the same `tag` into both tables gives tests a
+/// direct atomicity oracle — at any snapshot, a tag present in one table
+/// must be present in the other. Shared by the txn unit, property, chaos
+/// and result-cache suites.
+struct TxnLakeWorld {
+  static constexpr char kOrders[] = "ds.orders";
+  static constexpr char kItems[] = "ds.order_items";
+
+  LakehouseEnv lake;
+  CloudLocation gcp{CloudProvider::kGCP, "us-central1"};
+  ObjectStore* store = nullptr;
+  StorageReadApi api;
+  BlmtService blmt;
+  meta::TxnCoordinator* coord = nullptr;
+
+  explicit TxnLakeWorld(meta::TxnCoordinatorOptions options = {})
+      : api(&lake), blmt(&lake) {
+    store = lake.AddStore(gcp);
+    EXPECT_TRUE(store->CreateBucket("lake").ok());
+    EXPECT_TRUE(lake.catalog().CreateDataset("ds").ok());
+    Connection conn;
+    conn.name = "us.lake-conn";
+    conn.service_account.principal = "sa:lake-conn";
+    EXPECT_TRUE(lake.catalog().CreateConnection(conn).ok());
+    coord = lake.EnableTransactions(store, "lake", std::move(options));
+    CreateBlmt("orders", "orders/");
+    CreateBlmt("order_items", "items/");
+  }
+
+  static SchemaPtr TxnSchema() {
+    return MakeSchema(
+        {{"id", DataType::kInt64, false}, {"tag", DataType::kInt64, true}});
+  }
+
+  /// `rows` rows with ids [id_base, id_base + rows) all carrying `tag`.
+  static RecordBatch TxnRows(int64_t id_base, size_t rows, int64_t tag) {
+    BatchBuilder b(TxnSchema());
+    for (size_t i = 0; i < rows; ++i) {
+      EXPECT_TRUE(b.AppendRow({Value::Int64(id_base + static_cast<int64_t>(i)),
+                               Value::Int64(tag)})
+                      .ok());
+    }
+    return b.Finish();
+  }
+
+  void CreateBlmt(const std::string& name, const std::string& prefix) {
+    TableDef def;
+    def.dataset = "ds";
+    def.name = name;
+    def.schema = TxnSchema();
+    def.connection = "us.lake-conn";
+    def.location = gcp;
+    def.bucket = "lake";
+    def.prefix = prefix;
+    def.iam.Grant("*", Role::kWriter);
+    EXPECT_TRUE(blmt.CreateTable(def).ok());
+  }
+
+  /// Sorted ids of `table_id` as of `snapshot_txn` (default latest).
+  std::vector<int64_t> Ids(const std::string& table_id,
+                           uint64_t snapshot_txn = kLatestTxn) {
+    auto batch = blmt.ReadAll(table_id, snapshot_txn);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    if (!batch.ok()) return {};
+    auto col = batch->ColumnByName("id");
+    EXPECT_TRUE(col.ok());
+    std::vector<int64_t> ids = (*col)->Decode().int64_data();
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// Distinct tags in `table_id` as of `snapshot_txn` (default latest).
+  std::set<int64_t> Tags(const std::string& table_id,
+                         uint64_t snapshot_txn = kLatestTxn) {
+    auto batch = blmt.ReadAll(table_id, snapshot_txn);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    if (!batch.ok()) return {};
+    auto col = batch->ColumnByName("tag");
+    EXPECT_TRUE(col.ok());
+    std::vector<int64_t> tags = (*col)->Decode().int64_data();
+    return {tags.begin(), tags.end()};
+  }
+
+  /// Number of intent objects currently under the coordinator's prefix.
+  size_t IntentCount() {
+    auto objs = store->ListAll(CallerContext{.location = gcp}, "lake",
+                               coord->options().prefix + "intents/");
+    EXPECT_TRUE(objs.ok());
+    return objs.ok() ? objs->size() : 0;
+  }
 };
 
 }  // namespace biglake

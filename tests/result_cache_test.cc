@@ -534,5 +534,78 @@ TEST(ResultCacheDeterminismTest, HitRunsAreByteIdenticalAcrossWorkerCounts) {
   ASSERT_NE(runs[0].warm_profile.find("resultcache:hit"), std::string::npos);
 }
 
+// ---- Cross-table coherence under multi-table transactions ------------------
+
+// A cached two-table join must never mix table A's new generation with
+// table B's old one. A transactional commit (meta/txn.h) moves both tables
+// atomically and fires the invalidation hook inside the same commit step,
+// so: the pre-commit entry becomes unreachable (its key embeds the old
+// generation vector), the first post-commit join is a miss that sees BOTH
+// tables' new rows, and a reader pinned to the pre-commit snapshot still
+// gets the consistent-old result — cached under its own snapshot key.
+TEST(ResultCacheTxnTest, JoinNeverMixesGenerationsAcrossTxnCommit) {
+  TxnLakeWorld w;
+  ASSERT_TRUE(
+      w.blmt
+          .MultiTableInsert("u",
+                            {{TxnLakeWorld::kOrders, w.TxnRows(0, 6, 1)},
+                             {TxnLakeWorld::kItems, w.TxnRows(0, 6, 1)}})
+          .ok());
+
+  EngineOptions opts;
+  opts.enable_result_cache = true;
+  opts.max_read_streams = 4;
+  QueryEngine engine(&w.lake, &w.api, opts);
+  PlanPtr join =
+      Plan::HashJoin(Plan::Scan(TxnLakeWorld::kOrders),
+                     Plan::Scan(TxnLakeWorld::kItems), {"id"}, {"id"});
+
+  auto cold = engine.Execute("u", join);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->batch.num_rows(), 6u);
+  auto warm = engine.Execute("u", join);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(w.lake.result_cache().Stats().hits, 1u);
+  const std::string old_bytes = SerializeBatch(warm->batch);
+
+  // Pin a reader snapshot, then commit new rows to BOTH tables atomically.
+  auto reader = w.blmt.BeginTransaction(
+      {TxnLakeWorld::kOrders, TxnLakeWorld::kItems});
+  ASSERT_TRUE(reader.ok());
+  const meta::TxnSnapshot snap = (*reader)->snapshot();
+  ASSERT_TRUE(
+      w.blmt
+          .MultiTableInsert("u",
+                            {{TxnLakeWorld::kOrders, w.TxnRows(100, 3, 2)},
+                             {TxnLakeWorld::kItems, w.TxnRows(100, 3, 2)}})
+          .ok());
+
+  // First post-commit join: a miss (old key unreachable), and it must see
+  // the new generation of *both* tables — 9 matched rows, never 6+partial.
+  const uint64_t hits_before = w.lake.result_cache().Stats().hits;
+  auto fresh = engine.Execute("u", join);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(w.lake.result_cache().Stats().hits, hits_before);
+  EXPECT_EQ(fresh->batch.num_rows(), 9u);
+
+  // The pinned reader still gets the consistent-old join, from its own
+  // snapshot-keyed entry: first execution misses, the repeat hits, and the
+  // bytes equal the pre-commit result exactly.
+  auto pinned = engine.Execute("u", join, nullptr, nullptr, &snap);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(SerializeBatch(pinned->batch), old_bytes);
+  const uint64_t hits_mid = w.lake.result_cache().Stats().hits;
+  auto pinned_again = engine.Execute("u", join, nullptr, nullptr, &snap);
+  ASSERT_TRUE(pinned_again.ok());
+  EXPECT_EQ(w.lake.result_cache().Stats().hits, hits_mid + 1);
+  EXPECT_EQ(SerializeBatch(pinned_again->batch), old_bytes);
+  ASSERT_TRUE(w.blmt.AbortTransaction(reader->get()).ok());
+
+  // And the latest-generation repeat is a hit identical to `fresh`.
+  auto fresh_again = engine.Execute("u", join);
+  ASSERT_TRUE(fresh_again.ok());
+  EXPECT_EQ(SerializeBatch(fresh_again->batch), SerializeBatch(fresh->batch));
+}
+
 }  // namespace
 }  // namespace biglake
