@@ -12,6 +12,12 @@
 // Acceptance (PR 5): at low selectivity (<= 10%), the kernel path must be
 // at least 2x faster end-to-end. The bench exits non-zero otherwise.
 //
+// Acceptance (PR 9): each run also records the BufferPool bytes-copied
+// delta. At 1% selectivity the fused kernel path must copy >= 10x fewer
+// bytes than the eager pre-shared-buffer model (a deep copy of every
+// decoded block the scan touches, measured as the pinned-bytes delta when
+// the cache warms) — i.e. warm-scan copying is O(output), not O(input).
+//
 // One JSON line per (selectivity, mode) for scripts/run_benches.sh.
 
 #include <chrono>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "columnar/buffer.h"
 #include "engine/engine.h"
 #include "obs/profile.h"
 
@@ -106,16 +113,24 @@ PlanPtr SweepQuery(int64_t pct) {
 }
 
 // Best-of-kReps real wall time; also returns the row count for parity
-// checks between the two modes.
-uint64_t TimedRun(QueryEngine* engine, const PlanPtr& plan, uint64_t* rows) {
+// checks between the two modes and the per-run BufferPool bytes-copied
+// delta (identical across reps once the cache is warm — the last rep's
+// delta is reported).
+uint64_t TimedRun(QueryEngine* engine, const PlanPtr& plan, uint64_t* rows,
+                  uint64_t* bytes_copied = nullptr) {
   uint64_t best = ~0ull;
   for (int rep = 0; rep < kReps; ++rep) {
+    const BufferPool::Stats before = BufferPool::Default().snapshot();
     auto t0 = std::chrono::steady_clock::now();
     auto result = engine->Execute("u", plan);
     auto t1 = std::chrono::steady_clock::now();
     if (!result.ok()) {
       std::printf("query failed: %s\n", result.status().ToString().c_str());
       std::exit(1);
+    }
+    if (bytes_copied != nullptr) {
+      *bytes_copied =
+          BufferPool::Default().snapshot().bytes_copied - before.bytes_copied;
     }
     *rows = result->batch.num_rows();
     uint64_t us = static_cast<uint64_t>(
@@ -127,7 +142,7 @@ uint64_t TimedRun(QueryEngine* engine, const PlanPtr& plan, uint64_t* rows) {
 }
 
 void EmitJson(int64_t selectivity, const char* mode, uint64_t wall_us,
-              uint64_t rows, double speedup) {
+              uint64_t rows, double speedup, uint64_t bytes_copied) {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("bench");
@@ -142,6 +157,8 @@ void EmitJson(int64_t selectivity, const char* mode, uint64_t wall_us,
   w.Uint(rows);
   w.Key("speedup_vs_legacy");
   w.Double(speedup);
+  w.Key("bytes_copied");
+  w.Uint(bytes_copied);
   w.EndObject();
   std::printf("%s\n", w.str().c_str());
 }
@@ -156,10 +173,16 @@ int Run() {
   QueryEngine legacy_engine(&w.env.lake, &w.api, Opts(/*kernels=*/false));
 
   // Warm the block cache (both engines share the environment's cache; the
-  // projection fingerprint is the same for every selectivity).
+  // projection fingerprint is the same for every selectivity). The pinned
+  // delta across the warming run is the decoded bytes every sweep query
+  // touches — the eager pre-shared-buffer model deep-copied that much out
+  // of the cache on every warm scan.
+  uint64_t eager_bytes = 0;
   {
     uint64_t rows = 0;
+    uint64_t pinned0 = w.env.lake.block_cache().Stats().bytes_pinned;
     (void)TimedRun(&kern_engine, SweepQuery(50), &rows);
+    eager_bytes = w.env.lake.block_cache().Stats().bytes_pinned - pinned0;
   }
 
   PrintRow({"selectivity", "legacy", "kernels", "speedup"}, {12, 14, 14, 10});
@@ -167,8 +190,10 @@ int Run() {
   for (int64_t pct : {1, 10, 50, 90}) {
     PlanPtr plan = SweepQuery(pct);
     uint64_t legacy_rows = 0, kern_rows = 0;
-    uint64_t legacy_us = TimedRun(&legacy_engine, plan, &legacy_rows);
-    uint64_t kern_us = TimedRun(&kern_engine, plan, &kern_rows);
+    uint64_t legacy_copied = 0, kern_copied = 0;
+    uint64_t legacy_us = TimedRun(&legacy_engine, plan, &legacy_rows,
+                                  &legacy_copied);
+    uint64_t kern_us = TimedRun(&kern_engine, plan, &kern_rows, &kern_copied);
     if (legacy_rows != kern_rows) {
       std::printf("FAIL: row mismatch at %lld%%: legacy=%llu kernels=%llu\n",
                   static_cast<long long>(pct),
@@ -182,18 +207,34 @@ int Run() {
               std::to_string(legacy_us) + " us",
               std::to_string(kern_us) + " us", Factor(speedup)},
              {12, 14, 14, 10});
-    EmitJson(pct, "legacy", legacy_us, legacy_rows, 1.0);
-    EmitJson(pct, "kernels", kern_us, kern_rows, speedup);
+    EmitJson(pct, "legacy", legacy_us, legacy_rows, 1.0, legacy_copied);
+    EmitJson(pct, "kernels", kern_us, kern_rows, speedup, kern_copied);
     if (pct <= 10 && speedup < 2.0) {
       std::printf("FAIL: kernels must be >= 2x faster at %lld%% selectivity "
                   "(got %.2fx)\n",
                   static_cast<long long>(pct), speedup);
       fail = true;
     }
+    if (pct == 1) {
+      double reduction = kern_copied > 0
+                             ? static_cast<double>(eager_bytes) /
+                                   static_cast<double>(kern_copied)
+                             : 0.0;
+      std::printf("  1%% warm scan: %llu bytes copied vs %llu eager model "
+                  "(%.1fx fewer)\n",
+                  static_cast<unsigned long long>(kern_copied),
+                  static_cast<unsigned long long>(eager_bytes), reduction);
+      if (kern_copied * 10 > eager_bytes) {
+        std::printf("FAIL: warm 1%% scan must copy >= 10x fewer bytes than "
+                    "the eager model (got %.1fx)\n", reduction);
+        fail = true;
+      }
+    }
   }
 
   if (fail) return 1;
-  std::printf("\nOK: kernel path >= 2x faster at <= 10%% selectivity\n");
+  std::printf("\nOK: kernel path >= 2x faster at <= 10%% selectivity; warm "
+              "1%% scan copies are O(output)\n");
   return 0;
 }
 

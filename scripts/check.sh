@@ -4,7 +4,7 @@
 # Each sanitizer uses its own build dir so the plain `build/` cache (and its
 # generator choice) is never disturbed.
 #
-# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|resultcache|txn|sched|bench|docs]...
+# Usage: scripts/check.sh [plain|novec|asan|tsan|chaos|resultcache|txn|sched|zerocopy|bench|docs]...
 # (default: all)
 set -eu
 
@@ -36,8 +36,30 @@ do_novec() {
   done
 }
 
+# Zero-copy buffer suite (`ctest -L zerocopy`) plus the columnar/engine/
+# cache suites, under ASan and TSan: shared-buffer views alias cached block
+# storage across threads and must outlive eviction, so lifetime bugs show
+# up as ASan use-after-free and unsynchronized refcount/counter traffic as
+# TSan reports.
+do_zerocopy() {
+  for dir in build-asan build-tsan; do
+    if [[ ! -d "$ROOT/$dir" ]]; then
+      echo "zerocopy: $dir/ missing — run the asan/tsan stage first" >&2
+      exit 1
+    fi
+    cmake --build "$ROOT/$dir" -j "$JOBS" \
+      --target buffer_test columnar_test engine_test block_cache_test \
+      cache_determinism_test
+    ctest --test-dir "$ROOT/$dir" -L zerocopy --output-on-failure
+    for t in columnar_test engine_test block_cache_test \
+             cache_determinism_test; do
+      "$ROOT/$dir/tests/$t"
+    done
+  done
+}
+
 # Bench smoke: every bench binary runs to completion and its acceptance
-# thresholds hold; results aggregate into BENCH_PR7.json at the repo root.
+# thresholds hold; results aggregate into BENCH_PR9.json at the repo root.
 do_bench() {
   if [[ ! -d "$ROOT/build" ]]; then
     echo "bench: build/ missing — run the plain stage first" >&2
@@ -102,7 +124,7 @@ do_sched() {
 
 stages=("$@")
 if [[ ${#stages[@]} -eq 0 ]]; then
-  stages=(plain novec asan tsan chaos resultcache txn sched bench docs)
+  stages=(plain novec asan tsan chaos resultcache txn sched zerocopy bench docs)
 fi
 
 for stage in "${stages[@]}"; do

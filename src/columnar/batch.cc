@@ -75,6 +75,9 @@ RecordBatch RecordBatch::Filter(const std::vector<uint8_t>& mask) const {
 }
 
 RecordBatch RecordBatch::Slice(size_t offset, size_t count) const {
+  // Whole-batch window: hand back a shared view of this batch (refcount
+  // bumps on every column buffer, no per-column slicing).
+  if (offset == 0 && count >= num_rows_) return *this;
   std::vector<Column> cols;
   cols.reserve(columns_.size());
   for (const Column& c : columns_) cols.push_back(c.Slice(offset, count));
@@ -84,6 +87,9 @@ RecordBatch RecordBatch::Slice(size_t offset, size_t count) const {
 Result<RecordBatch> RecordBatch::Concat(
     const std::vector<RecordBatch>& pieces) {
   if (pieces.empty()) return Status::InvalidArgument("Concat of zero batches");
+  // Single piece: a shared view, not a column-by-column deep copy (the
+  // common single-block-file case in ReadStreamBatch).
+  if (pieces.size() == 1) return pieces[0];
   const SchemaPtr& schema = pieces[0].schema();
   std::vector<Column> cols;
   for (size_t c = 0; c < schema->num_fields(); ++c) {

@@ -42,9 +42,12 @@ class RecordBatch {
   /// num_rows().
   RecordBatch Filter(const std::vector<uint8_t>& mask) const;
 
+  /// Rows [offset, offset+count). A window covering the whole batch (and
+  /// any plain/dictionary sub-window) is a zero-copy shared view.
   RecordBatch Slice(size_t offset, size_t count) const;
 
-  /// Vertically concatenates batches sharing a schema.
+  /// Vertically concatenates batches sharing a schema. A single piece is
+  /// returned as a shared view without copying.
   static Result<RecordBatch> Concat(const std::vector<RecordBatch>& pieces);
 
   /// Boxed cell access (slow path, for tests and result printing).

@@ -1,0 +1,105 @@
+#include "columnar/buffer.h"
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace biglake {
+
+namespace {
+
+// Resolved once; the registry is a leaked singleton (metrics.cc) so these
+// handles stay valid for buffers destroyed during process teardown.
+struct BufMetrics {
+  obs::Counter* bytes_allocated;
+  obs::Counter* bytes_copied;
+  obs::Counter* zero_copy_slices;
+  obs::Gauge* buffers_live;
+};
+
+const BufMetrics& Metrics() {
+  static const BufMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    auto* out = new BufMetrics{
+        reg.GetCounter(METRIC_BUF_BYTES_ALLOCATED),
+        reg.GetCounter(METRIC_BUF_BYTES_COPIED),
+        reg.GetCounter(METRIC_BUF_ZERO_COPY_SLICES),
+        reg.GetGauge(METRIC_BUF_BUFFERS_LIVE),
+    };
+    return out;
+  }();
+  return *m;
+}
+
+thread_local BufferPool* g_current_pool = nullptr;
+
+}  // namespace
+
+BufferPool::BufferPool() : counters_(std::make_shared<Counters>()) {}
+
+BufferPool& BufferPool::Default() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+BufferPool& BufferPool::Current() {
+  return g_current_pool ? *g_current_pool : Default();
+}
+
+BufferPool::Stats BufferPool::snapshot() const {
+  Stats s;
+  s.bytes_allocated = counters_->bytes_allocated.load(std::memory_order_relaxed);
+  s.bytes_copied = counters_->bytes_copied.load(std::memory_order_relaxed);
+  s.buffers_live = counters_->buffers_live.load(std::memory_order_relaxed);
+  s.zero_copy_slices =
+      counters_->zero_copy_slices.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::CountAlloc(uint64_t bytes) {
+  counters_->bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+  buffer_internal::MirrorToMetrics(0, bytes);
+}
+
+void BufferPool::CountCopy(uint64_t bytes) {
+  counters_->bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+  buffer_internal::MirrorToMetrics(1, bytes);
+}
+
+void BufferPool::CountSlice() {
+  counters_->zero_copy_slices.fetch_add(1, std::memory_order_relaxed);
+  buffer_internal::MirrorToMetrics(2, 1);
+}
+
+ScopedBufferPool::ScopedBufferPool(BufferPool* pool) : prev_(g_current_pool) {
+  g_current_pool = pool;
+}
+
+ScopedBufferPool::~ScopedBufferPool() { g_current_pool = prev_; }
+
+namespace buffer_internal {
+
+void MirrorToMetrics(int kind, uint64_t delta) {
+  // kind follows Buffer<T>::MetricKind: 0=alloc, 1=copy, 2=slice. Counter
+  // adds route through the thread's installed MetricsDelta (if any), so the
+  // folded totals land at deterministic program points.
+  switch (kind) {
+    case 0:
+      Metrics().bytes_allocated->Add(delta);
+      break;
+    case 1:
+      Metrics().bytes_copied->Add(delta);
+      break;
+    case 2:
+      Metrics().zero_copy_slices->Add(delta);
+      break;
+  }
+}
+
+// Live-buffer count is a gauge (point-in-time, control-plane): updates
+// bypass the delta mechanism like every other gauge.
+void OnStorageAllocated() { Metrics().buffers_live->Add(1); }
+void OnStorageFreed() { Metrics().buffers_live->Add(-1); }
+
+}  // namespace buffer_internal
+
+}  // namespace biglake

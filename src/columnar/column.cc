@@ -1,11 +1,35 @@
 #include "columnar/column.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace biglake {
 
+namespace {
+
+// Empty vectors wrap to the null buffer (no storage block) so that e.g. the
+// absent-validity case costs nothing and has_validity() stays false.
+template <typename T>
+Buffer<T> WrapIfNonEmpty(std::vector<T> v) {
+  if (v.empty()) return Buffer<T>();
+  return Buffer<T>::FromVector(std::move(v));
+}
+
+template <typename T>
+Buffer<T> WrapCopied(std::vector<T> v) {
+  if (v.empty()) return Buffer<T>();
+  return Buffer<T>::FromVectorCopied(std::move(v));
+}
+
+}  // namespace
+
 Column Column::MakeInt64(std::vector<int64_t> values,
                          std::vector<uint8_t> validity) {
+  return MakeInt64(WrapIfNonEmpty(std::move(values)),
+                   WrapIfNonEmpty(std::move(validity)));
+}
+
+Column Column::MakeInt64(Buffer<int64_t> values, Buffer<uint8_t> validity) {
   Column c;
   c.type_ = DataType::kInt64;
   c.length_ = values.size();
@@ -23,6 +47,11 @@ Column Column::MakeTimestamp(std::vector<int64_t> values,
 
 Column Column::MakeDouble(std::vector<double> values,
                           std::vector<uint8_t> validity) {
+  return MakeDouble(WrapIfNonEmpty(std::move(values)),
+                    WrapIfNonEmpty(std::move(validity)));
+}
+
+Column Column::MakeDouble(Buffer<double> values, Buffer<uint8_t> validity) {
   Column c;
   c.type_ = DataType::kDouble;
   c.length_ = values.size();
@@ -33,6 +62,11 @@ Column Column::MakeDouble(std::vector<double> values,
 
 Column Column::MakeBool(std::vector<uint8_t> values,
                         std::vector<uint8_t> validity) {
+  return MakeBool(WrapIfNonEmpty(std::move(values)),
+                  WrapIfNonEmpty(std::move(validity)));
+}
+
+Column Column::MakeBool(Buffer<uint8_t> values, Buffer<uint8_t> validity) {
   Column c;
   c.type_ = DataType::kBool;
   c.length_ = values.size();
@@ -43,6 +77,12 @@ Column Column::MakeBool(std::vector<uint8_t> values,
 
 Column Column::MakeString(std::vector<std::string> values,
                           std::vector<uint8_t> validity) {
+  return MakeString(WrapIfNonEmpty(std::move(values)),
+                    WrapIfNonEmpty(std::move(validity)));
+}
+
+Column Column::MakeString(Buffer<std::string> values,
+                          Buffer<uint8_t> validity) {
   Column c;
   c.type_ = DataType::kString;
   c.length_ = values.size();
@@ -62,15 +102,15 @@ Column Column::MakeNull(DataType type, size_t length) {
   Column c;
   c.type_ = type;
   c.length_ = length;
-  c.validity_.assign(length, 0);
+  c.validity_ = WrapIfNonEmpty(std::vector<uint8_t>(length, 0));
   if (IsIntegerPhysical(type)) {
-    c.ints_.assign(length, 0);
+    c.ints_ = WrapIfNonEmpty(std::vector<int64_t>(length, 0));
   } else if (type == DataType::kDouble) {
-    c.doubles_.assign(length, 0.0);
+    c.doubles_ = WrapIfNonEmpty(std::vector<double>(length, 0.0));
   } else if (type == DataType::kBool) {
-    c.bools_.assign(length, 0);
+    c.bools_ = WrapIfNonEmpty(std::vector<uint8_t>(length, 0));
   } else {
-    c.strings_.assign(length, "");
+    c.strings_ = WrapIfNonEmpty(std::vector<std::string>(length));
   }
   return c;
 }
@@ -78,6 +118,14 @@ Column Column::MakeNull(DataType type, size_t length) {
 Column Column::MakeDictionaryString(std::vector<uint32_t> indices,
                                     std::vector<std::string> dictionary,
                                     std::vector<uint8_t> validity) {
+  return MakeDictionaryString(WrapIfNonEmpty(std::move(indices)),
+                              WrapIfNonEmpty(std::move(dictionary)),
+                              WrapIfNonEmpty(std::move(validity)));
+}
+
+Column Column::MakeDictionaryString(Buffer<uint32_t> indices,
+                                    Buffer<std::string> dictionary,
+                                    Buffer<uint8_t> validity) {
   Column c;
   c.type_ = DataType::kString;
   c.encoding_ = Encoding::kDictionary;
@@ -95,10 +143,10 @@ Column Column::MakeRunLengthInt64(std::vector<int64_t> run_values,
   Column c;
   c.type_ = type;
   c.encoding_ = Encoding::kRunLength;
-  c.ints_ = std::move(run_values);
-  c.run_lengths_ = std::move(run_lengths);
   size_t total = 0;
-  for (uint32_t l : c.run_lengths_) total += l;
+  for (uint32_t l : run_lengths) total += l;
+  c.ints_ = WrapIfNonEmpty(std::move(run_values));
+  c.run_lengths_ = WrapIfNonEmpty(std::move(run_lengths));
   c.length_ = total;
   return c;
 }
@@ -154,7 +202,8 @@ Column Column::Decode() const {
     for (size_t i = 0; i < length_; ++i) {
       out.push_back(IsNull(i) ? std::string() : strings_[dict_indices_[i]]);
     }
-    Column c = MakeString(std::move(out), validity_);
+    // Validity is shared with the source, not copied.
+    Column c = MakeString(WrapCopied(std::move(out)), validity_);
     c.type_ = type_;
     return c;
   }
@@ -164,14 +213,15 @@ Column Column::Decode() const {
   for (size_t r = 0; r < run_lengths_.size(); ++r) {
     out.insert(out.end(), run_lengths_[r], ints_[r]);
   }
-  Column c = MakeInt64(std::move(out));
+  Column c = MakeInt64(WrapCopied(std::move(out)), Buffer<uint8_t>());
   c.type_ = type_;
   return c;
 }
 
 Column Column::Gather(const std::vector<uint32_t>& row_ids) const {
   if (encoding_ == Encoding::kDictionary) {
-    // Stay dictionary-encoded: gather only the (cheap) index vector.
+    // Stay dictionary-encoded: gather only the (cheap) index vector. The
+    // dictionary itself is shared with the source, not duplicated.
     std::vector<uint32_t> idx;
     idx.reserve(row_ids.size());
     std::vector<uint8_t> val;
@@ -180,7 +230,9 @@ Column Column::Gather(const std::vector<uint32_t>& row_ids) const {
       idx.push_back(dict_indices_[r]);
       if (!validity_.empty()) val.push_back(validity_[r]);
     }
-    Column c = MakeDictionaryString(std::move(idx), strings_, std::move(val));
+    BufferPool::Current().CountSlice();  // the shared-dictionary handoff
+    Column c = MakeDictionaryString(WrapCopied(std::move(idx)), strings_,
+                                    WrapCopied(std::move(val)));
     c.type_ = type_;
     return c;
   }
@@ -196,7 +248,7 @@ Column Column::Gather(const std::vector<uint32_t>& row_ids) const {
       std::vector<int64_t> out;
       out.reserve(row_ids.size());
       for (uint32_t r : row_ids) out.push_back(src.ints_[r]);
-      Column c = MakeInt64(std::move(out), std::move(val));
+      Column c = MakeInt64(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
       c.type_ = type_;
       return c;
     }
@@ -204,20 +256,20 @@ Column Column::Gather(const std::vector<uint32_t>& row_ids) const {
       std::vector<double> out;
       out.reserve(row_ids.size());
       for (uint32_t r : row_ids) out.push_back(src.doubles_[r]);
-      return MakeDouble(std::move(out), std::move(val));
+      return MakeDouble(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
     }
     case DataType::kBool: {
       std::vector<uint8_t> out;
       out.reserve(row_ids.size());
       for (uint32_t r : row_ids) out.push_back(src.bools_[r]);
-      return MakeBool(std::move(out), std::move(val));
+      return MakeBool(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
     }
     case DataType::kString:
     case DataType::kBytes: {
       std::vector<std::string> out;
       out.reserve(row_ids.size());
       for (uint32_t r : row_ids) out.push_back(src.strings_[r]);
-      Column c = MakeString(std::move(out), std::move(val));
+      Column c = MakeString(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
       c.type_ = type_;
       return c;
     }
@@ -226,27 +278,120 @@ Column Column::Gather(const std::vector<uint32_t>& row_ids) const {
 }
 
 Column Column::Slice(size_t offset, size_t count) const {
-  std::vector<uint32_t> ids;
-  ids.reserve(count);
-  for (size_t i = 0; i < count && offset + i < length_; ++i) {
-    ids.push_back(static_cast<uint32_t>(offset + i));
+  if (offset > length_) offset = length_;
+  if (count > length_ - offset) count = length_ - offset;
+
+  if (encoding_ == Encoding::kRunLength) {
+    // Trim the run list to the window: copies only O(runs), not O(rows).
+    std::vector<int64_t> vals;
+    std::vector<uint32_t> lens;
+    size_t pos = 0;
+    const size_t end = offset + count;
+    for (size_t r = 0; r < run_lengths_.size() && pos < end; ++r) {
+      size_t run_end = pos + run_lengths_[r];
+      size_t take_begin = std::max(pos, offset);
+      size_t take_end = std::min(run_end, end);
+      if (take_end > take_begin) {
+        vals.push_back(ints_[r]);
+        lens.push_back(static_cast<uint32_t>(take_end - take_begin));
+      }
+      pos = run_end;
+    }
+    return MakeRunLengthInt64(std::move(vals), std::move(lens), type_);
   }
-  return Gather(ids);
+
+  Column c;
+  c.type_ = type_;
+  c.encoding_ = encoding_;
+  c.length_ = count;
+  c.validity_ = validity_.Slice(offset, count);
+  if (encoding_ == Encoding::kDictionary) {
+    c.dict_indices_ = dict_indices_.Slice(offset, count);
+    c.strings_ = strings_;  // dictionary shared whole
+    return c;
+  }
+  c.ints_ = ints_.Slice(offset, count);
+  c.doubles_ = doubles_.Slice(offset, count);
+  c.bools_ = bools_.Slice(offset, count);
+  c.strings_ = strings_.Slice(offset, count);
+  return c;
+}
+
+Column Column::WithType(DataType type) const {
+  Column c = *this;
+  c.type_ = type;
+  return c;
 }
 
 Result<Column> Column::Concat(const std::vector<Column>& pieces) {
   if (pieces.empty()) return Status::InvalidArgument("Concat of zero columns");
   DataType t = pieces[0].type();
-  ColumnBuilder builder(t);
   for (const Column& p : pieces) {
     if (p.type() != t) {
       return Status::InvalidArgument("Concat of mismatched column types");
     }
-    for (size_t i = 0; i < p.length(); ++i) {
-      BL_RETURN_NOT_OK(builder.AppendValue(p.GetValue(i)));
+  }
+  if (pieces.size() == 1) {
+    // Shared view: a refcount bump on every backing buffer, no copy.
+    BufferPool::Current().CountSlice();
+    return pieces[0];
+  }
+
+  // Decode once up front (a no-op refcount bump for plain pieces), then the
+  // merge is a typed bulk append per physical buffer.
+  std::vector<Column> plains;
+  plains.reserve(pieces.size());
+  size_t total = 0;
+  bool any_validity = false;
+  for (const Column& p : pieces) {
+    plains.push_back(p.encoding() == Encoding::kPlain ? p : p.Decode());
+    total += p.length();
+    any_validity = any_validity || plains.back().has_validity();
+  }
+  std::vector<uint8_t> val;
+  if (any_validity) {
+    val.reserve(total);
+    for (const Column& p : plains) {
+      if (p.has_validity()) {
+        val.insert(val.end(), p.validity().begin(), p.validity().end());
+      } else {
+        val.insert(val.end(), p.length(), 1);
+      }
     }
   }
-  return builder.Finish();
+
+  Column c;
+  if (IsIntegerPhysical(t)) {
+    std::vector<int64_t> out;
+    out.reserve(total);
+    for (const Column& p : plains) {
+      out.insert(out.end(), p.ints_.begin(), p.ints_.end());
+    }
+    c = MakeInt64(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
+  } else if (t == DataType::kDouble) {
+    std::vector<double> out;
+    out.reserve(total);
+    for (const Column& p : plains) {
+      out.insert(out.end(), p.doubles_.begin(), p.doubles_.end());
+    }
+    c = MakeDouble(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
+  } else if (t == DataType::kBool) {
+    std::vector<uint8_t> out;
+    out.reserve(total);
+    for (const Column& p : plains) {
+      out.insert(out.end(), p.bools_.begin(), p.bools_.end());
+    }
+    c = MakeBool(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
+  } else {
+    std::vector<std::string> out;
+    out.reserve(total);
+    for (const Column& p : plains) {
+      out.insert(out.end(), p.strings_.begin(), p.strings_.end());
+    }
+    c = MakeString(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
+  }
+  c.type_ = t;
+  return c;
 }
 
 size_t Column::MemoryBytes() const {

@@ -6,6 +6,13 @@
 // decoding first (see kernels.h). Dictionary encoding is supported for
 // string columns and run-length encoding for int64 columns, matching where
 // those encodings pay off in analytic data.
+//
+// Storage is buffer-backed (buffer.h): every physical array — values,
+// validity bitmap, dictionary, indices — is a refcounted immutable view, so
+// copying a Column, `Slice`, projection, and sharing a dictionary across
+// gathered columns are O(1) refcount bumps. Data moves only at the counted
+// materialization points: `Gather` copies surviving rows, `Decode` expands
+// encodings, multi-piece `Concat` merges storage.
 
 #ifndef BIGLAKE_COLUMNAR_COLUMN_H_
 #define BIGLAKE_COLUMNAR_COLUMN_H_
@@ -14,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/buffer.h"
 #include "columnar/types.h"
 #include "common/status.h"
 
@@ -30,17 +38,25 @@ class Column {
   Column() = default;
 
   // ---- Factories ----------------------------------------------------------
+  // Vector overloads wrap freshly built storage (counted as allocation);
+  // Buffer overloads share existing storage without a copy.
 
   static Column MakeInt64(std::vector<int64_t> values,
                           std::vector<uint8_t> validity = {});
+  static Column MakeInt64(Buffer<int64_t> values,
+                          Buffer<uint8_t> validity = {});
   static Column MakeTimestamp(std::vector<int64_t> values,
                               std::vector<uint8_t> validity = {});
   static Column MakeDouble(std::vector<double> values,
                            std::vector<uint8_t> validity = {});
+  static Column MakeDouble(Buffer<double> values, Buffer<uint8_t> validity = {});
   static Column MakeBool(std::vector<uint8_t> values,
                          std::vector<uint8_t> validity = {});
+  static Column MakeBool(Buffer<uint8_t> values, Buffer<uint8_t> validity = {});
   static Column MakeString(std::vector<std::string> values,
                            std::vector<uint8_t> validity = {});
+  static Column MakeString(Buffer<std::string> values,
+                           Buffer<uint8_t> validity = {});
   static Column MakeBytes(std::vector<std::string> values,
                           std::vector<uint8_t> validity = {});
   /// All-NULL column of the given type.
@@ -50,6 +66,9 @@ class Column {
   static Column MakeDictionaryString(std::vector<uint32_t> indices,
                                      std::vector<std::string> dictionary,
                                      std::vector<uint8_t> validity = {});
+  static Column MakeDictionaryString(Buffer<uint32_t> indices,
+                                     Buffer<std::string> dictionary,
+                                     Buffer<uint8_t> validity = {});
 
   /// Run-length-encoded int64: logical value i falls in the run determined
   /// by prefix sums of `run_lengths`.
@@ -74,37 +93,46 @@ class Column {
   Value GetValue(size_t i) const;
 
   // ---- Typed raw access (plain encoding only) -----------------------------
+  // Shared immutable views; `ToVector()` on one is an explicit counted copy.
 
-  const std::vector<int64_t>& int64_data() const { return ints_; }
-  const std::vector<double>& double_data() const { return doubles_; }
-  const std::vector<uint8_t>& bool_data() const { return bools_; }
-  const std::vector<std::string>& string_data() const { return strings_; }
-  const std::vector<uint8_t>& validity() const { return validity_; }
+  const Buffer<int64_t>& int64_data() const { return ints_; }
+  const Buffer<double>& double_data() const { return doubles_; }
+  const Buffer<uint8_t>& bool_data() const { return bools_; }
+  const Buffer<std::string>& string_data() const { return strings_; }
+  const Buffer<uint8_t>& validity() const { return validity_; }
 
   // ---- Encoded access -----------------------------------------------------
 
-  const std::vector<uint32_t>& dict_indices() const { return dict_indices_; }
-  const std::vector<std::string>& dictionary() const { return strings_; }
-  const std::vector<int64_t>& run_values() const { return ints_; }
-  const std::vector<uint32_t>& run_lengths() const { return run_lengths_; }
+  const Buffer<uint32_t>& dict_indices() const { return dict_indices_; }
+  const Buffer<std::string>& dictionary() const { return strings_; }
+  const Buffer<int64_t>& run_values() const { return ints_; }
+  const Buffer<uint32_t>& run_lengths() const { return run_lengths_; }
 
   // ---- Transformations ----------------------------------------------------
 
-  /// Fully decodes to plain encoding (no-op for plain columns).
+  /// Fully decodes to plain encoding (no-op for plain columns; the validity
+  /// buffer is shared, not copied).
   Column Decode() const;
 
-  /// Gathers rows by index (the filter-materialization primitive).
-  /// Preserves dictionary encoding for dictionary columns.
+  /// Gathers rows by index (the filter-materialization primitive). Copies
+  /// only the selected rows; dictionary columns stay dictionary-encoded and
+  /// *share* the dictionary buffer with the source.
   Column Gather(const std::vector<uint32_t>& row_ids) const;
 
-  /// Column of rows [offset, offset+count).
+  /// Column of rows [offset, offset+count): an O(1) shared view for plain
+  /// and dictionary columns; run-length columns copy only the trimmed runs.
   Column Slice(size_t offset, size_t count) const;
 
-  /// Concatenates columns of identical type. Result is plain-encoded.
+  /// Identical data re-tagged with a physically compatible type (the IPC
+  /// timestamp/bytes re-brand) — shares all buffers, copies nothing.
+  Column WithType(DataType type) const;
+
+  /// Concatenates columns of identical type. A single piece is returned as
+  /// a shared view; multiple pieces merge into a plain-encoded copy.
   static Result<Column> Concat(const std::vector<Column>& pieces);
 
-  /// Approximate heap footprint, used for memory accounting in the
-  /// inference-placement experiments (Sec 4.2.1).
+  /// Approximate heap footprint of the viewed data, used for memory
+  /// accounting in the inference-placement experiments (Sec 4.2.1).
   size_t MemoryBytes() const;
 
  private:
@@ -113,13 +141,13 @@ class Column {
   size_t length_ = 0;
 
   // Physical buffers; which are populated depends on type_ and encoding_.
-  std::vector<int64_t> ints_;        // plain int64/timestamp; RLE run values
-  std::vector<double> doubles_;      // plain double
-  std::vector<uint8_t> bools_;       // plain bool (1 byte per value)
-  std::vector<std::string> strings_; // plain strings; dictionary values
-  std::vector<uint32_t> dict_indices_;
-  std::vector<uint32_t> run_lengths_;
-  std::vector<uint8_t> validity_;    // empty = all valid; else 1=valid
+  Buffer<int64_t> ints_;        // plain int64/timestamp; RLE run values
+  Buffer<double> doubles_;      // plain double
+  Buffer<uint8_t> bools_;       // plain bool (1 byte per value)
+  Buffer<std::string> strings_; // plain strings; dictionary values
+  Buffer<uint32_t> dict_indices_;
+  Buffer<uint32_t> run_lengths_;
+  Buffer<uint8_t> validity_;    // empty = all valid; else 1=valid
 };
 
 /// Incremental, type-checked column construction.

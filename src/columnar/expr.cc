@@ -65,7 +65,7 @@ Column CompareInt64Literal(CmpOp op, const Column& col, int64_t lit) {
   for (size_t i = 0; i < data.size(); ++i) {
     out[i] = CompareRaw(op, data[i], lit) ? 1 : 0;
   }
-  std::vector<uint8_t> validity = col.validity();
+  std::vector<uint8_t> validity = col.validity().ToVector();
   return Column::MakeBool(std::move(out), std::move(validity));
 }
 
@@ -76,7 +76,7 @@ Column CompareDoubleLiteral(CmpOp op, const Column& col, double lit) {
   for (size_t i = 0; i < data.size(); ++i) {
     out[i] = CompareRaw(op, data[i], lit) ? 1 : 0;
   }
-  std::vector<uint8_t> validity = col.validity();
+  std::vector<uint8_t> validity = col.validity().ToVector();
   return Column::MakeBool(std::move(out), std::move(validity));
 }
 
@@ -94,7 +94,7 @@ Column CompareDictStringLiteral(CmpOp op, const Column& col,
   const auto& idx = col.dict_indices();
   std::vector<uint8_t> out(idx.size());
   for (size_t i = 0; i < idx.size(); ++i) out[i] = dict_match[idx[i]];
-  std::vector<uint8_t> validity = col.validity();
+  std::vector<uint8_t> validity = col.validity().ToVector();
   return Column::MakeBool(std::move(out), std::move(validity));
 }
 
@@ -343,7 +343,7 @@ Result<Column> Expr::Evaluate(const RecordBatch& batch) const {
         BL_ASSIGN_OR_RETURN(Column c, children_[0]->Evaluate(batch));
         size_t n = c.length();
         std::vector<uint8_t> out(n);
-        std::vector<uint8_t> validity = c.validity();
+        std::vector<uint8_t> validity = c.validity().ToVector();
         const auto& in = c.bool_data();
         for (size_t i = 0; i < n; ++i) out[i] = in[i] ? 0 : 1;
         return Column::MakeBool(std::move(out), std::move(validity));

@@ -192,9 +192,7 @@ Result<Column> DecodeColumn(Decoder* dec) {
             vals[i] = prev;
           }
           Column c = Column::MakeInt64(std::move(vals), std::move(validity));
-          if (type == DataType::kTimestamp) {
-            c = Column::MakeTimestamp(c.int64_data(), c.validity());
-          }
+          if (type == DataType::kTimestamp) c = c.WithType(DataType::kTimestamp);
           return c;
         }
         case DataType::kDouble: {
@@ -220,9 +218,7 @@ Result<Column> DecodeColumn(Decoder* dec) {
             BL_RETURN_NOT_OK(dec->GetLengthPrefixedString(&vals[i]));
           }
           Column c = Column::MakeString(std::move(vals), std::move(validity));
-          if (type == DataType::kBytes) {
-            return Column::MakeBytes(c.string_data(), c.validity());
-          }
+          if (type == DataType::kBytes) return c.WithType(DataType::kBytes);
           return c;
         }
       }

@@ -156,9 +156,9 @@ struct NumVec {
   int64_t s_i64 = 0;
   double s_f64 = 0;
   size_t n = 0;
-  const std::vector<int64_t>* ref_i64 = nullptr;
-  const std::vector<double>* ref_f64 = nullptr;
-  const std::vector<uint8_t>* ref_valid = nullptr;
+  const Buffer<int64_t>* ref_i64 = nullptr;
+  const Buffer<double>* ref_f64 = nullptr;
+  const Buffer<uint8_t>* ref_valid = nullptr;
   std::vector<int64_t> own_i64;
   std::vector<double> own_f64;
   std::vector<uint8_t> own_valid;
@@ -607,8 +607,8 @@ Result<BoolVec> FallbackPred(const Expr& e, const RecordBatch& batch) {
     return Status::InvalidArgument("predicate does not evaluate to BOOL");
   }
   BoolVec out;
-  out.data = c.bool_data();
-  out.validity = c.validity();
+  out.data = c.bool_data().ToVector();
+  out.validity = c.validity().ToVector();
   if (!out.validity.empty()) {
     uint8_t* d = out.data.data();
     const uint8_t* v = out.validity.data();
@@ -840,8 +840,8 @@ Result<BoolVec> EvalPredNode(const Expr& e, const RecordBatch& batch) {
         return FallbackPred(e, batch);
       }
       BoolVec out;
-      out.data = col->bool_data();
-      out.validity = col->validity();
+      out.data = col->bool_data().ToVector();
+      out.validity = col->validity().ToVector();
       if (!out.validity.empty()) {
         uint8_t* d = out.data.data();
         const uint8_t* v = out.validity.data();

@@ -612,9 +612,11 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
       cache == nullptr ? 0 : cache::ProjectionFingerprint(state.read_columns);
 
   // Consumer half of the pipeline: virtual partition columns, filters,
-  // masking, serialization. Operates on copies of the immutable (possibly
-  // cached, possibly shared) decoded blocks, so cache hits can never change
-  // the rows a stream returns.
+  // masking, serialization. Operates on zero-copy shared views of the
+  // immutable (possibly cached) decoded blocks — `*block` below is a
+  // refcount bump per buffer, not a copy — so cache hits can never change
+  // the rows a stream returns, and a block evicted or invalidated mid-scan
+  // stays alive until the last in-flight view drops it.
   auto process_file = [&](const CachedFileMeta& fm,
                           const FileBlocks& fb) -> Status {
     if (fb.skip) return Status::OK();
@@ -660,17 +662,18 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
         if (batch.schema()->FieldIndex(c) >= 0) available.push_back(c);
       }
 
-      RecordBatch projected;
+      RecordBatch secured;
       const bool fused = state.options.use_vectorized_kernels &&
                          !state.options.use_row_oriented_reader &&
                          !available.empty() &&
                          (state.options.predicate != nullptr ||
                           state.access.row_filter != nullptr);
       if (fused) {
-        // Fused filter→project: kernel masks over the decoded block, one
-        // selection vector, one gather of the requested columns — instead
-        // of up to two eager full-column Filter() copies plus a Project().
-        // Row-identical to the legacy branch below.
+        // Fused filter→project→mask: kernel masks over the decoded block,
+        // one selection vector, then a single pass over the requested
+        // columns that gathers and secures each one — instead of up to two
+        // eager full-column Filter() copies plus a Project() plus a
+        // separate masking pass. Row-identical to the legacy branch below.
         std::vector<uint8_t> mask;
         if (state.options.predicate != nullptr) {
           BL_ASSIGN_OR_RETURN(
@@ -693,19 +696,32 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
         SelectionVector sel = SelectionVector::FromMask(mask);
         kernels::ObserveSelectivity(sel.size(), batch.num_rows());
         if (sel.empty()) continue;
-        std::vector<Field> proj_fields;
-        std::vector<Column> proj_cols;
-        proj_fields.reserve(available.size());
-        proj_cols.reserve(available.size());
+        std::vector<Field> out_fields;
+        std::vector<Column> out_cols;
+        out_fields.reserve(available.size());
+        out_cols.reserve(available.size());
         for (const auto& name : available) {
           size_t idx =
               static_cast<size_t>(batch.schema()->FieldIndex(name));
-          proj_fields.push_back(batch.schema()->field(idx));
-          proj_cols.push_back(batch.column(idx).Gather(sel.ids()));
+          const Field& f = batch.schema()->field(idx);
+          auto mit = state.access.masked_columns.find(f.name);
+          if (mit == state.access.masked_columns.end()) {
+            out_cols.push_back(batch.column(idx).Gather(sel.ids()));
+            out_fields.push_back(f);
+          } else if (mit->second == MaskType::kNullify) {
+            // Fully-masked column: emit NULLs directly, never gather the
+            // rows we would immediately throw away.
+            out_cols.push_back(Column::MakeNull(f.type, sel.size()));
+            out_fields.push_back(MaskedField(f, state.access.masked_columns));
+          } else {
+            out_cols.push_back(
+                ApplyMask(batch.column(idx).Gather(sel.ids()), mit->second));
+            out_fields.push_back(MaskedField(f, state.access.masked_columns));
+          }
         }
         kernels::CountSelectionMaterialization();
-        projected = RecordBatch(MakeSchema(std::move(proj_fields)),
-                                std::move(proj_cols));
+        secured = RecordBatch(MakeSchema(std::move(out_fields)),
+                              std::move(out_cols));
       } else {
         // Pushed-down user predicate.
         if (state.options.predicate != nullptr) {
@@ -720,25 +736,26 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
           batch = batch.Filter(BoolColumnToMask(mask_col));
         }
         if (batch.num_rows() == 0) continue;
+        RecordBatch projected;
         BL_ASSIGN_OR_RETURN(projected, batch.Project(available));
-      }
 
-      // Data masking, after filtering so masked values never leave.
-      std::vector<Column> out_cols;
-      std::vector<Field> out_fields;
-      for (size_t c = 0; c < projected.num_columns(); ++c) {
-        const Field& f = projected.schema()->field(c);
-        auto mit = state.access.masked_columns.find(f.name);
-        if (mit == state.access.masked_columns.end()) {
-          out_cols.push_back(projected.column(c));
-          out_fields.push_back(f);
-        } else {
-          out_cols.push_back(ApplyMask(projected.column(c), mit->second));
-          out_fields.push_back(MaskedField(f, state.access.masked_columns));
+        // Data masking, after filtering so masked values never leave.
+        std::vector<Column> out_cols;
+        std::vector<Field> out_fields;
+        for (size_t c = 0; c < projected.num_columns(); ++c) {
+          const Field& f = projected.schema()->field(c);
+          auto mit = state.access.masked_columns.find(f.name);
+          if (mit == state.access.masked_columns.end()) {
+            out_cols.push_back(projected.column(c));
+            out_fields.push_back(f);
+          } else {
+            out_cols.push_back(ApplyMask(projected.column(c), mit->second));
+            out_fields.push_back(MaskedField(f, state.access.masked_columns));
+          }
         }
+        secured = RecordBatch(MakeSchema(std::move(out_fields)),
+                              std::move(out_cols));
       }
-      RecordBatch secured(MakeSchema(std::move(out_fields)),
-                          std::move(out_cols));
 
       if (!state.options.partial_aggregates.empty()) {
         // Aggregate pushdown: accumulate; one partial batch per stream.

@@ -4,6 +4,7 @@
 #include <optional>
 #include <set>
 
+#include "columnar/buffer.h"
 #include "columnar/kernels.h"
 #include "common/strings.h"
 #include "engine/operators.h"
@@ -124,6 +125,10 @@ Result<QueryResult> QueryEngine::Execute(const Principal& principal,
   if (cancel != nullptr) cancel_scope.emplace(cancel);
   ThreadPoolStats pool_before;
   if (pool_ != nullptr) pool_before = pool_->Stats();
+  // Buffer-pool activity is snapshotted at the same serial points as the
+  // thread-pool stats; the deltas are commutative sums over a worker-count
+  // invariant set of buffer ops, so they are profile-deterministic.
+  const BufferPool::Stats buf_before = BufferPool::Default().snapshot();
 
   obs::Span* root = nullptr;
   if (profile != nullptr) {
@@ -211,6 +216,16 @@ Result<QueryResult> QueryEngine::Execute(const Principal& principal,
     root->AddNum("read_streams", result.stats.read_streams);
     root->AddNum("total_sim_micros", result.stats.total_micros);
     root->AddNum("wall_sim_micros", result.stats.wall_micros);
+    const BufferPool::Stats buf_after = BufferPool::Default().snapshot();
+    root->AddNum("buf_bytes_allocated",
+                 buf_after.bytes_allocated - buf_before.bytes_allocated);
+    root->AddNum("buf_bytes_copied",
+                 buf_after.bytes_copied - buf_before.bytes_copied);
+    root->AddNum("buf_zero_copy_slices",
+                 buf_after.zero_copy_slices - buf_before.zero_copy_slices);
+    // Live-buffer count is point-in-time (depends on what other sessions and
+    // caches hold), so it stays on the wall side of the profile.
+    root->AddWallNum("buf_buffers_live", buf_after.buffers_live);
     if (!exec_status.ok()) root->SetAttr("error", exec_status.message());
     profile->End();
   }

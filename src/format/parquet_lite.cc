@@ -91,10 +91,10 @@ Column ChooseEncoding(const Column& col, const ParquetWriteOptions& opts) {
       indices.push_back(it->second);
     }
     if (viable) {
-      Column c = Column::MakeDictionaryString(std::move(indices),
-                                              std::move(dict),
-                                              plain.validity());
-      return c;
+      // Validity is shared with the plain column, not copied.
+      return Column::MakeDictionaryString(
+          Buffer<uint32_t>::FromVector(std::move(indices)),
+          Buffer<std::string>::FromVector(std::move(dict)), plain.validity());
     }
     return plain;
   }

@@ -103,6 +103,18 @@
 #define METRIC_BLMT_OPTIMIZE_RUNS "biglake_blmt_optimize_runs_total"
 #define METRIC_BLMT_GC_DELETED "biglake_blmt_gc_files_deleted_total"
 
+// --- Shared buffer pool (src/columnar/buffer.cc) ---
+// storage bytes wrapped into refcounted buffers (builder/decoder output)
+#define METRIC_BUF_BYTES_ALLOCATED "biglake_buf_bytes_allocated_total"
+// bytes physically copied at materialization points (Gather/Decode/Concat/
+// ToVector); zero-copy paths never increment this
+#define METRIC_BUF_BYTES_COPIED "biglake_buf_bytes_copied_total"
+// O(1) shared views handed out (per-buffer Slice, shared-dictionary
+// Gather handoffs, single-piece Concat)
+#define METRIC_BUF_ZERO_COPY_SLICES "biglake_buf_zero_copy_slices_total"
+// gauge: storage blocks currently referenced by at least one view
+#define METRIC_BUF_BUFFERS_LIVE "biglake_buf_buffers_live"
+
 // --- Expression kernels (src/columnar/kernels.cc, engine + Read API) ---
 // rows handed to the vectorized predicate evaluator (per top-level call)
 #define METRIC_EXPR_ROWS_EVALUATED "biglake_expr_rows_evaluated_total"

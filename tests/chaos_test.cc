@@ -74,7 +74,7 @@ RecordBatch DmlBatch(int64_t id_base, size_t rows) {
 std::vector<int64_t> SortedIds(const RecordBatch& batch) {
   auto col = batch.ColumnByName("id");
   EXPECT_TRUE(col.ok());
-  std::vector<int64_t> ids = (*col)->Decode().int64_data();
+  std::vector<int64_t> ids = (*col)->Decode().int64_data().ToVector();
   std::sort(ids.begin(), ids.end());
   return ids;
 }
@@ -718,8 +718,8 @@ std::vector<std::pair<int64_t, int64_t>> SortedIdTags(const RecordBatch& b) {
   auto ids = b.ColumnByName("id");
   auto tags = b.ColumnByName("tag");
   EXPECT_TRUE(ids.ok() && tags.ok());
-  std::vector<int64_t> id_data = (*ids)->Decode().int64_data();
-  std::vector<int64_t> tag_data = (*tags)->Decode().int64_data();
+  std::vector<int64_t> id_data = (*ids)->Decode().int64_data().ToVector();
+  std::vector<int64_t> tag_data = (*tags)->Decode().int64_data().ToVector();
   std::vector<std::pair<int64_t, int64_t>> out;
   for (size_t i = 0; i < id_data.size(); ++i) {
     out.emplace_back(id_data[i], tag_data[i]);

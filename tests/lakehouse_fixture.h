@@ -171,7 +171,7 @@ struct TxnLakeWorld {
     if (!batch.ok()) return {};
     auto col = batch->ColumnByName("id");
     EXPECT_TRUE(col.ok());
-    std::vector<int64_t> ids = (*col)->Decode().int64_data();
+    std::vector<int64_t> ids = (*col)->Decode().int64_data().ToVector();
     std::sort(ids.begin(), ids.end());
     return ids;
   }
@@ -184,7 +184,7 @@ struct TxnLakeWorld {
     if (!batch.ok()) return {};
     auto col = batch->ColumnByName("tag");
     EXPECT_TRUE(col.ok());
-    std::vector<int64_t> tags = (*col)->Decode().int64_data();
+    std::vector<int64_t> tags = (*col)->Decode().int64_data().ToVector();
     return {tags.begin(), tags.end()};
   }
 
