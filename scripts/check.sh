@@ -48,7 +48,8 @@ do_zerocopy() {
       exit 1
     fi
     cmake --build "$ROOT/$dir" -j "$JOBS" \
-      --target buffer_test columnar_test engine_test block_cache_test \
+      --target buffer_test string_column_test ipc_robustness_test \
+      batch_transport_test columnar_test engine_test block_cache_test \
       cache_determinism_test
     ctest --test-dir "$ROOT/$dir" -L zerocopy --output-on-failure
     for t in columnar_test engine_test block_cache_test \
@@ -59,7 +60,7 @@ do_zerocopy() {
 }
 
 # Bench smoke: every bench binary runs to completion and its acceptance
-# thresholds hold; results aggregate into BENCH_PR9.json at the repo root.
+# thresholds hold; results aggregate into BENCH_PR10.json at the repo root.
 do_bench() {
   if [[ ! -d "$ROOT/build" ]]; then
     echo "bench: build/ missing — run the plain stage first" >&2

@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # Runs every bench_* binary in build/bench/ and aggregates their
 # machine-readable output into one JSON-lines file at the repo root
-# (BENCH_PR9.json): each bench prints human tables plus `{"bench":...}`
+# (BENCH_PR10.json): each bench prints human tables plus `{"bench":...}`
 # lines; only the JSON lines are collected. A bench exiting non-zero
 # (a failed acceptance threshold) fails the script.
 #
-# Usage: scripts/run_benches.sh [output-file]   (default: BENCH_PR9.json)
+# Usage: scripts/run_benches.sh [output-file]   (default: BENCH_PR10.json)
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${1:-$ROOT/BENCH_PR9.json}"
+OUT="${1:-$ROOT/BENCH_PR10.json}"
 BENCH_DIR="$ROOT/build/bench"
 
 if [[ ! -d "$BENCH_DIR" ]]; then

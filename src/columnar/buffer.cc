@@ -13,6 +13,8 @@ struct BufMetrics {
   obs::Counter* bytes_allocated;
   obs::Counter* bytes_copied;
   obs::Counter* zero_copy_slices;
+  obs::Counter* string_arenas;
+  obs::Counter* string_payload_bytes;
   obs::Gauge* buffers_live;
 };
 
@@ -23,6 +25,8 @@ const BufMetrics& Metrics() {
         reg.GetCounter(METRIC_BUF_BYTES_ALLOCATED),
         reg.GetCounter(METRIC_BUF_BYTES_COPIED),
         reg.GetCounter(METRIC_BUF_ZERO_COPY_SLICES),
+        reg.GetCounter(METRIC_BUF_STRING_ARENAS),
+        reg.GetCounter(METRIC_BUF_STRING_PAYLOAD_BYTES),
         reg.GetGauge(METRIC_BUF_BUFFERS_LIVE),
     };
     return out;
@@ -52,6 +56,9 @@ BufferPool::Stats BufferPool::snapshot() const {
   s.buffers_live = counters_->buffers_live.load(std::memory_order_relaxed);
   s.zero_copy_slices =
       counters_->zero_copy_slices.load(std::memory_order_relaxed);
+  s.string_arenas = counters_->string_arenas.load(std::memory_order_relaxed);
+  s.string_payload_bytes =
+      counters_->string_payload_bytes.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -70,6 +77,14 @@ void BufferPool::CountSlice() {
   buffer_internal::MirrorToMetrics(2, 1);
 }
 
+void BufferPool::CountStringArena(uint64_t payload_bytes) {
+  counters_->string_arenas.fetch_add(1, std::memory_order_relaxed);
+  counters_->string_payload_bytes.fetch_add(payload_bytes,
+                                            std::memory_order_relaxed);
+  buffer_internal::MirrorToMetrics(3, 1);
+  buffer_internal::MirrorToMetrics(4, payload_bytes);
+}
+
 ScopedBufferPool::ScopedBufferPool(BufferPool* pool) : prev_(g_current_pool) {
   g_current_pool = pool;
 }
@@ -79,8 +94,9 @@ ScopedBufferPool::~ScopedBufferPool() { g_current_pool = prev_; }
 namespace buffer_internal {
 
 void MirrorToMetrics(int kind, uint64_t delta) {
-  // kind follows Buffer<T>::MetricKind: 0=alloc, 1=copy, 2=slice. Counter
-  // adds route through the thread's installed MetricsDelta (if any), so the
+  // kind follows Buffer<T>::MetricKind: 0=alloc, 1=copy, 2=slice, plus
+  // 3=string arena, 4=string payload bytes (string_buffer.h). Counter adds
+  // route through the thread's installed MetricsDelta (if any), so the
   // folded totals land at deterministic program points.
   switch (kind) {
     case 0:
@@ -91,6 +107,12 @@ void MirrorToMetrics(int kind, uint64_t delta) {
       break;
     case 2:
       Metrics().zero_copy_slices->Add(delta);
+      break;
+    case 3:
+      Metrics().string_arenas->Add(delta);
+      break;
+    case 4:
+      Metrics().string_payload_bytes->Add(delta);
       break;
   }
 }

@@ -49,6 +49,8 @@ class BufferPool {
     uint64_t bytes_copied = 0;      // bytes physically copied (materialized)
     uint64_t buffers_live = 0;      // storage blocks currently referenced
     uint64_t zero_copy_slices = 0;  // views handed out without a copy
+    uint64_t string_arenas = 0;         // varbinary arenas materialized
+    uint64_t string_payload_bytes = 0;  // payload bytes placed into arenas
   };
 
   BufferPool();
@@ -67,6 +69,10 @@ class BufferPool {
   void CountAlloc(uint64_t bytes);
   void CountCopy(uint64_t bytes);
   void CountSlice();
+  /// One varbinary arena materialized holding `payload_bytes` of string
+  /// payload (string_buffer.h). The arena's alloc/copy bytes are counted
+  /// separately through the wrapped Buffers.
+  void CountStringArena(uint64_t payload_bytes);
 
  private:
   template <typename T>
@@ -80,6 +86,8 @@ class BufferPool {
     std::atomic<uint64_t> bytes_copied{0};
     std::atomic<uint64_t> buffers_live{0};
     std::atomic<uint64_t> zero_copy_slices{0};
+    std::atomic<uint64_t> string_arenas{0};
+    std::atomic<uint64_t> string_payload_bytes{0};
   };
 
   std::shared_ptr<Counters> counters_;
@@ -105,20 +113,15 @@ template <typename T>
 inline uint64_t ByteSize(const std::vector<T>& v) {
   return static_cast<uint64_t>(v.size()) * sizeof(T);
 }
-inline uint64_t ByteSize(const std::vector<std::string>& v) {
-  uint64_t bytes = 0;
-  for (const auto& s : v) bytes += s.size() + sizeof(std::string);
-  return bytes;
-}
+// No std::string overload: string columns live in varbinary arenas
+// (string_buffer.h), whose offsets/bytes arrays are plain fixed-width
+// buffers. The old per-element walk (`s.size() + sizeof(std::string)`)
+// ignored heap capacity and SSO and made accounting O(n); arena footprints
+// are exact and O(1) by construction.
 // Footprint of an element range (for views that cover part of the storage).
 template <typename T>
 inline uint64_t ByteSizeRange(const T* /*data*/, size_t n) {
   return static_cast<uint64_t>(n) * sizeof(T);
-}
-inline uint64_t ByteSizeRange(const std::string* data, size_t n) {
-  uint64_t bytes = 0;
-  for (size_t i = 0; i < n; ++i) bytes += data[i].size() + sizeof(std::string);
-  return bytes;
 }
 
 // Out-of-line obs mirroring (buffer.cc) so this header stays free of the

@@ -77,12 +77,11 @@ Column Column::MakeBool(Buffer<uint8_t> values, Buffer<uint8_t> validity) {
 
 Column Column::MakeString(std::vector<std::string> values,
                           std::vector<uint8_t> validity) {
-  return MakeString(WrapIfNonEmpty(std::move(values)),
+  return MakeString(StringBuffer::FromStrings(values),
                     WrapIfNonEmpty(std::move(validity)));
 }
 
-Column Column::MakeString(Buffer<std::string> values,
-                          Buffer<uint8_t> validity) {
+Column Column::MakeString(StringBuffer values, Buffer<uint8_t> validity) {
   Column c;
   c.type_ = DataType::kString;
   c.length_ = values.size();
@@ -91,8 +90,18 @@ Column Column::MakeString(Buffer<std::string> values,
   return c;
 }
 
+Column Column::MakeString(StringBuffer values, std::vector<uint8_t> validity) {
+  return MakeString(std::move(values), WrapIfNonEmpty(std::move(validity)));
+}
+
 Column Column::MakeBytes(std::vector<std::string> values,
                          std::vector<uint8_t> validity) {
+  Column c = MakeString(std::move(values), std::move(validity));
+  c.type_ = DataType::kBytes;
+  return c;
+}
+
+Column Column::MakeBytes(StringBuffer values, Buffer<uint8_t> validity) {
   Column c = MakeString(std::move(values), std::move(validity));
   c.type_ = DataType::kBytes;
   return c;
@@ -110,7 +119,7 @@ Column Column::MakeNull(DataType type, size_t length) {
   } else if (type == DataType::kBool) {
     c.bools_ = WrapIfNonEmpty(std::vector<uint8_t>(length, 0));
   } else {
-    c.strings_ = WrapIfNonEmpty(std::vector<std::string>(length));
+    c.strings_ = StringBuffer::Empties(length);
   }
   return c;
 }
@@ -119,12 +128,12 @@ Column Column::MakeDictionaryString(std::vector<uint32_t> indices,
                                     std::vector<std::string> dictionary,
                                     std::vector<uint8_t> validity) {
   return MakeDictionaryString(WrapIfNonEmpty(std::move(indices)),
-                              WrapIfNonEmpty(std::move(dictionary)),
+                              StringBuffer::FromStrings(dictionary),
                               WrapIfNonEmpty(std::move(validity)));
 }
 
 Column Column::MakeDictionaryString(Buffer<uint32_t> indices,
-                                    Buffer<std::string> dictionary,
+                                    StringBuffer dictionary,
                                     Buffer<uint8_t> validity) {
   Column c;
   c.type_ = DataType::kString;
@@ -174,11 +183,11 @@ Value Column::GetValue(size_t i) const {
           return Value::Bool(bools_[i] != 0);
         case DataType::kString:
         case DataType::kBytes:
-          return Value::String(strings_[i]);
+          return Value::String(std::string(strings_[i]));
       }
       return Value::Null();
     case Encoding::kDictionary:
-      return Value::String(strings_[dict_indices_[i]]);
+      return Value::String(std::string(strings_[dict_indices_[i]]));
     case Encoding::kRunLength: {
       size_t pos = 0;
       for (size_t r = 0; r < run_lengths_.size(); ++r) {
@@ -197,13 +206,19 @@ Value Column::GetValue(size_t i) const {
 Column Column::Decode() const {
   if (encoding_ == Encoding::kPlain) return *this;
   if (encoding_ == Encoding::kDictionary) {
-    std::vector<std::string> out;
-    out.reserve(length_);
+    // Expand into a compacted arena: payload flows dictionary -> new arena
+    // once, with no per-row std::string allocations.
+    StringBufferBuilder out;
+    size_t payload = 0;
     for (size_t i = 0; i < length_; ++i) {
-      out.push_back(IsNull(i) ? std::string() : strings_[dict_indices_[i]]);
+      if (!IsNull(i)) payload += strings_[dict_indices_[i]].size();
+    }
+    out.Reserve(length_, payload);
+    for (size_t i = 0; i < length_; ++i) {
+      out.Append(IsNull(i) ? std::string_view() : strings_[dict_indices_[i]]);
     }
     // Validity is shared with the source, not copied.
-    Column c = MakeString(WrapCopied(std::move(out)), validity_);
+    Column c = MakeString(out.Finish(/*copied=*/true), validity_);
     c.type_ = type_;
     return c;
   }
@@ -266,10 +281,15 @@ Column Column::Gather(const std::vector<uint32_t>& row_ids) const {
     }
     case DataType::kString:
     case DataType::kBytes: {
-      std::vector<std::string> out;
-      out.reserve(row_ids.size());
-      for (uint32_t r : row_ids) out.push_back(src.strings_[r]);
-      Column c = MakeString(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
+      // Arena compaction: copy only the payload bytes the selection
+      // references into a fresh arena (O(output), not O(input)).
+      StringBufferBuilder out;
+      size_t payload = 0;
+      for (uint32_t r : row_ids) payload += src.strings_[r].size();
+      out.Reserve(row_ids.size(), payload);
+      for (uint32_t r : row_ids) out.Append(src.strings_[r]);
+      Column c = MakeString(out.Finish(/*copied=*/true),
+                            WrapCopied(std::move(val)));
       c.type_ = type_;
       return c;
     }
@@ -383,24 +403,26 @@ Result<Column> Column::Concat(const std::vector<Column>& pieces) {
     }
     c = MakeBool(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
   } else {
-    std::vector<std::string> out;
-    out.reserve(total);
+    // Merge the piece arenas into one compacted arena.
+    StringBufferBuilder out;
+    size_t payload = 0;
+    for (const Column& p : plains) payload += p.strings_.PayloadBytes();
+    out.Reserve(total, payload);
     for (const Column& p : plains) {
-      out.insert(out.end(), p.strings_.begin(), p.strings_.end());
+      for (std::string_view s : p.strings_) out.Append(s);
     }
-    c = MakeString(WrapCopied(std::move(out)), WrapCopied(std::move(val)));
+    c = MakeString(out.Finish(/*copied=*/true), WrapCopied(std::move(val)));
   }
   c.type_ = t;
   return c;
 }
 
 size_t Column::MemoryBytes() const {
-  size_t bytes = ints_.size() * sizeof(int64_t) +
-                 doubles_.size() * sizeof(double) + bools_.size() +
-                 dict_indices_.size() * sizeof(uint32_t) +
-                 run_lengths_.size() * sizeof(uint32_t) + validity_.size();
-  for (const auto& s : strings_) bytes += s.size() + sizeof(std::string);
-  return bytes;
+  // Exact O(1): fixed-width buffers by width, strings by arena arithmetic.
+  return ints_.size() * sizeof(int64_t) + doubles_.size() * sizeof(double) +
+         bools_.size() + dict_indices_.size() * sizeof(uint32_t) +
+         run_lengths_.size() * sizeof(uint32_t) + validity_.size() +
+         strings_.ByteSize();
 }
 
 void ColumnBuilder::AppendNull() {
@@ -415,7 +437,7 @@ void ColumnBuilder::AppendNull() {
   } else if (type_ == DataType::kBool) {
     bools_.push_back(0);
   } else {
-    strings_.emplace_back();
+    strings_.Append(std::string_view());
   }
   ++length_;
 }
@@ -438,8 +460,8 @@ void ColumnBuilder::AppendBool(bool v) {
   ++length_;
 }
 
-void ColumnBuilder::AppendString(std::string v) {
-  strings_.push_back(std::move(v));
+void ColumnBuilder::AppendString(std::string_view v) {
+  strings_.Append(v);
   if (saw_null_) validity_.push_back(1);
   ++length_;
 }
@@ -490,10 +512,11 @@ Column ColumnBuilder::Finish() {
       c = Column::MakeBool(std::move(bools_), std::move(validity_));
       break;
     case DataType::kString:
-      c = Column::MakeString(std::move(strings_), std::move(validity_));
+      c = Column::MakeString(strings_.Finish(), std::move(validity_));
       break;
     case DataType::kBytes:
-      c = Column::MakeBytes(std::move(strings_), std::move(validity_));
+      c = Column::MakeBytes(strings_.Finish(),
+                            WrapIfNonEmpty(std::move(validity_)));
       break;
   }
   length_ = 0;

@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "columnar/buffer.h"
+#include "columnar/string_buffer.h"
 #include "columnar/types.h"
 #include "common/status.h"
 
@@ -55,10 +57,11 @@ class Column {
   static Column MakeBool(Buffer<uint8_t> values, Buffer<uint8_t> validity = {});
   static Column MakeString(std::vector<std::string> values,
                            std::vector<uint8_t> validity = {});
-  static Column MakeString(Buffer<std::string> values,
-                           Buffer<uint8_t> validity = {});
+  static Column MakeString(StringBuffer values, Buffer<uint8_t> validity = {});
+  static Column MakeString(StringBuffer values, std::vector<uint8_t> validity);
   static Column MakeBytes(std::vector<std::string> values,
                           std::vector<uint8_t> validity = {});
+  static Column MakeBytes(StringBuffer values, Buffer<uint8_t> validity = {});
   /// All-NULL column of the given type.
   static Column MakeNull(DataType type, size_t length);
 
@@ -67,7 +70,7 @@ class Column {
                                      std::vector<std::string> dictionary,
                                      std::vector<uint8_t> validity = {});
   static Column MakeDictionaryString(Buffer<uint32_t> indices,
-                                     Buffer<std::string> dictionary,
+                                     StringBuffer dictionary,
                                      Buffer<uint8_t> validity = {});
 
   /// Run-length-encoded int64: logical value i falls in the run determined
@@ -98,13 +101,15 @@ class Column {
   const Buffer<int64_t>& int64_data() const { return ints_; }
   const Buffer<double>& double_data() const { return doubles_; }
   const Buffer<uint8_t>& bool_data() const { return bools_; }
-  const Buffer<std::string>& string_data() const { return strings_; }
+  /// Varbinary view (string_buffer.h): elements are `std::string_view`s into
+  /// a shared arena, valid while any view of the column is alive.
+  const StringBuffer& string_data() const { return strings_; }
   const Buffer<uint8_t>& validity() const { return validity_; }
 
   // ---- Encoded access -----------------------------------------------------
 
   const Buffer<uint32_t>& dict_indices() const { return dict_indices_; }
-  const Buffer<std::string>& dictionary() const { return strings_; }
+  const StringBuffer& dictionary() const { return strings_; }
   const Buffer<int64_t>& run_values() const { return ints_; }
   const Buffer<uint32_t>& run_lengths() const { return run_lengths_; }
 
@@ -131,8 +136,9 @@ class Column {
   /// a shared view; multiple pieces merge into a plain-encoded copy.
   static Result<Column> Concat(const std::vector<Column>& pieces);
 
-  /// Approximate heap footprint of the viewed data, used for memory
-  /// accounting in the inference-placement experiments (Sec 4.2.1).
+  /// Exact heap footprint of the viewed data in O(1) — fixed-width buffers
+  /// by width, string data by arena arithmetic (offsets + referenced payload
+  /// span). What the block/result caches charge.
   size_t MemoryBytes() const;
 
  private:
@@ -144,7 +150,7 @@ class Column {
   Buffer<int64_t> ints_;        // plain int64/timestamp; RLE run values
   Buffer<double> doubles_;      // plain double
   Buffer<uint8_t> bools_;       // plain bool (1 byte per value)
-  Buffer<std::string> strings_; // plain strings; dictionary values
+  StringBuffer strings_;        // plain strings; dictionary values (varbinary)
   Buffer<uint32_t> dict_indices_;
   Buffer<uint32_t> run_lengths_;
   Buffer<uint8_t> validity_;    // empty = all valid; else 1=valid
@@ -159,7 +165,7 @@ class ColumnBuilder {
   void AppendInt64(int64_t v);
   void AppendDouble(double v);
   void AppendBool(bool v);
-  void AppendString(std::string v);
+  void AppendString(std::string_view v);
   /// Appends a boxed value; must match the builder's type or be NULL.
   Status AppendValue(const Value& v);
 
@@ -173,7 +179,7 @@ class ColumnBuilder {
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<uint8_t> bools_;
-  std::vector<std::string> strings_;
+  StringBufferBuilder strings_;  // appends straight into the arena
   std::vector<uint8_t> validity_;
 };
 

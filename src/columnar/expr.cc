@@ -88,7 +88,7 @@ Column CompareDictStringLiteral(CmpOp op, const Column& col,
   const auto& dict = col.dictionary();
   std::vector<uint8_t> dict_match(dict.size());
   for (size_t d = 0; d < dict.size(); ++d) {
-    dict_match[d] = CompareRaw(op, dict[d], lit) ? 1 : 0;
+    dict_match[d] = CompareRaw(op, dict[d], std::string_view(lit)) ? 1 : 0;
   }
   DictComparesCounter()->Add(dict.size());
   const auto& idx = col.dict_indices();

@@ -1,5 +1,8 @@
 #include "columnar/ipc.h"
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace biglake {
 
 namespace {
@@ -11,6 +14,27 @@ constexpr uint8_t kTagDouble = 3;
 constexpr uint8_t kTagString = 4;
 
 constexpr uint32_t kBatchMagic = 0x424c4231;  // "BLB1"
+
+// Cached handles into the leaked metrics registry (same pattern as
+// buffer.cc). Counter adds route through the thread's MetricsDelta, keeping
+// the codec totals worker-count deterministic.
+struct IpcMetrics {
+  obs::Counter* serialize;
+  obs::Counter* deserialize;
+  obs::Counter* local_bypass;
+};
+
+const IpcMetrics& Metrics() {
+  static const IpcMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    return new IpcMetrics{
+        reg.GetCounter(METRIC_IPC_SERIALIZE),
+        reg.GetCounter(METRIC_IPC_DESERIALIZE),
+        reg.GetCounter(METRIC_IPC_LOCAL_BYPASS),
+    };
+  }();
+  return *m;
+}
 }  // namespace
 
 void EncodeValue(std::string* dst, const Value& v) {
@@ -65,6 +89,44 @@ Status DecodeValue(Decoder* dec, Value* out) {
     default:
       return Status::DataLoss("unknown value tag");
   }
+}
+
+void EncodeColumnValue(std::string* dst, const Column& col, size_t row) {
+  if (col.IsNull(row)) {
+    dst->push_back(static_cast<char>(kTagNull));
+    return;
+  }
+  switch (col.encoding()) {
+    case Encoding::kPlain:
+      switch (col.type()) {
+        case DataType::kBool:
+          dst->push_back(static_cast<char>(kTagBool));
+          dst->push_back(col.bool_data()[row] ? 1 : 0);
+          return;
+        case DataType::kInt64:
+        case DataType::kTimestamp:
+          dst->push_back(static_cast<char>(kTagInt64));
+          PutVarint64Signed(dst, col.int64_data()[row]);
+          return;
+        case DataType::kDouble:
+          dst->push_back(static_cast<char>(kTagDouble));
+          PutDouble(dst, col.double_data()[row]);
+          return;
+        case DataType::kString:
+        case DataType::kBytes:
+          dst->push_back(static_cast<char>(kTagString));
+          PutLengthPrefixed(dst, col.string_data()[row]);
+          return;
+      }
+      break;
+    case Encoding::kDictionary:
+      dst->push_back(static_cast<char>(kTagString));
+      PutLengthPrefixed(dst, col.dictionary()[col.dict_indices()[row]]);
+      return;
+    case Encoding::kRunLength:
+      break;  // run lookup is not O(1); box through GetValue below
+  }
+  EncodeValue(dst, col.GetValue(row));
 }
 
 void EncodeSchema(std::string* dst, const Schema& schema) {
@@ -213,11 +275,17 @@ Result<Column> DecodeColumn(Decoder* dec) {
         }
         case DataType::kString:
         case DataType::kBytes: {
-          std::vector<std::string> vals(length);
+          // Arena-direct decode: each length-prefixed payload is viewed in
+          // place in the wire buffer and appended straight into one arena —
+          // no per-row std::string allocation.
+          StringBufferBuilder vals;
+          vals.Reserve(length, 0);
           for (uint64_t i = 0; i < length; ++i) {
-            BL_RETURN_NOT_OK(dec->GetLengthPrefixedString(&vals[i]));
+            std::string_view s;
+            BL_RETURN_NOT_OK(dec->GetLengthPrefixed(&s));
+            vals.Append(s);
           }
-          Column c = Column::MakeString(std::move(vals), std::move(validity));
+          Column c = Column::MakeString(vals.Finish(), std::move(validity));
           if (type == DataType::kBytes) return c.WithType(DataType::kBytes);
           return c;
         }
@@ -226,9 +294,12 @@ Result<Column> DecodeColumn(Decoder* dec) {
     case Encoding::kDictionary: {
       uint64_t dict_size;
       BL_RETURN_NOT_OK(dec->GetVarint64(&dict_size));
-      std::vector<std::string> dict(dict_size);
+      StringBufferBuilder dict;
+      dict.Reserve(dict_size, 0);
       for (uint64_t i = 0; i < dict_size; ++i) {
-        BL_RETURN_NOT_OK(dec->GetLengthPrefixedString(&dict[i]));
+        std::string_view s;
+        BL_RETURN_NOT_OK(dec->GetLengthPrefixed(&s));
+        dict.Append(s);
       }
       std::vector<uint32_t> indices(length);
       for (uint64_t i = 0; i < length; ++i) {
@@ -237,8 +308,10 @@ Result<Column> DecodeColumn(Decoder* dec) {
         if (idx >= dict_size) return Status::DataLoss("dict index overflow");
         indices[i] = static_cast<uint32_t>(idx);
       }
-      return Column::MakeDictionaryString(std::move(indices), std::move(dict),
-                                          std::move(validity));
+      return Column::MakeDictionaryString(
+          Buffer<uint32_t>::FromVector(std::move(indices)), dict.Finish(),
+          validity.empty() ? Buffer<uint8_t>()
+                           : Buffer<uint8_t>::FromVector(std::move(validity)));
     }
     case Encoding::kRunLength: {
       uint64_t runs;
@@ -259,6 +332,7 @@ Result<Column> DecodeColumn(Decoder* dec) {
 }
 
 std::string SerializeBatch(const RecordBatch& batch) {
+  Metrics().serialize->Add(1);
   std::string body;
   EncodeSchema(&body, *batch.schema());
   PutVarint64(&body, batch.num_rows());
@@ -274,6 +348,7 @@ std::string SerializeBatch(const RecordBatch& batch) {
 }
 
 Result<RecordBatch> DeserializeBatch(std::string_view data) {
+  Metrics().deserialize->Add(1);
   Decoder dec(data);
   uint32_t magic = 0;
   BL_RETURN_NOT_OK(dec.GetFixed32(&magic));
@@ -296,6 +371,27 @@ Result<RecordBatch> DeserializeBatch(std::string_view data) {
     columns.push_back(std::move(c));
   }
   return RecordBatch::Make(std::move(schema), std::move(columns));
+}
+
+Result<RecordBatch> BatchHandle::Open() const {
+  if (local_) {
+    Metrics().local_bypass->Add(1);
+    return *local_;  // columns are refcounted views; no payload copy
+  }
+  if (wire_) return DeserializeBatch(*wire_);
+  return Status::InvalidArgument("empty batch handle");
+}
+
+std::string BatchHandle::ToWire() const {
+  if (local_) return SerializeBatch(*local_);
+  if (wire_) return *wire_;
+  return std::string();
+}
+
+uint64_t BatchHandle::SizeBytes() const {
+  if (local_) return local_->MemoryBytes();
+  if (wire_) return wire_->size();
+  return 0;
 }
 
 }  // namespace biglake

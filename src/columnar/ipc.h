@@ -11,7 +11,9 @@
 #ifndef BIGLAKE_COLUMNAR_IPC_H_
 #define BIGLAKE_COLUMNAR_IPC_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "columnar/batch.h"
 #include "columnar/expr.h"
@@ -24,6 +26,13 @@ namespace biglake {
 
 void EncodeValue(std::string* dst, const Value& v);
 Status DecodeValue(Decoder* dec, Value* out);
+
+/// Appends exactly the bytes `EncodeValue(dst, col.GetValue(row))` would,
+/// without boxing the value: plain and dictionary strings are encoded
+/// straight from the column's arena (no per-row std::string), fixed-width
+/// types from their typed buffers. The group-by/aggregate row-key builders
+/// hash through this.
+void EncodeColumnValue(std::string* dst, const Column& col, size_t row);
 
 // ---- Schemas ---------------------------------------------------------------
 
@@ -40,9 +49,63 @@ Status DecodeColumnStats(Decoder* dec, ColumnStats* out);
 void EncodeColumn(std::string* dst, const Column& col);
 Result<Column> DecodeColumn(Decoder* dec);
 
-/// Serializes schema + columns with a checksum trailer.
+/// Serializes schema + columns with a checksum trailer. Counted in
+/// `biglake_ipc_serialize_total` (DeserializeBatch likewise); in-process
+/// streams that ship buffer references instead increment
+/// `biglake_ipc_local_bypass_total` (see BatchHandle).
 std::string SerializeBatch(const RecordBatch& batch);
 Result<RecordBatch> DeserializeBatch(std::string_view data);
+
+// ---- Batch transport --------------------------------------------------------
+
+/// A transportable reference to one RecordBatch: either a *local* handle —
+/// a shared pointer to the batch itself, so handing it from the Read API to
+/// an in-process engine stream is a refcount bump with zero serialization —
+/// or a *wire* handle holding checksummed SerializeBatch bytes for paths
+/// that genuinely cross a trust or process boundary (the Omni VPN transfer,
+/// persistence). `Open()` is the single consumption point: local handles
+/// bypass the codec entirely (counted in `biglake_ipc_local_bypass_total`);
+/// wire handles verify the checksum and decode.
+class BatchHandle {
+ public:
+  /// Empty handle; Open() fails.
+  BatchHandle() = default;
+
+  /// Wraps an in-memory batch. O(1): the batch's columns are refcounted
+  /// buffer views, so the handle shares them without copying payload.
+  static BatchHandle Local(RecordBatch batch) {
+    BatchHandle h;
+    h.local_ = std::make_shared<const RecordBatch>(std::move(batch));
+    return h;
+  }
+
+  /// Wraps serialized bytes produced by SerializeBatch.
+  static BatchHandle Wire(std::string wire) {
+    BatchHandle h;
+    h.wire_ = std::make_shared<const std::string>(std::move(wire));
+    return h;
+  }
+
+  bool valid() const { return local_ != nullptr || wire_ != nullptr; }
+  bool is_local() const { return local_ != nullptr; }
+
+  /// Local: returns the shared batch (refcount bump, no decode) and counts
+  /// one local bypass. Wire: checksum-verified DeserializeBatch.
+  Result<RecordBatch> Open() const;
+
+  /// The wire form: local handles serialize on demand (this is the ONLY
+  /// place a local handle ever meets the codec); wire handles return their
+  /// stored bytes.
+  std::string ToWire() const;
+
+  /// Bytes this handle pins: the batch's exact in-memory footprint for
+  /// local handles, the serialized length for wire handles.
+  uint64_t SizeBytes() const;
+
+ private:
+  std::shared_ptr<const RecordBatch> local_;
+  std::shared_ptr<const std::string> wire_;
+};
 
 }  // namespace biglake
 

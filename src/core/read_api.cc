@@ -411,7 +411,7 @@ Result<ReadSession> StorageReadApi::RefineSession(
   return refined;
 }
 
-Result<std::vector<std::string>> StorageReadApi::ReadRows(
+Result<std::vector<BatchHandle>> StorageReadApi::ReadStreamHandles(
     const ReadSession& session, size_t stream_index) {
   auto sit = sessions_.find(session.session_id);
   if (sit == sessions_.end()) {
@@ -425,10 +425,22 @@ Result<std::vector<std::string>> StorageReadApi::ReadRows(
   // One key per stream: each stream is read by exactly one task, so its
   // fault/retry decision sequence is single-threaded and deterministic.
   const std::string stream_key = StrCat(session.session_id, "/", stream_index);
-  return fault::RetryResult<std::vector<std::string>>(
+  return fault::RetryResult<std::vector<BatchHandle>>(
       &env_->sim(), options_.retry, FaultSite::kReadRows, stream_key, [&] {
         return ReadRowsAttempt(session, state, stream_index, stream_key);
       });
+}
+
+Result<std::vector<std::string>> StorageReadApi::ReadRows(
+    const ReadSession& session, size_t stream_index) {
+  BL_ASSIGN_OR_RETURN(std::vector<BatchHandle> handles,
+                      ReadStreamHandles(session, stream_index));
+  // The wire boundary: this is where (and only where) local batches meet
+  // the Arrow-lite codec.
+  std::vector<std::string> responses;
+  responses.reserve(handles.size());
+  for (const BatchHandle& h : handles) responses.push_back(h.ToWire());
+  return responses;
 }
 
 Result<StorageReadApi::FileBlocks> StorageReadApi::FetchFileBlocks(
@@ -559,7 +571,7 @@ Result<StorageReadApi::FileBlocks> StorageReadApi::FetchFileBlocks(
   return out;
 }
 
-Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
+Result<std::vector<BatchHandle>> StorageReadApi::ReadRowsAttempt(
     const ReadSession& session, SessionState& state, size_t stream_index,
     const std::string& stream_key) {
   const ReadStream& stream = session.streams[stream_index];
@@ -569,13 +581,13 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
       CheckFault(&env_->sim(), FaultSite::kReadRows, "", stream_key));
   uint64_t rows_streamed = 0;
   uint64_t bytes_streamed = 0;
-  std::vector<std::string> responses;
+  std::vector<BatchHandle> responses;
 
   if (state.access.deny_all_rows) {
     // Row-governed table, caller granted no policy: zero rows, but a
     // well-formed (empty) response so engines see the schema.
     responses.push_back(
-        SerializeBatch(RecordBatch::Empty(session.output_schema)));
+        BatchHandle::Local(RecordBatch::Empty(session.output_schema)));
     return responses;
   }
 
@@ -764,16 +776,19 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
       }
 
       rows_streamed += secured.num_rows();
-      // Chunk into response-sized batches and serialize (Arrow-lite).
+      // Chunk into response-sized batches. Each piece is a zero-copy slice
+      // wrapped in a local handle; nothing is serialized here — the codec
+      // runs only if a caller demands wire bytes (ToWire).
       for (size_t off = 0; off < secured.num_rows();
            off += state.options.response_batch_rows) {
         RecordBatch piece = secured.Slice(
             off, std::min<size_t>(state.options.response_batch_rows,
                                   secured.num_rows() - off));
-        std::string wire = SerializeBatch(piece);
-        env_->sim().counters().Add("readapi.bytes_returned", wire.size());
-        bytes_streamed += wire.size();
-        responses.push_back(std::move(wire));
+        BatchHandle handle = BatchHandle::Local(std::move(piece));
+        const uint64_t sz = handle.SizeBytes();
+        env_->sim().counters().Add("readapi.bytes_returned", sz);
+        bytes_streamed += sz;
+        responses.push_back(std::move(handle));
       }
     }
     values_processed += fb.values_decoded;
@@ -945,11 +960,12 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
                                  state.options.partial_aggregates));
     }
     rows_streamed += merged.num_rows();
-    std::string wire = SerializeBatch(merged);
-    env_->sim().counters().Add("readapi.bytes_returned", wire.size());
-    bytes_streamed += wire.size();
+    BatchHandle handle = BatchHandle::Local(std::move(merged));
+    const uint64_t sz = handle.SizeBytes();
+    env_->sim().counters().Add("readapi.bytes_returned", sz);
+    bytes_streamed += sz;
     env_->sim().counters().Add("readapi.pushdown_aggregates", 1);
-    responses.push_back(std::move(wire));
+    responses.push_back(std::move(handle));
   }
   // Server-side CPU accounting: the vectorized pipeline is an order of
   // magnitude cheaper per value than the row-oriented prototype.
@@ -969,7 +985,7 @@ Result<std::vector<std::string>> StorageReadApi::ReadRowsAttempt(
   span.AddNum("server_cpu_micros", server_cpu);
   if (responses.empty()) {
     responses.push_back(
-        SerializeBatch(RecordBatch::Empty(session.output_schema)));
+        BatchHandle::Local(RecordBatch::Empty(session.output_schema)));
   }
   return responses;
 }
@@ -994,11 +1010,14 @@ ThreadPool* StorageReadApi::prefetch_pool() {
 
 Result<RecordBatch> StorageReadApi::ReadStreamBatch(const ReadSession& session,
                                                     size_t stream_index) {
-  BL_ASSIGN_OR_RETURN(std::vector<std::string> wire,
-                      ReadRows(session, stream_index));
+  BL_ASSIGN_OR_RETURN(std::vector<BatchHandle> handles,
+                      ReadStreamHandles(session, stream_index));
+  // In-process fast path: opening a local handle is a refcount bump — the
+  // whole stream flows to the engine without touching the codec.
   std::vector<RecordBatch> batches;
-  for (const auto& bytes : wire) {
-    BL_ASSIGN_OR_RETURN(RecordBatch b, DeserializeBatch(bytes));
+  batches.reserve(handles.size());
+  for (const BatchHandle& h : handles) {
+    BL_ASSIGN_OR_RETURN(RecordBatch b, h.Open());
     batches.push_back(std::move(b));
   }
   return RecordBatch::Concat(batches);

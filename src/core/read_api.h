@@ -28,6 +28,7 @@
 #include "columnar/aggregate.h"
 #include "columnar/batch.h"
 #include "columnar/expr.h"
+#include "columnar/ipc.h"
 #include "common/thread_pool.h"
 #include "core/environment.h"
 #include "fault/retry.h"
@@ -139,13 +140,23 @@ class StorageReadApi {
                                         const std::string& table_id,
                                         const ReadSessionOptions& options);
 
-  /// Reads one stream fully, returning serialized Arrow-lite batches.
+  /// Reads one stream fully, returning one BatchHandle per response batch.
+  /// Handles are *local* — refcounted references to the post-policy batches
+  /// — so an in-process engine consumes them with zero serialization
+  /// (`Open()` is a refcount bump). Transports that cross a process or
+  /// trust boundary (Omni VPN, persistence) call `ToWire()`, which is the
+  /// only point the Arrow-lite codec runs.
+  Result<std::vector<BatchHandle>> ReadStreamHandles(const ReadSession& session,
+                                                     size_t stream_index);
+
+  /// Wire-format compatibility shim: ReadStreamHandles + ToWire per batch.
   /// (A gRPC server would stream these; callers deserialize with
   /// DeserializeBatch.)
   Result<std::vector<std::string>> ReadRows(const ReadSession& session,
                                             size_t stream_index);
 
-  /// Convenience: ReadRows + deserialize + concat.
+  /// Convenience: ReadStreamHandles + open + concat — serialization-free
+  /// in-process.
   Result<RecordBatch> ReadStreamBatch(const ReadSession& session,
                                       size_t stream_index);
 
@@ -194,9 +205,10 @@ class StorageReadApi {
     uint64_t cache_misses = 0;
   };
 
-  /// One full read of a stream; retried whole by ReadRows on transient
-  /// failure (all its state is local, so attempts are independent).
-  Result<std::vector<std::string>> ReadRowsAttempt(
+  /// One full read of a stream; retried whole by ReadStreamHandles on
+  /// transient failure (all its state is local, so attempts are
+  /// independent).
+  Result<std::vector<BatchHandle>> ReadRowsAttempt(
       const ReadSession& session, SessionState& state, size_t stream_index,
       const std::string& stream_key);
 

@@ -67,19 +67,21 @@ namespace {
 Column ChooseEncoding(const Column& col, const ParquetWriteOptions& opts) {
   Column plain = col.Decode();
   if (IsStringPhysical(plain.type()) && plain.length() > 0) {
-    // Dictionary-encode when cardinality is low enough.
-    std::map<std::string, uint32_t> dict_map;
+    // Dictionary-encode when cardinality is low enough. The map keys are
+    // views into the plain column's arena (heterogeneous lookup); distinct
+    // values are appended once into the dictionary arena.
+    std::map<std::string_view, uint32_t, std::less<>> dict_map;
     std::vector<uint32_t> indices;
     indices.reserve(plain.length());
-    std::vector<std::string> dict;
+    StringBufferBuilder dict;
     bool viable = true;
     for (size_t i = 0; i < plain.length(); ++i) {
-      const std::string& s =
-          plain.IsNull(i) ? std::string() : plain.string_data()[i];
+      const std::string_view s =
+          plain.IsNull(i) ? std::string_view() : plain.string_data()[i];
       auto [it, inserted] = dict_map.try_emplace(
           s, static_cast<uint32_t>(dict.size()));
       if (inserted) {
-        dict.push_back(s);
+        dict.Append(s);
         if (dict.size() > opts.dict_max_card ||
             static_cast<double>(dict.size()) >
                 opts.dict_cardinality_ratio *
@@ -93,8 +95,8 @@ Column ChooseEncoding(const Column& col, const ParquetWriteOptions& opts) {
     if (viable) {
       // Validity is shared with the plain column, not copied.
       return Column::MakeDictionaryString(
-          Buffer<uint32_t>::FromVector(std::move(indices)),
-          Buffer<std::string>::FromVector(std::move(dict)), plain.validity());
+          Buffer<uint32_t>::FromVector(std::move(indices)), dict.Finish(),
+          plain.validity());
     }
     return plain;
   }

@@ -114,6 +114,20 @@
 #define METRIC_BUF_ZERO_COPY_SLICES "biglake_buf_zero_copy_slices_total"
 // gauge: storage blocks currently referenced by at least one view
 #define METRIC_BUF_BUFFERS_LIVE "biglake_buf_buffers_live"
+// varbinary string arenas materialized (string_buffer.h builder output)
+#define METRIC_BUF_STRING_ARENAS "biglake_buf_string_arenas_total"
+// payload bytes placed into freshly materialized string arenas
+#define METRIC_BUF_STRING_PAYLOAD_BYTES \
+  "biglake_buf_string_payload_bytes_total"
+
+// --- Arrow-lite IPC / batch transport (src/columnar/ipc.cc) ---
+// batches byte-serialized with checksums (the wire / persistence path)
+#define METRIC_IPC_SERIALIZE "biglake_ipc_serialize_total"
+// serialized batches decoded back into columns (checksum-verified)
+#define METRIC_IPC_DESERIALIZE "biglake_ipc_deserialize_total"
+// in-process BatchHandle opens that shipped buffer references instead of
+// round-tripping through serialize/deserialize
+#define METRIC_IPC_LOCAL_BYPASS "biglake_ipc_local_bypass_total"
 
 // --- Expression kernels (src/columnar/kernels.cc, engine + Read API) ---
 // rows handed to the vectorized predicate evaluator (per top-level call)

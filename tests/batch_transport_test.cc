@@ -1,0 +1,186 @@
+// BatchHandle transport: local handles move batches between the Read API
+// and an in-process engine as refcount bumps (zero serialization, counted
+// in biglake_ipc_local_bypass_total); wire handles carry checksummed
+// Arrow-lite bytes for boundaries that need them. The engine scan asserts
+// below are the PR's acceptance check: a full in-process query performs
+// ZERO SerializeBatch calls while ReadRows (the wire shim) still does.
+
+#include "columnar/ipc.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/column.h"
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "core/environment.h"
+#include "core/read_api.h"
+#include "engine/engine.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "workload/tpcds_lite.h"
+
+namespace biglake {
+namespace {
+
+struct IpcCounters {
+  uint64_t serialize, deserialize, bypass;
+};
+
+IpcCounters ReadIpcCounters() {
+  auto& reg = obs::MetricsRegistry::Default();
+  return {reg.GetCounter(METRIC_IPC_SERIALIZE)->Value(),
+          reg.GetCounter(METRIC_IPC_DESERIALIZE)->Value(),
+          reg.GetCounter(METRIC_IPC_LOCAL_BYPASS)->Value()};
+}
+
+RecordBatch SmallBatch() {
+  SchemaPtr schema = MakeSchema({{"id", DataType::kInt64, false},
+                                 {"tag", DataType::kString, false}});
+  return RecordBatch(schema, {Column::MakeInt64({1, 2, 3}),
+                              Column::MakeString({"a", "bb", "ccc"})});
+}
+
+// ---- Handle unit semantics -----------------------------------------------
+
+TEST(BatchHandleTest, LocalOpenIsARefcountBumpNotADecode) {
+  RecordBatch batch = SmallBatch();
+  const int64_t* storage = batch.column(0).int64_data().data();
+  BatchHandle h = BatchHandle::Local(batch);
+  EXPECT_TRUE(h.valid());
+  EXPECT_TRUE(h.is_local());
+
+  const IpcCounters before = ReadIpcCounters();
+  auto opened = h.Open();
+  const IpcCounters after = ReadIpcCounters();
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  // Same storage: the opened batch views the handle's buffers.
+  EXPECT_EQ(opened->column(0).int64_data().data(), storage);
+  EXPECT_EQ(after.serialize, before.serialize);
+  EXPECT_EQ(after.deserialize, before.deserialize);
+  EXPECT_EQ(after.bypass, before.bypass + 1);
+  // SizeBytes is the in-memory footprint, not a wire length.
+  EXPECT_EQ(h.SizeBytes(), batch.MemoryBytes());
+}
+
+TEST(BatchHandleTest, ToWireIsChecksummedAndRoundTrips) {
+  RecordBatch batch = SmallBatch();
+  BatchHandle h = BatchHandle::Local(batch);
+
+  const IpcCounters before = ReadIpcCounters();
+  const std::string wire = h.ToWire();
+  const IpcCounters after = ReadIpcCounters();
+  EXPECT_EQ(after.serialize, before.serialize + 1);
+  EXPECT_EQ(wire, SerializeBatch(batch));
+
+  BatchHandle wh = BatchHandle::Wire(wire);
+  EXPECT_FALSE(wh.is_local());
+  EXPECT_EQ(wh.SizeBytes(), wire.size());
+  auto opened = wh.Open();
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(SerializeBatch(*opened), wire);
+
+  // The wire handle's checksum catches corruption at Open.
+  std::string bad = wire;
+  bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x40);
+  EXPECT_FALSE(BatchHandle::Wire(bad).Open().ok());
+
+  // An empty handle fails cleanly.
+  EXPECT_FALSE(BatchHandle().valid());
+  EXPECT_FALSE(BatchHandle().Open().ok());
+}
+
+// ---- End-to-end: in-process streams never serialize ----------------------
+
+class TransportWorldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = lake_.AddStore({CloudProvider::kGCP, "us-central1"});
+    ASSERT_TRUE(store_->CreateBucket("lake").ok());
+    ASSERT_TRUE(lake_.catalog().CreateDataset("ds").ok());
+    Connection conn;
+    conn.name = "us.lake-conn";
+    conn.service_account.principal = "sa:lake-conn";
+    ASSERT_TRUE(lake_.catalog().CreateConnection(conn).ok());
+    api_ = std::make_unique<StorageReadApi>(&lake_);
+    biglake_ = std::make_unique<BigLakeTableService>(&lake_);
+    blmt_ = std::make_unique<BlmtService>(&lake_);
+    TpcdsScale scale;
+    scale.days = 2;
+    scale.rows_per_day = 400;
+    auto tables = SetupTpcds(&lake_, biglake_.get(), blmt_.get(), store_,
+                             "lake", "tpcds/", "ds", scale, /*cached=*/true,
+                             "us.lake-conn");
+    ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+    tables_ = *tables;
+  }
+
+  LakehouseEnv lake_;
+  ObjectStore* store_ = nullptr;
+  std::unique_ptr<StorageReadApi> api_;
+  std::unique_ptr<BigLakeTableService> biglake_;
+  std::unique_ptr<BlmtService> blmt_;
+  TpcdsTables tables_;
+};
+
+TEST_F(TransportWorldTest, InProcessScanPerformsZeroSerializeCalls) {
+  QueryEngine engine(&lake_, api_.get(), EngineOptions{});
+
+  const IpcCounters before = ReadIpcCounters();
+  auto r = engine.Execute("u", Plan::Scan(tables_.store_sales));
+  const IpcCounters after = ReadIpcCounters();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->batch.num_rows(), 0u);
+  // The whole scan — Read API pipeline included — never touched the codec.
+  EXPECT_EQ(after.serialize, before.serialize);
+  EXPECT_EQ(after.deserialize, before.deserialize);
+  // Every response batch was handed over as a local reference.
+  EXPECT_GT(after.bypass, before.bypass);
+}
+
+TEST_F(TransportWorldTest, WireShimStillSerializesEveryResponse) {
+  ReadSessionOptions opts;
+  auto session = api_->CreateReadSession("u", tables_.store_sales, opts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_GT(session->streams.size(), 0u);
+
+  const IpcCounters before = ReadIpcCounters();
+  auto wire = api_->ReadRows(*session, 0);
+  const IpcCounters after = ReadIpcCounters();
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  ASSERT_GT(wire->size(), 0u);
+  // One SerializeBatch per response — the wire boundary pays the codec...
+  EXPECT_EQ(after.serialize, before.serialize + wire->size());
+  // ...and the bytes verify + decode like any Arrow-lite payload.
+  for (const std::string& w : *wire) {
+    auto b = DeserializeBatch(w);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+  }
+}
+
+TEST_F(TransportWorldTest, HandlesAndWireDeliverIdenticalRows) {
+  ReadSessionOptions opts;
+  auto session = api_->CreateReadSession("u", tables_.store_sales, opts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  for (size_t s = 0; s < session->streams.size(); ++s) {
+    auto handles = api_->ReadStreamHandles(*session, s);
+    ASSERT_TRUE(handles.ok()) << handles.status().ToString();
+    auto wire = api_->ReadRows(*session, s);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    ASSERT_EQ(handles->size(), wire->size());
+    for (size_t i = 0; i < handles->size(); ++i) {
+      auto opened = (*handles)[i].Open();
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      // Row-identity: serializing the locally opened batch yields byte-for-
+      // byte the wire response.
+      EXPECT_EQ(SerializeBatch(*opened), (*wire)[i]) << "stream " << s
+                                                     << " batch " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace biglake

@@ -1,0 +1,355 @@
+// Varbinary string columns (string_buffer.h): arena layout, exact O(1)
+// accounting (the regression the old per-std::string walk got wrong),
+// empty-vs-NULL, embedded NULs, non-zero-offset slices through every string
+// kernel path, Gather/Concat arena compaction, and worker-count invariance
+// of the biglake_buf_string_* counters over string-heavy scans.
+
+#include "columnar/string_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "columnar/batch.h"
+#include "columnar/column.h"
+#include "columnar/expr.h"
+#include "columnar/ipc.h"
+#include "columnar/kernels.h"
+#include "core/biglake.h"
+#include "core/blmt.h"
+#include "core/environment.h"
+#include "engine/engine.h"
+#include "workload/tpcds_lite.h"
+
+namespace biglake {
+namespace {
+
+using std::string_view;
+
+// ---- Arena layout --------------------------------------------------------
+
+TEST(StringBufferTest, LayoutAndAccessors) {
+  StringBuffer b = StringBuffer::FromStrings({"alpha", "", "gamma"});
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], "alpha");
+  EXPECT_EQ(b[1], "");
+  EXPECT_EQ(b[2], "gamma");
+  EXPECT_EQ(b.front(), "alpha");
+  EXPECT_EQ(b.back(), "gamma");
+  // Offsets are n+1 absolute positions; the arena holds exactly the payload.
+  EXPECT_EQ(b.offsets().size(), 4u);
+  EXPECT_EQ(b.PayloadBytes(), 10u);
+  EXPECT_EQ(b.bytes().size(), 10u);
+  // Values are contiguous in the arena, in order.
+  EXPECT_EQ(b[0].data() + b[0].size(), b[2].data());
+}
+
+// Regression for the old `s.size() + sizeof(std::string)` heap walk: the
+// charged bytes of a string column are pinned to arena arithmetic —
+// offsets + payload (+ validity) — regardless of per-value SSO or the heap
+// capacity a std::string happened to grow.
+TEST(StringBufferTest, ChargedBytesEqualArenaSize) {
+  // Mix short (SSO) and long (heap) values; the old accounting differed
+  // across that boundary, the arena does not.
+  std::vector<std::string> vals = {"x", std::string(100, 'y'), "",
+                                   std::string(37, 'z')};
+  size_t payload = 0;
+  for (const auto& s : vals) payload += s.size();
+
+  StringBuffer b = StringBuffer::FromStrings(vals);
+  EXPECT_EQ(b.ByteSize(), (vals.size() + 1) * sizeof(uint32_t) + payload);
+
+  Column c = Column::MakeString(vals);
+  EXPECT_EQ(c.MemoryBytes(), (vals.size() + 1) * sizeof(uint32_t) + payload);
+
+  // And the pool charged exactly the physical arrays: offsets + arena.
+  BufferPool pool;
+  uint64_t charged;
+  {
+    ScopedBufferPool scope(&pool);
+    StringBuffer scoped = StringBuffer::FromStrings(vals);
+    charged = pool.snapshot().bytes_allocated;
+    EXPECT_EQ(pool.snapshot().string_arenas, 1u);
+    EXPECT_EQ(pool.snapshot().string_payload_bytes, payload);
+  }
+  EXPECT_EQ(charged, (vals.size() + 1) * sizeof(uint32_t) + payload);
+}
+
+TEST(StringBufferTest, SliceIsZeroCopyAtNonZeroOffset) {
+  BufferPool pool;
+  ScopedBufferPool scope(&pool);
+  StringBuffer b = StringBuffer::FromStrings({"aa", "bbb", "cccc", "d", "ee"});
+  const BufferPool::Stats before = pool.snapshot();
+  StringBuffer s = b.Slice(1, 3);
+  const BufferPool::Stats after = pool.snapshot();
+  EXPECT_EQ(after.bytes_copied, before.bytes_copied);
+  EXPECT_EQ(after.bytes_allocated, before.bytes_allocated);
+  EXPECT_EQ(after.zero_copy_slices, before.zero_copy_slices + 1);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "bbb");
+  EXPECT_EQ(s[2], "d");
+  EXPECT_TRUE(s.SharesStorageWith(b));
+  // The views point into the SAME arena bytes (no payload moved)...
+  EXPECT_EQ(s[0].data(), b[1].data());
+  // ...and the view's footprint charges only the referenced payload span.
+  EXPECT_EQ(s.PayloadBytes(), 8u);  // bbb + cccc + d
+  // Slicing a slice composes.
+  StringBuffer s2 = s.Slice(1, 9);  // clamps
+  ASSERT_EQ(s2.size(), 2u);
+  EXPECT_EQ(s2[0], "cccc");
+}
+
+TEST(StringBufferTest, AllEmptyBuffersShareNoArena) {
+  StringBuffer e = StringBuffer::Empties(4);
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e[2], "");
+  EXPECT_EQ(e.PayloadBytes(), 0u);
+  StringBuffer s = e.Slice(1, 2);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.SharesStorageWith(e));
+}
+
+// ---- Empty string vs NULL ------------------------------------------------
+
+TEST(StringColumnTest, EmptyStringIsNotNull) {
+  Column c = Column::MakeString({"", "x", ""}, {1, 1, 0});
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_EQ(c.GetValue(0), Value::String(""));
+  EXPECT_TRUE(c.IsNull(2));
+  EXPECT_TRUE(c.GetValue(2).is_null());
+
+  // The distinction survives the wire.
+  SchemaPtr schema = MakeSchema({{"s", DataType::kString, true}});
+  RecordBatch b(schema, {c});
+  auto rt = DeserializeBatch(SerializeBatch(b));
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_FALSE(rt->column(0).IsNull(0));
+  EXPECT_EQ(rt->GetValue(0, 0), Value::String(""));
+  EXPECT_TRUE(rt->column(0).IsNull(2));
+
+  // And a predicate sees the empty string as a real value.
+  auto bv = kernels::EvaluatePredicate(
+      *Expr::Eq(Expr::Col("s"), Expr::Lit(Value::String(""))), b);
+  ASSERT_TRUE(bv.ok());
+  EXPECT_EQ(bv->data[0], 1);
+  EXPECT_EQ(bv->data[1], 0);
+}
+
+// ---- Embedded NULs -------------------------------------------------------
+
+TEST(StringColumnTest, EmbeddedNulBytesSurviveEverything) {
+  const std::string nul1("a\0b", 3);
+  const std::string nul2("\0\0", 2);
+  Column plain = Column::MakeString({nul1, "plain", nul2});
+  EXPECT_EQ(plain.string_data()[0], string_view(nul1));
+  EXPECT_EQ(plain.string_data()[2], string_view(nul2));
+
+  SchemaPtr schema = MakeSchema({{"s", DataType::kString, false},
+                                 {"d", DataType::kString, false}});
+  Column dict = Column::MakeDictionaryString({1, 0, 1}, {nul1, nul2});
+  RecordBatch b(schema, {plain, dict});
+  auto rt = DeserializeBatch(SerializeBatch(b));
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_EQ(rt->GetValue(0, 0), Value::String(nul1));
+  EXPECT_EQ(rt->GetValue(2, 0), Value::String(nul2));
+  EXPECT_EQ(rt->GetValue(0, 1), Value::String(nul2));
+  EXPECT_EQ(rt->GetValue(1, 1), Value::String(nul1));
+  // Re-serializing the decoded batch is byte-identical (stable wire form).
+  EXPECT_EQ(SerializeBatch(*rt), SerializeBatch(b));
+}
+
+// ---- Non-zero-offset slices through every string kernel path -------------
+
+// A batch slice at a non-zero offset hands kernels string_views into the
+// middle of a shared arena. Every string path — plain compare, col-vs-col,
+// IN-list, dictionary sweep — must see the same rows as a materialized
+// (gathered) copy of the window.
+TEST(StringColumnTest, SlicedColumnsThroughEveryKernelPath) {
+  std::vector<std::string> tags = {"ham", "spam", "eggs", "spam",
+                                   "ham", "toast", "spam", "eggs"};
+  std::vector<std::string> alts = {"ham", "x", "eggs", "spam",
+                                   "y", "toast", "z", "eggs"};
+  std::vector<uint32_t> didx = {0, 1, 2, 1, 0, 3, 1, 2};
+  SchemaPtr schema = MakeSchema({{"tag", DataType::kString, false},
+                                 {"alt", DataType::kString, false},
+                                 {"dtag", DataType::kString, false}});
+  RecordBatch whole(
+      schema, {Column::MakeString(tags), Column::MakeString(alts),
+               Column::MakeDictionaryString(didx,
+                                            {"ham", "spam", "eggs", "toast"})});
+
+  RecordBatch window = whole.Slice(2, 5);  // rows 2..6, offsets non-zero
+  std::vector<uint32_t> ids = {2, 3, 4, 5, 6};
+  RecordBatch copied = whole.Gather(ids);  // compacted reference
+
+  const std::vector<ExprPtr> preds = {
+      Expr::Eq(Expr::Col("tag"), Expr::Lit(Value::String("spam"))),
+      Expr::Ne(Expr::Col("tag"), Expr::Lit(Value::String("eggs"))),
+      Expr::Eq(Expr::Col("tag"), Expr::Col("alt")),
+      Expr::InList(Expr::Col("tag"),
+                   {Value::String("spam"), Value::String("toast")}),
+      Expr::Eq(Expr::Col("dtag"), Expr::Lit(Value::String("spam"))),
+      Expr::InList(Expr::Col("dtag"),
+                   {Value::String("ham"), Value::String("eggs")}),
+  };
+  for (size_t p = 0; p < preds.size(); ++p) {
+    auto got = kernels::EvaluatePredicate(*preds[p], window);
+    auto want = kernels::EvaluatePredicate(*preds[p], copied);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_EQ(got->size(), want->size()) << "pred " << p;
+    for (size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ(got->data[i], want->data[i]) << "pred " << p << " row " << i;
+      EXPECT_EQ(got->IsNull(i), want->IsNull(i)) << "pred " << p << " row "
+                                                 << i;
+    }
+  }
+}
+
+// RLE runs: slicing an RLE int column alongside a sliced string column keeps
+// row alignment through a filter (the mask indexes the same window).
+TEST(StringColumnTest, SlicedRleAndStringsStayAligned) {
+  SchemaPtr schema = MakeSchema({{"grp", DataType::kInt64, false},
+                                 {"tag", DataType::kString, false}});
+  RecordBatch whole(schema,
+                    {Column::MakeRunLengthInt64({7, 8, 9}, {2, 3, 3}),
+                     Column::MakeString(
+                         {"a", "b", "c", "d", "e", "f", "g", "h"})});
+  RecordBatch window = whole.Slice(1, 6);  // rows 1..6
+  auto bv = kernels::EvaluatePredicate(
+      *Expr::Eq(Expr::Col("grp"), Expr::Lit(Value::Int64(8))), window);
+  ASSERT_TRUE(bv.ok()) << bv.status().ToString();
+  RecordBatch out = window.Filter(kernels::BoolVecToMask(*bv));
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.GetValue(0, 1), Value::String("c"));
+  EXPECT_EQ(out.GetValue(2, 1), Value::String("e"));
+}
+
+// ---- Gather / Concat compaction ------------------------------------------
+
+TEST(StringColumnTest, GatherCompactsToReferencedPayload) {
+  BufferPool pool;
+  ScopedBufferPool scope(&pool);
+  // 1000 rows of 100 bytes each; select 3.
+  std::vector<std::string> vals(1000, std::string(100, 'q'));
+  vals[5] = "five";
+  vals[500] = "fivehundred";
+  Column c = Column::MakeString(vals);
+  const BufferPool::Stats before = pool.snapshot();
+  Column g = c.Gather({5, 500, 999});
+  const BufferPool::Stats after = pool.snapshot();
+  ASSERT_EQ(g.length(), 3u);
+  EXPECT_EQ(g.GetValue(0), Value::String("five"));
+  EXPECT_EQ(g.GetValue(1), Value::String("fivehundred"));
+  // The new arena holds ONLY the selected payload.
+  const uint64_t selected = 4 + 11 + 100;
+  EXPECT_EQ(g.string_data().PayloadBytes(), selected);
+  EXPECT_EQ(after.string_payload_bytes - before.string_payload_bytes,
+            selected);
+  // Copied bytes are O(selection), nowhere near the 100KB source arena.
+  EXPECT_LT(after.bytes_copied - before.bytes_copied, 1000u);
+  EXPECT_FALSE(g.string_data().SharesStorageWith(c.string_data()));
+}
+
+TEST(StringColumnTest, ConcatMergesSlicedArenasCompactly) {
+  Column c = Column::MakeString({"aa", "bb", "cc", "dd", "ee", "ff"});
+  Column s1 = c.Slice(1, 2);  // bb cc
+  Column s2 = c.Slice(4, 2);  // ee ff
+  auto merged = Column::Concat({s1, s2});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->length(), 4u);
+  EXPECT_EQ(merged->GetValue(0), Value::String("bb"));
+  EXPECT_EQ(merged->GetValue(3), Value::String("ff"));
+  // Merged arena references exactly the concatenated payload, not the
+  // source arena span.
+  EXPECT_EQ(merged->string_data().PayloadBytes(), 8u);
+  EXPECT_FALSE(merged->string_data().SharesStorageWith(c.string_data()));
+}
+
+TEST(StringColumnTest, DictionaryGatherSharesOneArena) {
+  BufferPool pool;
+  ScopedBufferPool scope(&pool);
+  Column c = Column::MakeDictionaryString({0, 1, 2, 1, 0, 2},
+                                          {"north", "south", "east"});
+  const BufferPool::Stats before = pool.snapshot();
+  Column g1 = c.Gather({0, 2});
+  Column g2 = c.Gather({1, 3, 5});
+  const BufferPool::Stats after = pool.snapshot();
+  EXPECT_TRUE(g1.dictionary().SharesStorageWith(c.dictionary()));
+  EXPECT_TRUE(g2.dictionary().SharesStorageWith(g1.dictionary()));
+  // No new arena was materialized for either gather.
+  EXPECT_EQ(after.string_arenas, before.string_arenas);
+  EXPECT_EQ(g1.GetValue(1), Value::String("east"));
+  EXPECT_EQ(g2.GetValue(2), Value::String("east"));
+  // Decode expands into a fresh compacted arena (dictionary unharmed).
+  Column d = g2.Decode();
+  EXPECT_EQ(d.GetValue(0), Value::String("south"));
+  EXPECT_EQ(d.string_data().PayloadBytes(), 5u + 5u + 4u);
+}
+
+// ---- Worker-count invariance of string counters --------------------------
+
+// String-heavy scan with a selective string predicate at 1/2/8 workers: the
+// biglake_buf_string_* totals (and the classic alloc/copy/slice set) must be
+// bit-identical — a worker-dependent arena materialization would diverge.
+TEST(StringColumnTest, StringCountersAreWorkerCountInvariant) {
+  TpcdsScale scale;
+  scale.days = 4;
+  scale.rows_per_day = 600;
+
+  struct Delta {
+    uint64_t arenas, payload, allocated, copied;
+  };
+  std::vector<Delta> deltas;
+  for (uint32_t workers : {1u, 2u, 8u}) {
+    LakehouseEnv lake;
+    ObjectStore* store = lake.AddStore({CloudProvider::kGCP, "us-central1"});
+    ASSERT_TRUE(store->CreateBucket("lake").ok());
+    ASSERT_TRUE(lake.catalog().CreateDataset("ds").ok());
+    Connection conn;
+    conn.name = "us.lake-conn";
+    conn.service_account.principal = "sa:lake-conn";
+    ASSERT_TRUE(lake.catalog().CreateConnection(conn).ok());
+    StorageReadApi api(&lake);
+    BigLakeTableService biglake(&lake);
+    BlmtService blmt(&lake);
+    auto tables = SetupTpcds(&lake, &biglake, &blmt, store, "lake", "tpcds/",
+                             "ds", scale, /*cached=*/true, "us.lake-conn");
+    ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+
+    EngineOptions opts;
+    opts.num_workers = workers;
+    opts.max_read_streams = 2;
+    opts.enable_block_cache = true;
+    opts.block_cache_capacity_bytes = 32ull << 20;
+    QueryEngine engine(&lake, &api, opts);
+
+    // Selective string predicate over the string-heavy dimension table:
+    // exercises arena slicing in the scan and compaction in the filter's
+    // gather.
+    PlanPtr plan = Plan::Filter(
+        Plan::Scan(tables->item),
+        Expr::Eq(Expr::Col("i_category"), Expr::Lit(Value::String("grocery"))));
+
+    const BufferPool::Stats before = BufferPool::Default().snapshot();
+    for (int round = 0; round < 2; ++round) {  // cold then warm
+      auto r = engine.Execute("u", plan);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+    const BufferPool::Stats after = BufferPool::Default().snapshot();
+    deltas.push_back({after.string_arenas - before.string_arenas,
+                      after.string_payload_bytes - before.string_payload_bytes,
+                      after.bytes_allocated - before.bytes_allocated,
+                      after.bytes_copied - before.bytes_copied});
+  }
+  for (size_t i = 1; i < deltas.size(); ++i) {
+    EXPECT_EQ(deltas[i].arenas, deltas[0].arenas) << "run " << i;
+    EXPECT_EQ(deltas[i].payload, deltas[0].payload) << "run " << i;
+    EXPECT_EQ(deltas[i].allocated, deltas[0].allocated) << "run " << i;
+    EXPECT_EQ(deltas[i].copied, deltas[0].copied) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace biglake
